@@ -1,0 +1,85 @@
+"""Fault-injection bench (extension, DESIGN.md §6 / paper future work).
+
+The paper's conclusion defers fault handling to future work on real grids.
+This bench quantifies the trie's maintenance cost under fail-stop crashes:
+
+  * availability — fraction of registered keys surviving a crash wave,
+    with and without successor replication;
+  * repair cost — re-registrations needed to rebuild a consistent tree,
+    as a function of the crash fraction (the "costly maintenance" the
+    paper attributes to trie overlays).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dlpt.failures import ReplicationManager, crash_peer, repair
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity
+from repro.workloads.keys import grid_service_corpus
+
+from conftest import peers, runs
+
+
+def crash_wave(seed: int, crash_fraction: float, factor: int | None):
+    """One experiment: deploy, optionally replicate, crash a fraction of
+    peers simultaneously, repair; return (availability %, repair cost)."""
+    rng = random.Random(seed)
+    system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+    system.build(rng, peers(60))
+    corpus = grid_service_corpus()
+    for k in corpus:
+        system.register(k)
+    replication = None
+    if factor is not None:
+        replication = ReplicationManager(system, factor=factor)
+        replication.replicate_all()
+
+    n_crashes = max(1, round(crash_fraction * len(system.ring)))
+    lost: set[str] = set()
+    for _ in range(n_crashes):
+        ids = system.ring.ids()
+        report = crash_peer(system, ids[rng.randrange(len(ids))])
+        if replication is not None:
+            replication.on_peer_removed(report.peer_id)
+        lost |= report.lost_keys
+    rr = repair(system, replication, lost_keys=frozenset(lost))
+    system.check_invariants()
+    available = 100.0 * len(system.registered_keys()) / len(corpus)
+    return available, rr.reinserted_keys
+
+
+def test_fault_injection_availability(benchmark, archive):
+    def sweep():
+        rows = []
+        for crash_fraction in (0.05, 0.15, 0.30):
+            for factor in (None, 1, 2):
+                av, cost = zip(*[
+                    crash_wave(seed, crash_fraction, factor)
+                    for seed in range(runs(3))
+                ])
+                rows.append((
+                    crash_fraction,
+                    factor,
+                    sum(av) / len(av),
+                    sum(cost) / len(cost),
+                ))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [f"{'crash %':>8} {'replicas':>9} {'available %':>12} {'repair cost':>12}"]
+    table = {}
+    for frac, factor, av, cost in rows:
+        label = "none" if factor is None else str(factor)
+        lines.append(f"{frac:>8.0%} {label:>9} {av:>12.1f} {cost:>12.0f}")
+        table[(frac, factor)] = av
+    archive("fault_injection", "\n".join(lines))
+
+    for frac in (0.05, 0.15, 0.30):
+        # Replication strictly improves availability...
+        assert table[(frac, 2)] >= table[(frac, None)]
+        # ...and factor-2 keeps availability high even at a 30% crash wave.
+        assert table[(frac, 2)] > 95.0
+    # Without replication, availability degrades as the wave grows.
+    assert table[(0.30, None)] < table[(0.05, None)]

@@ -1,0 +1,54 @@
+"""Figures 4 & 5 — stable network, low load / overload.
+
+Paper: % of satisfied requests over 50 time units, MLT / KC / No LB,
+30 runs.  Expected shape: three stacked curves (MLT on top, No LB at the
+bottom); under overload all curves drop but the ordering persists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.figures import figure4, figure5
+
+from conftest import peers, runs
+
+
+def _render(fig) -> str:
+    plot = ascii_plot(
+        {k: list(v) for k, v in fig.series.items()},
+        width=70, height=18, y_min=0, y_max=100,
+        x_label="time unit", y_label="% satisfied", title=fig.title,
+    )
+    steady = {
+        name: float(np.mean(vals[10:])) for name, vals in fig.series.items()
+    }
+    summary = "steady-state means: " + "  ".join(
+        f"{n}={v:.1f}%" for n, v in steady.items()
+    )
+    return f"{plot}\n\n{summary}\nruns per curve: {fig.n_runs}\n\n{fig.as_table()}"
+
+
+def test_figure4_stable_low_load(benchmark, archive):
+    fig = benchmark.pedantic(
+        lambda: figure4(n_runs=runs(3), n_peers=peers()),
+        rounds=1, iterations=1,
+    )
+    archive("fig4_stable_no_overload", _render(fig))
+    # Shape assertions: MLT dominates and No LB trails at steady state.
+    mlt = float(np.mean(fig.series["MLT enabled"][10:]))
+    nolb = float(np.mean(fig.series["No LB"][10:]))
+    assert mlt > nolb
+
+
+def test_figure5_stable_overload(benchmark, archive):
+    fig = benchmark.pedantic(
+        lambda: figure5(n_runs=runs(3), n_peers=peers()),
+        rounds=1, iterations=1,
+    )
+    archive("fig5_stable_overload", _render(fig))
+    mlt = float(np.mean(fig.series["MLT enabled"][10:]))
+    kc = float(np.mean(fig.series["KC enabled"][10:]))
+    nolb = float(np.mean(fig.series["No LB"][10:]))
+    assert mlt > kc > nolb

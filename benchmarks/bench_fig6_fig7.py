@@ -1,0 +1,55 @@
+"""Figures 6 & 7 — dynamic network (10% churn/unit), low load / overload.
+
+Paper: same layout as Figures 4–5 on a churning platform.  Expected shape:
+"KC performs a bit better than previously, and gives results similar to
+MLT" — churn lets join-time placement act often, closing the gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.figures import figure6, figure7
+
+from conftest import peers, runs
+
+
+def _render(fig) -> str:
+    plot = ascii_plot(
+        {k: list(v) for k, v in fig.series.items()},
+        width=70, height=18, y_min=0, y_max=100,
+        x_label="time unit", y_label="% satisfied", title=fig.title,
+    )
+    steady = {n: float(np.mean(v[10:])) for n, v in fig.series.items()}
+    summary = "steady-state means: " + "  ".join(
+        f"{n}={v:.1f}%" for n, v in steady.items()
+    )
+    return f"{plot}\n\n{summary}\nruns per curve: {fig.n_runs}\n\n{fig.as_table()}"
+
+
+def test_figure6_dynamic_low_load(benchmark, archive):
+    fig = benchmark.pedantic(
+        lambda: figure6(n_runs=runs(3), n_peers=peers()),
+        rounds=1, iterations=1,
+    )
+    archive("fig6_dynamic_no_overload", _render(fig))
+    mlt = float(np.mean(fig.series["MLT enabled"][10:]))
+    kc = float(np.mean(fig.series["KC enabled"][10:]))
+    nolb = float(np.mean(fig.series["No LB"][10:]))
+    assert mlt > nolb and kc > nolb
+    # The paper's observation: KC approaches MLT under churn.  The KC/MLT
+    # gap must be clearly smaller than MLT's lead over no-LB.
+    assert (mlt - kc) < (mlt - nolb)
+
+
+def test_figure7_dynamic_overload(benchmark, archive):
+    fig = benchmark.pedantic(
+        lambda: figure7(n_runs=runs(3), n_peers=peers()),
+        rounds=1, iterations=1,
+    )
+    archive("fig7_dynamic_overload", _render(fig))
+    mlt = float(np.mean(fig.series["MLT enabled"][10:]))
+    kc = float(np.mean(fig.series["KC enabled"][10:]))
+    nolb = float(np.mean(fig.series["No LB"][10:]))
+    assert mlt > kc > nolb

@@ -1,0 +1,61 @@
+"""Figure 8 — dynamic network with hot spots (50 runs in the paper).
+
+Timeline: units 0–40 uniform, 40–80 a burst on the S3L library
+("Most of S3L routines are named by a string beginning by 'S3L'"),
+80–120 a burst on ScaLAPACK ("whose functions begin with 'P'"),
+120–160 uniform again.
+
+Expected shape: MLT's satisfaction collapses at each onset and recovers
+("the MLT-enabled architecture adapts to the situation and increases the
+satisfaction ratio to a reasonable point"); the final uniform phase returns
+to pre-burst behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.figures import figure8
+
+from conftest import peers, runs
+
+PHASES = [
+    ("uniform   [20,40)", 20, 40),
+    ("S3L burst [40,80)", 40, 80),
+    ("P burst  [80,120)", 80, 120),
+    ("uniform [140,160)", 140, 160),
+]
+
+
+def test_figure8_hot_spots(benchmark, archive):
+    fig = benchmark.pedantic(
+        lambda: figure8(n_runs=runs(2), n_peers=peers()),
+        rounds=1, iterations=1,
+    )
+    plot = ascii_plot(
+        {k: list(v) for k, v in fig.series.items()},
+        width=80, height=20, y_min=0, y_max=100,
+        x_label="time unit", y_label="% satisfied", title=fig.title,
+    )
+    lines = [plot, "", f"runs per curve: {fig.n_runs}", "",
+             f"{'phase':<20}" + "".join(f"{n:>14}" for n in fig.series)]
+    phase_means = {}
+    for label, a, b in PHASES:
+        row = f"{label:<20}"
+        for name, vals in fig.series.items():
+            m = float(np.mean(vals[a:b]))
+            phase_means[(label, name)] = m
+            row += f"{m:>14.1f}"
+        lines.append(row)
+    archive("fig8_hot_spots", "\n".join(lines))
+
+    mlt_pre = phase_means[(PHASES[0][0], "MLT enabled")]
+    mlt_s3l = phase_means[(PHASES[1][0], "MLT enabled")]
+    mlt_post = phase_means[(PHASES[3][0], "MLT enabled")]
+    onset = float(np.mean(fig.series["MLT enabled"][40:46]))
+    # Collapse at the onset, and full recovery once the bursts end.
+    assert onset < mlt_pre
+    assert mlt_post >= 0.8 * mlt_pre
+    # MLT adapts during the burst: its burst-phase satisfaction beats NoLB's.
+    assert mlt_s3l > phase_means[(PHASES[1][0], "No LB")]

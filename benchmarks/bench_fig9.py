@@ -1,0 +1,47 @@
+"""Figure 9 — communication gain of the lexicographic mapping (100 runs in
+the paper).
+
+Three series over the Figure 8 timeline: logical hops per request;
+physical hops under the original DLPT's random (DHT/hashed) mapping; and
+physical hops under the self-contained lexicographic mapping with MLT.
+
+Expected shape: the random mapping "results in breaking the locality", so
+its physical-hop curve tracks the logical-hop curve; the lexicographic
+mapping needs markedly fewer physical messages because "the set of nodes
+stored on one peer are highly connected".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.ascii_plot import ascii_plot
+from repro.experiments.figures import figure9
+
+from conftest import peers, runs
+
+
+def test_figure9_communication_gain(benchmark, archive):
+    fig = benchmark.pedantic(
+        lambda: figure9(n_runs=runs(2), n_peers=peers()),
+        rounds=1, iterations=1,
+    )
+    plot = ascii_plot(
+        {k: list(v) for k, v in fig.series.items()},
+        width=80, height=18,
+        x_label="time unit", y_label="hops per request", title=fig.title,
+    )
+    steady = {n: float(np.mean(v[20:])) for n, v in fig.series.items()}
+    summary = "\n".join(f"  {n:<46} {v:6.2f} hops" for n, v in steady.items())
+    archive(
+        "fig9_communication_gain",
+        f"{plot}\n\nsteady-state means:\n{summary}\nruns per curve: {fig.n_runs}",
+    )
+
+    logical = steady["Logical hops"]
+    random_phys = steady["Physical hops - random mapping"]
+    lex_phys = steady["Physical hops - lexico. mapping with LB (MLT)"]
+    # Random mapping pays ≈ one message per logical hop.
+    assert random_phys > 0.6 * logical
+    # Lexicographic mapping cuts communication substantially.
+    assert lex_phys < 0.75 * random_phys

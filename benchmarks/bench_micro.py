@@ -1,0 +1,122 @@
+"""Micro-benchmarks of the hot operations.
+
+Not figures from the paper — these guard the implementation's complexity
+claims: O(depth) tree insertion/routing, O(log P) mapping queries,
+O(|ν_S ∪ ν_P|) MLT splits, O(log P) Chord lookups.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pgcp import PGCPTree
+from repro.dht.chord import ChordRing
+from repro.dlpt.routing import route_path
+from repro.dlpt.system import DLPTSystem
+from repro.lb.mlt import best_split
+from repro.peers.capacity import FixedCapacity
+from repro.workloads.keys import grid_service_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return grid_service_corpus()
+
+
+@pytest.fixture(scope="module")
+def big_tree(corpus):
+    tree = PGCPTree()
+    for k in corpus:
+        tree.insert(k)
+    return tree
+
+
+@pytest.fixture(scope="module")
+def live_system(corpus):
+    rng = random.Random(1)
+    system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+    system.build(rng, 100)
+    for k in corpus:
+        system.register(k)
+    return system, rng
+
+
+def test_tree_insert_full_corpus(benchmark, corpus):
+    def build():
+        tree = PGCPTree()
+        for k in corpus:
+            tree.insert(k)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree.keys()) == len(set(corpus))
+
+
+def test_tree_exact_lookup(benchmark, big_tree, corpus):
+    keys = corpus[:: max(1, len(corpus) // 100)]
+
+    def lookups():
+        for k in keys:
+            big_tree.lookup(k)
+
+    benchmark(lookups)
+
+
+def test_tree_completion(benchmark, big_tree):
+    out = benchmark(lambda: big_tree.complete("dge"))
+    assert out
+
+
+def test_route_path_cross_subtree(benchmark, big_tree):
+    p = benchmark(lambda: route_path(big_tree, "S3L_fft", "dgemm"))
+    assert p.found
+
+
+def test_discover_end_to_end(benchmark, live_system, corpus):
+    system, rng = live_system
+    keys = corpus
+
+    def one():
+        out = system.discover(keys[rng.randrange(len(keys))], rng=rng)
+        return out
+
+    out = benchmark(one)
+    assert out is not None
+
+
+def test_mlt_best_split_200_nodes(benchmark):
+    rng = random.Random(3)
+    labels = [f"n{i:04d}" for i in range(200)]
+    loads = [rng.randrange(30) for _ in range(200)]
+    d = benchmark(lambda: best_split(labels, loads, 40, 55, current_index=100))
+    assert d.best_throughput >= 0
+
+
+def test_peer_join_with_migration(benchmark, corpus):
+    rng = random.Random(5)
+    system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+    system.build(rng, 50)
+    for k in corpus:
+        system.register(k)
+
+    def join_leave():
+        p = system.add_peer(rng)
+        system.remove_peer(p.id)
+
+    benchmark(join_leave)
+
+
+def test_chord_lookup_256_peers(benchmark):
+    ring = ChordRing(bits=24)
+    for i in range(256):
+        ring.add_peer(f"peer-{i:04d}")
+    ring.rebuild_fingers()
+    rng = random.Random(7)
+
+    def lookup():
+        return ring.lookup(f"key-{rng.randrange(10_000)}")
+
+    owner, hops = benchmark(lookup)
+    assert hops <= 24

@@ -1,0 +1,62 @@
+"""Table 1 — summary of gains of the KC and MLT heuristics.
+
+Paper values (gain in satisfied requests over no-LB):
+
+    Load   Stable MLT  Stable KC   Dynamic MLT  Dynamic KC
+     5%      39.62%      38.58%      18.25%       32.47%
+    10%     103.41%      58.95%      46.16%       51.00%
+    16%     147.07%      64.97%      65.90%       59.11%
+    24%     165.25%      59.27%      71.26%       60.01%
+    40%     206.90%      68.16%      97.71%       67.18%
+    80%     230.51%      76.99%      90.59%       71.93%
+
+Expected shape: gains grow with load; MLT's stable-network gains dominate;
+the dynamic network compresses MLT's advantage while KC holds up (and can
+edge out MLT at the lowest loads — the paper's crossover).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import TABLE1_LOADS, table1
+
+from conftest import peers, runs
+
+PAPER = {
+    "stable": {
+        0.05: (39.62, 38.58), 0.10: (103.41, 58.95), 0.16: (147.07, 64.97),
+        0.24: (165.25, 59.27), 0.40: (206.90, 68.16), 0.80: (230.51, 76.99),
+    },
+    "dynamic": {
+        0.05: (18.25, 32.47), 0.10: (46.16, 51.00), 0.16: (65.90, 59.11),
+        0.24: (71.26, 60.01), 0.40: (97.71, 67.18), 0.80: (90.59, 71.93),
+    },
+}
+
+
+def test_table1_gain_summary(benchmark, archive):
+    res = benchmark.pedantic(
+        lambda: table1(n_runs=runs(2), n_peers=peers()),
+        rounds=1, iterations=1,
+    )
+    lines = [res.as_text(), "", "paper reference:"]
+    for load in TABLE1_LOADS:
+        sm, sk = PAPER["stable"][load]
+        dm, dk = PAPER["dynamic"][load]
+        lines.append(
+            f"{load:>5.0%} | {sm:>9.2f}% {sk:>9.2f}% | {dm:>10.2f}% {dk:>9.2f}%"
+        )
+    lines.append(f"\nruns per cell: {res.n_runs} (paper: 30)")
+    archive("table1_gain_summary", "\n".join(lines))
+
+    stable = res.gains["stable"]
+    dynamic = res.gains["dynamic"]
+    # Shape 1: gains grow with load (compare the extremes, which are far
+    # enough apart to be robust at small run counts).
+    assert stable[0.80]["MLT"] > stable[0.05]["MLT"]
+    assert dynamic[0.80]["MLT"] > dynamic[0.05]["MLT"]
+    # Shape 2: at high load MLT's stable gain exceeds its dynamic gain.
+    assert stable[0.80]["MLT"] > dynamic[0.80]["MLT"]
+    # Shape 3: every high-load gain is positive and substantial.
+    for net in ("stable", "dynamic"):
+        assert res.gains[net][0.80]["MLT"] > 50
+        assert res.gains[net][0.80]["KC"] > 10

@@ -1,0 +1,47 @@
+"""Table 2 — complexities of close trie-structured approaches, measured.
+
+Paper (analytic):
+
+    Functionality   P-Grid        PHT           DLPT
+    Tree Routing    O(log |Pi|)   O(D log P)    O(D)
+    Local State     O(log |Pi|)   |N|/|P|·|A|   |N|/|P|·|A|
+
+We regenerate the table empirically: live P-Grid / PHT / DLPT instances
+over a common binary-key workload, measuring mean routing hops and mean
+per-peer state at three (N, P) scales.  Expected shape: PHT pays a log P
+factor over DLPT's pure O(D) routing; P-Grid's hops and state stay
+logarithmic in the partition count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.tables import paper_table2_text, table2
+
+
+def test_table2_complexities(benchmark, archive):
+    res = benchmark.pedantic(
+        lambda: table2(scales=((250, 32), (500, 64), (1000, 128)), key_bits=16),
+        rounds=1, iterations=1,
+    )
+    archive(
+        "table2_complexities",
+        res.as_text() + "\n\npaper (analytic):\n" + paper_table2_text(),
+    )
+
+    dlpt = res.rows_for("DLPT")
+    pht = res.rows_for("PHT")
+    pgrid = res.rows_for("P-Grid")
+
+    # DLPT routes in O(D): hop count is essentially flat as P quadruples.
+    assert dlpt[-1].mean_routing_hops < dlpt[0].mean_routing_hops * 1.8
+    # PHT pays the DHT factor: noticeably costlier than DLPT at every scale.
+    for d, p in zip(dlpt, pht):
+        assert p.mean_routing_hops > 1.5 * d.mean_routing_hops
+    # PHT's extra cost grows with log P.
+    assert pht[-1].mean_routing_hops > pht[0].mean_routing_hops
+    # P-Grid: logarithmic routing and state in the partition count.
+    for row in pgrid:
+        assert row.mean_routing_hops <= 2 * math.log2(row.n_peers) + 4
+        assert row.mean_local_state <= 2 * math.log2(row.n_keys) + 4

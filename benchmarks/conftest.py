@@ -1,0 +1,42 @@
+"""Benchmark-suite helpers.
+
+Every figure/table bench runs its harness once under pytest-benchmark (so
+the suite reports wall-clock per experiment), prints the regenerated
+series/table to stdout, and archives it under ``benchmarks/results/`` for
+EXPERIMENTS.md.
+
+Scale knobs (environment):
+  REPRO_RUNS      repetitions per configuration (default: laptop-quick
+                  values; the paper used 30/50/100)
+  REPRO_PEERS     platform size (default 100, the paper's value)
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def runs(default: int) -> int:
+    """Repetitions per configuration, overridable via REPRO_RUNS."""
+    return int(os.environ.get("REPRO_RUNS", default))
+
+
+def peers(default: int = 100) -> int:
+    return int(os.environ.get("REPRO_PEERS", default))
+
+
+@pytest.fixture
+def archive():
+    """Print a result block and save it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _archive(name: str, text: str) -> None:
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _archive

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Fault tolerance: crash waves, successor replication, tree repair.
+
+The paper's protocol covers graceful departure (a leaving peer hands its
+nodes to its successor); real grids also crash.  This example deploys the
+full service corpus, then hits the platform with increasingly severe
+fail-stop crash waves and shows:
+
+  * how many registrations survive without any protection,
+  * how successor replication (factor 1 and 2) changes that,
+  * what a full tree repair costs (the trie's "costly maintenance").
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dlpt.failures import ReplicationManager, crash_peer, repair
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity
+from repro.workloads.keys import grid_service_corpus
+
+
+def wave(seed: int, crash_fraction: float, replication_factor: int | None):
+    rng = random.Random(seed)
+    system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+    system.build(rng, 60)
+    corpus = grid_service_corpus()
+    for key in corpus:
+        system.register(key)
+
+    replication = None
+    if replication_factor:
+        replication = ReplicationManager(system, factor=replication_factor)
+        replication.replicate_all()
+
+    lost: set[str] = set()
+    for _ in range(max(1, round(crash_fraction * len(system.ring)))):
+        ids = system.ring.ids()
+        report = crash_peer(system, ids[rng.randrange(len(ids))])
+        if replication:
+            replication.on_peer_removed(report.peer_id)
+        lost |= report.lost_keys
+
+    rr = repair(system, replication, lost_keys=frozenset(lost))
+    system.check_invariants()
+    return {
+        "available": 100.0 * len(system.registered_keys()) / len(corpus),
+        "lost_in_wave": len(lost),
+        "recovered": rr.recovered_from_replicas,
+        "unrecoverable": len(rr.unrecoverable_keys),
+        "repair_cost": rr.reinserted_keys,
+    }
+
+
+def main() -> None:
+    print(f"{'crash wave':>10} {'replicas':>9} {'keys hit':>9} "
+          f"{'recovered':>10} {'lost':>6} {'avail %':>8} {'repair ops':>11}")
+    for crash_fraction in (0.10, 0.25, 0.40):
+        for factor in (None, 1, 2):
+            stats = [wave(seed, crash_fraction, factor) for seed in range(5)]
+            mean = lambda k: sum(s[k] for s in stats) / len(stats)
+            label = "none" if factor is None else f"r={factor}"
+            print(f"{crash_fraction:>10.0%} {label:>9} {mean('lost_in_wave'):>9.0f} "
+                  f"{mean('recovered'):>10.0f} {mean('unrecoverable'):>6.0f} "
+                  f"{mean('available'):>8.1f} {mean('repair_cost'):>11.0f}")
+    print("\nTakeaway: successor replication turns a 40% simultaneous crash "
+          "wave from losing a third of the\nregistry into near-full "
+          "availability, at the cost of one full O(|N|) re-registration pass "
+          "— the\ntrie-maintenance price the paper warns about.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments whose setuptools lacks PEP 660 wheel support."""
+from setuptools import setup
+
+setup()

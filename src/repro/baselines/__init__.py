@@ -1,0 +1,7 @@
+"""Comparators: the DHT (random) mapping, PHT and P-Grid."""
+
+from .dlpt_dht import HashedMapping
+from .pgrid import PGrid, PGridPeer
+from .pht import PHTLookupResult, PrefixHashTree
+
+__all__ = ["HashedMapping", "PrefixHashTree", "PHTLookupResult", "PGrid", "PGridPeer"]

@@ -1,0 +1,144 @@
+"""The original DLPT-over-DHT mapping — Figure 9's "random mapping" baseline.
+
+In the original design [5] the PGCP tree is an upper layer mapped onto the
+peers *through a DHT*: a tree node's label is hashed and assigned to the peer
+responsible for that hash (Chord rule in hash space).  "A random mapping
+results in breaking the locality.  Connected nodes in the tree are randomly
+dispatched in random locations of the physical network" (Section 4) — so
+nearly every logical hop becomes a physical message.
+
+:class:`HashedMapping` implements the same strategy interface as
+:class:`repro.dlpt.mapping.LexicographicMapping`, so the experiment runner
+swaps mappings with one constructor argument and everything else (tree
+growth, routing, capacity accounting) stays identical — which is exactly the
+controlled comparison Figure 9 needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.keyspace import in_interval_open_closed
+from ..dht.hashing import DEFAULT_BITS, hash_to_int
+from ..peers.peer import Peer
+from ..peers.ring import Ring
+from ..util.sortedlist import SortedList
+
+
+class HashedMapping:
+    """Node→peer assignment by consistent hashing (locality-destroying)."""
+
+    #: Identifier-space moves do not translate to hash-space moves, so MLT
+    #: silently skips balancing instead of corrupting the mapping.
+    supports_reposition = False
+
+    def __init__(self, ring: Ring, bits: int = DEFAULT_BITS) -> None:
+        self.ring = ring
+        self.bits = bits
+        self.modulus = 1 << bits
+        self.host: Dict[str, Peer] = {}
+        self._label_hash: Dict[str, int] = {}
+        self._peer_positions: SortedList[int] = SortedList()
+        self._peer_by_position: Dict[int, Peer] = {}
+        self.migrations = 0
+
+    # -- hashing ------------------------------------------------------------
+
+    def _hash(self, label: str) -> int:
+        h = self._label_hash.get(label)
+        if h is None:
+            h = hash_to_int(label, self.bits)
+            self._label_hash[label] = h
+        return h
+
+    def _peer_position(self, peer: Peer) -> int:
+        return hash_to_int(peer.id, self.bits)
+
+    def _owner_of_hash(self, h: int) -> Peer:
+        pos = self._peer_positions.successor(h)
+        return self._peer_by_position[pos]
+
+    # -- queries ------------------------------------------------------------
+
+    def host_of(self, label: str) -> Peer:
+        return self.host[label]
+
+    # -- tree change hooks -------------------------------------------------
+
+    def on_node_created(self, label: str) -> None:
+        peer = self._owner_of_hash(self._hash(label))
+        self.host[label] = peer
+        peer.host_node(label)
+
+    def on_node_removed(self, label: str) -> None:
+        peer = self.host.pop(label)
+        peer.drop_node(label)
+        self._label_hash.pop(label, None)
+
+    # -- membership change hooks ---------------------------------------------
+
+    def on_peer_joined(self, peer: Peer) -> int:
+        pos = self._peer_position(peer)
+        if pos in self._peer_by_position:
+            # Hash-position collision: co-locate deterministically by evicting
+            # the join (caller retries with a different id).
+            raise ValueError(f"hash position collision for peer {peer.id!r}")
+        first = len(self._peer_positions) == 0
+        self._peer_positions.add(pos)
+        self._peer_by_position[pos] = peer
+        if first:
+            return 0
+        succ_pos = self._peer_positions.strict_successor(pos)
+        succ = self._peer_by_position[succ_pos]
+        pred_pos = self._peer_positions.predecessor(pos)
+        moving = [
+            lbl
+            for lbl in succ.nodes
+            if in_interval_open_closed(self._hash(lbl), pred_pos, pos)
+        ]
+        for lbl in moving:
+            self._move(lbl, succ, peer)
+        return len(moving)
+
+    def on_peer_leaving(self, peer: Peer) -> int:
+        pos = self._peer_position(peer)
+        if len(self._peer_positions) <= 1:
+            if peer.nodes:
+                raise RuntimeError("cannot drain the last peer while nodes exist")
+            self._peer_positions.discard(pos)
+            self._peer_by_position.pop(pos, None)
+            return 0
+        succ_pos = self._peer_positions.strict_successor(pos)
+        succ = self._peer_by_position[succ_pos]
+        moving = list(peer.nodes)
+        for lbl in moving:
+            self._move(lbl, peer, succ)
+        self._peer_positions.remove(pos)
+        del self._peer_by_position[pos]
+        return len(moving)
+
+    def reposition(self, peer: Peer, new_id: str) -> int:
+        raise NotImplementedError(
+            "MLT repositioning is undefined under a hashed mapping: moving a "
+            "peer in identifier space does not move it in hash space"
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _move(self, label: str, src: Peer, dst: Peer) -> None:
+        src.drop_node(label)
+        dst.host_node(label)
+        self.host[label] = dst
+        self.migrations += 1
+
+    # -- invariants -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        for label, peer in self.host.items():
+            expected = self._owner_of_hash(self._hash(label))
+            assert peer is expected, (
+                f"node {label!r} hashed to {peer.id!r}, rule wants {expected.id!r}"
+            )
+            assert label in peer.nodes
+        counted = sum(len(p.nodes) for p in self.ring)
+        assert counted == len(self.host)

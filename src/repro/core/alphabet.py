@@ -1,0 +1,145 @@
+"""Digit alphabets for DLPT identifier spaces.
+
+The paper (Section 2, *Greatest Common Prefix Tree*) defines identifiers as
+finite sequences of digits over a finite set ``A`` (e.g. ``A = {0, 1}``).
+Identifiers in this library are plain Python strings whose characters must all
+belong to the alphabet; the lexicographic order used by the ring and the tree
+is the order induced by the alphabet's digit order.
+
+For the two built-in alphabets (:data:`BINARY` and :data:`PRINTABLE`) the digit
+order coincides with Unicode code-point order, so plain string comparison is a
+valid lexicographic comparison and the hot routing paths can compare strings
+directly.  Custom alphabets with a non-natural digit order are supported via
+:meth:`Alphabet.sort_key`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered, finite set of single-character digits.
+
+    Parameters
+    ----------
+    digits:
+        The digits in increasing order.  Each digit must be a single
+        character and digits must be pairwise distinct.
+    name:
+        Optional human-readable name used in ``repr`` and error messages.
+    """
+
+    digits: tuple[str, ...]
+    name: str = "custom"
+    _rank: dict[str, int] = field(init=False, repr=False, compare=False, hash=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not self.digits:
+            raise ValueError("alphabet must contain at least one digit")
+        for d in self.digits:
+            if not isinstance(d, str) or len(d) != 1:
+                raise ValueError(f"alphabet digit must be a single character, got {d!r}")
+        if len(set(self.digits)) != len(self.digits):
+            raise ValueError("alphabet digits must be distinct")
+        object.__setattr__(self, "_rank", {d: i for i, d in enumerate(self.digits)})
+
+    # -- basic queries ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.digits)
+
+    def __contains__(self, digit: str) -> bool:
+        return digit in self._rank
+
+    def __iter__(self):
+        return iter(self.digits)
+
+    @property
+    def size(self) -> int:
+        """``|A|`` — the number of digits (used in Table 2's local-state bound)."""
+        return len(self.digits)
+
+    def rank(self, digit: str) -> int:
+        """Position of ``digit`` in the alphabet order (0-based)."""
+        try:
+            return self._rank[digit]
+        except KeyError:
+            raise ValueError(f"digit {digit!r} not in alphabet {self.name!r}") from None
+
+    @property
+    def is_natural_order(self) -> bool:
+        """True when digit order equals Unicode order (string compare is valid)."""
+        return all(
+            ord(self.digits[i]) < ord(self.digits[i + 1])
+            for i in range(len(self.digits) - 1)
+        )
+
+    # -- identifier validation & ordering --------------------------------
+
+    def validate(self, identifier: str) -> str:
+        """Return ``identifier`` unchanged if every character is a digit of this
+        alphabet; raise :class:`ValueError` otherwise.  The empty identifier
+        (``ε`` in the paper) is always valid."""
+        for ch in identifier:
+            if ch not in self._rank:
+                raise ValueError(
+                    f"identifier {identifier!r} contains {ch!r}, "
+                    f"not a digit of alphabet {self.name!r}"
+                )
+        return identifier
+
+    def is_valid(self, identifier: str) -> bool:
+        """Non-raising form of :meth:`validate`."""
+        return all(ch in self._rank for ch in identifier)
+
+    def sort_key(self, identifier: str) -> tuple[int, ...]:
+        """A tuple usable as a sort key realising this alphabet's
+        lexicographic order even when the digit order is not natural."""
+        rank = self._rank
+        return tuple(rank[ch] for ch in identifier)
+
+    def compare(self, a: str, b: str) -> int:
+        """Three-way lexicographic comparison (-1, 0, +1) under this alphabet."""
+        if self.is_natural_order:
+            return (a > b) - (a < b)
+        ka, kb = self.sort_key(a), self.sort_key(b)
+        return (ka > kb) - (ka < kb)
+
+    # -- generation helpers ----------------------------------------------
+
+    def random_identifier(self, rng, length: int) -> str:
+        """Draw a uniformly random identifier of exactly ``length`` digits."""
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        digits = self.digits
+        n = len(digits)
+        return "".join(digits[rng.randrange(n)] for _ in range(length))
+
+
+#: The binary alphabet of the paper's Figure 1(a).
+BINARY = Alphabet(digits=("0", "1"), name="binary")
+
+#: Printable identifier alphabet covering grid service names such as BLAS,
+#: S3L and ScaLAPACK routine names (Figure 1(b) and the Figure 8 hot spots),
+#: plus the ``attr=value`` keys of multi-attribute registration and common
+#: name punctuation.  Digits are in natural (code-point) order so plain
+#: string comparison is the lexicographic order.
+PRINTABLE = Alphabet(
+    digits=tuple(
+        sorted("-.=_0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz")
+    ),
+    name="printable",
+)
+
+
+def alphabet_for(identifiers) -> Alphabet:
+    """Infer the smallest natural-order alphabet covering ``identifiers``.
+
+    Useful in tests and examples where keys come from an arbitrary corpus.
+    """
+    chars = sorted({ch for ident in identifiers for ch in ident})
+    if not chars:
+        chars = ["0"]
+    return Alphabet(digits=tuple(chars), name="inferred")

@@ -1,0 +1,108 @@
+"""Identifier algebra: prefixes, GCP and PGCP (paper Section 2).
+
+All functions operate on plain strings.  ``""`` is the empty identifier ``ε``.
+
+Definitions (quoting the paper):
+
+* ``u`` is a *prefix* of ``v`` iff there is a ``w`` with ``v = uw``; it is a
+  *proper* prefix when additionally ``u != v``.
+* ``GCP(w1, ..., wk)`` is the longest prefix shared by all of them.
+* ``PGCP(w1, ..., wk)`` is the longest prefix ``u`` shared by all of them such
+  that ``u != wi`` for every ``i`` (the *proper* greatest common prefix).
+
+These operations are the entire vocabulary of Algorithm 3 (data insertion) and
+of the PGCP-tree invariant (Definition 1), so they are implemented here once
+and reused by the reference tree, the distributed protocol and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+EPSILON = ""
+
+
+def is_prefix(u: str, v: str) -> bool:
+    """True iff ``u`` is a (not necessarily proper) prefix of ``v``."""
+    return v.startswith(u)
+
+
+def is_proper_prefix(u: str, v: str) -> bool:
+    """True iff ``u`` is a prefix of ``v`` and ``u != v``."""
+    return len(u) < len(v) and v.startswith(u)
+
+
+def common_prefix_len(a: str, b: str) -> int:
+    """Length of the greatest common prefix of ``a`` and ``b``."""
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+def gcp(a: str, b: str) -> str:
+    """Greatest common prefix of two identifiers.
+
+    ``gcp("101", "100") == "10"`` (paper Section 3's worked example).
+    """
+    return a[: common_prefix_len(a, b)]
+
+
+def gcp_many(identifiers: Iterable[str]) -> str:
+    """Greatest common prefix of a non-empty collection."""
+    it = iter(identifiers)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise ValueError("gcp_many() requires at least one identifier") from None
+    for w in it:
+        acc = acc[: common_prefix_len(acc, w)]
+        if not acc:
+            break
+    return acc
+
+
+def pgcp(identifiers: Iterable[str]) -> str:
+    """Proper greatest common prefix of a collection (paper Section 2).
+
+    The longest prefix shared by all identifiers that differs from each of
+    them.  When the plain GCP equals one of the identifiers (i.e. one
+    identifier prefixes all others) the PGCP is the GCP shortened by one
+    digit — any shorter prefix is still shared, and it cannot collide with
+    another identifier because every identifier has length >= |GCP|.
+    """
+    idents = list(identifiers)
+    g = gcp_many(idents)
+    if any(w == g for w in idents):
+        if not g:
+            raise ValueError(
+                "PGCP undefined: empty identifier present in the collection"
+            )
+        return g[:-1]
+    return g
+
+
+def prefixes(k: str) -> list[str]:
+    """All *proper* prefixes of ``k``, shortest first, including ``ε``.
+
+    ``prefixes("10101") == ["", "1", "10", "101", "1010"]`` — the paper's
+    ``Prefixes`` primitive used by Algorithms 1 and 3.
+    """
+    return [k[:i] for i in range(len(k))]
+
+
+def prefix_set(k: str) -> frozenset[str]:
+    """:func:`prefixes` as a frozenset, for O(1) membership tests."""
+    return frozenset(k[:i] for i in range(len(k)))
+
+
+def concat(u: str, v: str) -> str:
+    """Concatenation ``uv`` (paper Section 2).  Provided for symmetry; the
+    identity laws ``concat(ε, w) == concat(w, ε) == w`` are property-tested."""
+    return u + v
+
+
+def length(w: str) -> int:
+    """``|w|`` — number of digits, with ``|ε| == 0``."""
+    return len(w)

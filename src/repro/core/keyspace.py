@@ -1,0 +1,53 @@
+"""Circular identifier spaces (paper Section 3, first paragraph).
+
+The protocol works over "a circular identifier space ``I`` of all distinct ids
+``i`` such that ``i`` is a finite sequence of digits of ``A``", ordered
+lexicographically and closed into a ring: the successor of the highest
+identifier wraps to the lowest.  Peers and logical tree nodes draw their
+identifiers from the *same* space, which is what lets the mapping rule
+("node ``n`` is hosted by the lowest peer id ``>= n``") work without hashing.
+
+This module provides the circular-order predicates shared by the DLPT ring,
+the MLT balancer and the Chord baseline (which uses an integer keyspace).
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+K = TypeVar("K")
+
+
+def in_interval_open_closed(x: K, a: K, b: K) -> bool:
+    """Circular membership ``x ∈ (a, b]``.
+
+    On the ring, the interval from ``a`` (exclusive) to ``b`` (inclusive)
+    wraps around when ``a >= b``.  ``(a, a]`` denotes the full ring minus
+    nothing — i.e. every ``x`` (a single-peer ring owns all keys).
+    """
+    if a < b:
+        return a < x <= b
+    # wrapped (or degenerate single-element ring)
+    return x > a or x <= b
+
+
+def in_interval_open_open(x: K, a: K, b: K) -> bool:
+    """Circular membership ``x ∈ (a, b)``; ``(a, a)`` is everything but ``a``."""
+    if a < b:
+        return a < x < b
+    return x > a or x < b
+
+
+def in_interval_closed_open(x: K, a: K, b: K) -> bool:
+    """Circular membership ``x ∈ [a, b)``; ``[a, a)`` is everything."""
+    if a < b:
+        return a <= x < b
+    return x >= a or x < b
+
+
+def ring_distance_clockwise(a: int, b: int, modulus: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` in an integer ring mod
+    ``modulus`` (used by the Chord baseline's finger maintenance)."""
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    return (b - a) % modulus

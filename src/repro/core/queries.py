@@ -1,0 +1,112 @@
+"""Query model for service discovery.
+
+The paper motivates trie overlays by the search flexibility they provide:
+exact match, *automatic completion of partial search strings*, *range
+queries*, and an easy extension to *multi-attribute queries* (Section 1).
+This module defines those query types as small immutable objects with a
+``matches(key)`` predicate; executing them against a tree (reference or
+distributed) is the responsibility of the tree / service layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+
+@dataclass(frozen=True)
+class ExactQuery:
+    """Find the service registered under exactly ``key``."""
+
+    key: str
+
+    def matches(self, key: str) -> bool:
+        return key == self.key
+
+    def describe(self) -> str:
+        return f"exact:{self.key}"
+
+
+@dataclass(frozen=True)
+class PrefixQuery:
+    """Automatic completion: all keys starting with ``prefix``."""
+
+    prefix: str
+
+    def matches(self, key: str) -> bool:
+        return key.startswith(self.prefix)
+
+    def describe(self) -> str:
+        return f"prefix:{self.prefix}*"
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """All keys ``lo <= key <= hi`` in lexicographic order."""
+
+    lo: str
+    hi: str
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty range: lo={self.lo!r} > hi={self.hi!r}")
+
+    def matches(self, key: str) -> bool:
+        return self.lo <= key <= self.hi
+
+    def describe(self) -> str:
+        return f"range:[{self.lo},{self.hi}]"
+
+
+SingleAttributeQuery = Union[ExactQuery, PrefixQuery, RangeQuery]
+
+#: Separator between an attribute name and its value in composed keys.
+ATTR_SEP = "="
+
+
+def attribute_key(attribute: str, value: str) -> str:
+    """Compose the key registered in the tree for one attribute of a service.
+
+    Multi-attribute support (paper Section 1: trie overlays "are easy to
+    extend to multi-attribute queries") is realised by registering each
+    service once per attribute under ``attribute=value`` and intersecting
+    per-attribute results at query time.
+    """
+    if ATTR_SEP in attribute:
+        raise ValueError(f"attribute name may not contain {ATTR_SEP!r}")
+    return f"{attribute}{ATTR_SEP}{value}"
+
+
+@dataclass(frozen=True)
+class MultiAttributeQuery:
+    """Conjunction of per-attribute sub-queries.
+
+    ``clauses`` maps attribute name to the sub-query its value must satisfy.
+    A service matches when *all* clauses match.
+    """
+
+    clauses: Mapping[str, SingleAttributeQuery]
+
+    def __post_init__(self) -> None:
+        if not self.clauses:
+            raise ValueError("multi-attribute query needs at least one clause")
+
+    def attribute_queries(self) -> dict[str, SingleAttributeQuery]:
+        """The sub-query to run against each attribute's key band, rebased
+        onto composed ``attribute=value`` keys."""
+        out: dict[str, SingleAttributeQuery] = {}
+        for attr, q in self.clauses.items():
+            prefix = attr + ATTR_SEP
+            if isinstance(q, ExactQuery):
+                out[attr] = ExactQuery(prefix + q.key)
+            elif isinstance(q, PrefixQuery):
+                out[attr] = PrefixQuery(prefix + q.prefix)
+            elif isinstance(q, RangeQuery):
+                out[attr] = RangeQuery(prefix + q.lo, prefix + q.hi)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unsupported clause type {type(q)!r}")
+        return out
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{a}~{q.describe()}" for a, q in sorted(self.clauses.items()))
+        return f"multi:{{{inner}}}"

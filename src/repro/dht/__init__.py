@@ -1,0 +1,6 @@
+"""DHT substrate for the baselines: hashing and a Chord ring."""
+
+from .chord import ChordNode, ChordRing
+from .hashing import DEFAULT_BITS, hash_to_int, to_binary_string
+
+__all__ = ["ChordRing", "ChordNode", "hash_to_int", "to_binary_string", "DEFAULT_BITS"]

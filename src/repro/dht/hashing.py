@@ -1,0 +1,29 @@
+"""Deterministic hashing into an ``m``-bit circular keyspace.
+
+The DHT baselines (Chord, PHT, the original DLPT-over-DHT mapping) place
+peers and keys by hashing identifiers into ``[0, 2^m)``.  SHA-1 truncation
+is the classic Chord construction; it is deterministic across processes,
+which keeps experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Chord's classic identifier width.
+DEFAULT_BITS = 32
+
+
+def hash_to_int(identifier: str, bits: int = DEFAULT_BITS) -> int:
+    """Map ``identifier`` uniformly into ``[0, 2^bits)`` via SHA-1."""
+    if not 1 <= bits <= 160:
+        raise ValueError("bits must be in [1, 160]")
+    digest = hashlib.sha1(identifier.encode("utf-8")).digest()
+    value = int.from_bytes(digest, "big")
+    return value >> (160 - bits)
+
+
+def to_binary_string(identifier: str, bits: int = DEFAULT_BITS) -> str:
+    """Hash ``identifier`` and render it as a fixed-width bit string —
+    the key form PHT indexes (a trie over hashed binary keys)."""
+    return format(hash_to_int(identifier, bits), f"0{bits}b")

@@ -1,0 +1,171 @@
+"""Node→peer mapping strategies.
+
+The paper's first contribution is a *self-contained* lexicographic mapping:
+"The mapping scheme ensures that the peer P chosen to run a given node n
+always satisfies the condition that P is the lowest peer id higher than n …
+if n > P_max, the peer running n is P_min" (Section 3).  Because consecutive
+tree nodes share long prefixes, they tend to land on the same peer, which is
+what Figure 9 measures as the communication gain.
+
+The original DLPT [5] instead mapped nodes through a DHT — effectively a
+*random* mapping that breaks locality.  That baseline lives in
+:mod:`repro.baselines.dlpt_dht` and implements the same interface so the
+experiment runner can swap mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Protocol, Set
+
+from ..core.keyspace import in_interval_open_closed
+from ..peers.peer import Peer
+from ..peers.ring import Ring
+
+
+class Mapping(Protocol):
+    """Strategy interface: owns the host assignment of every tree node."""
+
+    def host_of(self, label: str) -> Peer:  # pragma: no cover - protocol
+        ...
+
+    def on_node_created(self, label: str) -> None: ...
+
+    def on_node_removed(self, label: str) -> None: ...
+
+    def on_peer_joined(self, peer: Peer) -> int:
+        """Migrate nodes to the newly joined peer; return migration count."""
+        ...
+
+    def on_peer_leaving(self, peer: Peer) -> int:
+        """Migrate nodes off ``peer`` (still on the ring); return count."""
+        ...
+
+
+class LexicographicMapping:
+    """The paper's self-contained mapping over the peer ring.
+
+    Maintains ``host[label]`` for every tree node plus each peer's ``nodes``
+    set, and migrates exactly the affected interval on membership changes:
+
+    * join of ``P``: labels in the circular interval ``(pred_P, P]`` move
+      from ``succ_P`` to ``P`` (Algorithm 2's ν split);
+    * leave of ``P``: all of ``P``'s labels move to ``succ_P``;
+    * reposition of ``P`` (MLT): labels between the old and new identifier
+      move between ``P`` and ``succ_P``.
+    """
+
+    #: MLT can slide peers along this mapping's ring (see :meth:`reposition`).
+    supports_reposition = True
+
+    def __init__(self, ring: Ring) -> None:
+        self.ring = ring
+        self.host: Dict[str, Peer] = {}
+        self.migrations = 0  # lifetime node-migration counter (LB cost metric)
+
+    # -- queries -----------------------------------------------------------
+
+    def host_of(self, label: str) -> Peer:
+        return self.host[label]
+
+    def labels(self) -> Set[str]:
+        return set(self.host)
+
+    # -- tree change hooks -------------------------------------------------
+
+    def on_node_created(self, label: str) -> None:
+        peer = self.ring.successor_of_key(label)
+        self.host[label] = peer
+        peer.host_node(label)
+
+    def on_node_removed(self, label: str) -> None:
+        peer = self.host.pop(label)
+        peer.drop_node(label)
+
+    # -- membership change hooks ---------------------------------------------
+
+    def on_peer_joined(self, peer: Peer) -> int:
+        """``peer`` is already on the ring; pull its interval from its
+        successor (the peer that hosted the interval before the join)."""
+        if len(self.ring) <= 1:
+            return 0
+        succ = self.ring.successor(peer.id)
+        pred = self.ring.predecessor(peer.id)
+        moving = [
+            lbl
+            for lbl in succ.nodes
+            if in_interval_open_closed(lbl, pred.id, peer.id)
+        ]
+        for lbl in moving:
+            self._move(lbl, succ, peer)
+        return len(moving)
+
+    def on_peer_leaving(self, peer: Peer) -> int:
+        """``peer`` is still on the ring; hand all its nodes to its
+        successor before the caller removes it."""
+        if len(self.ring) <= 1:
+            if peer.nodes:
+                raise RuntimeError("cannot drain the last peer while nodes exist")
+            return 0
+        succ = self.ring.successor(peer.id)
+        moving = list(peer.nodes)
+        for lbl in moving:
+            self._move(lbl, peer, succ)
+        return len(moving)
+
+    def reposition(self, peer: Peer, new_id: str) -> int:
+        """MLT's ring move: change ``peer``'s identifier and migrate the
+        interval between the old and new position to/from its successor.
+
+        All interval arithmetic is circular, so the move works on the
+        wrapped arc too (e.g. the minimum peer — host of the root node ε —
+        sliding across the key-space origin).
+        """
+        old_id = peer.id
+        if new_id == old_id:
+            return 0
+        succ = self.ring.successor(old_id)
+        self.ring.reposition(peer, new_id)
+        if in_interval_open_closed(new_id, old_id, succ.id):
+            # Peer moved towards its successor: absorb (old_id, new_id].
+            moving = [
+                lbl
+                for lbl in succ.nodes
+                if in_interval_open_closed(lbl, old_id, new_id)
+            ]
+            for lbl in moving:
+                self._move(lbl, succ, peer)
+        else:
+            # Peer moved towards its predecessor: shed (new_id, old_id].
+            moving = [
+                lbl
+                for lbl in peer.nodes
+                if in_interval_open_closed(lbl, new_id, old_id)
+            ]
+            for lbl in moving:
+                self._move(lbl, peer, succ)
+        return len(moving)
+
+    # -- internals ----------------------------------------------------------
+
+    def _move(self, label: str, src: Peer, dst: Peer) -> None:
+        src.drop_node(label)
+        dst.host_node(label)
+        self.host[label] = dst
+        self.migrations += 1
+
+    # -- invariants -----------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Every node is hosted by the ceiling peer; peer node-sets agree
+        with the host index (property-tested under churn + MLT)."""
+        for label, peer in self.host.items():
+            expected = self.ring.successor_of_key(label)
+            assert peer is expected, (
+                f"node {label!r} hosted by {peer.id!r}, mapping rule "
+                f"demands {expected.id!r}"
+            )
+            assert label in peer.nodes, f"peer {peer.id!r} missing node {label!r}"
+        counted = sum(len(p.nodes) for p in self.ring)
+        assert counted == len(self.host), (
+            f"peer node-sets hold {counted} labels, host index {len(self.host)}"
+        )

@@ -1,0 +1,146 @@
+"""Protocol message types (paper Algorithms 1–3).
+
+Every message the pseudo-code exchanges is a frozen dataclass here.  Node-
+addressed messages carry ``node`` — the label of the logical node they are
+for; peer-addressed messages are delivered to a peer endpoint directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class NodePayload:
+    """The full state of a logical node in transit (SearchingHost / Host /
+    YourInformation carry these): key, father, children, data."""
+
+    label: str
+    father: Optional[str]
+    children: FrozenSet[str] = frozenset()
+    data: Tuple[object, ...] = ()
+
+
+# -- Algorithm 1/2: peer insertion -----------------------------------------
+
+
+@dataclass(frozen=True)
+class PeerJoin:
+    """<PeerJoin, P, s> — routed through the tree (node-addressed).
+
+    ``state`` 0 = upward phase, 1 = downward phase (paper lines 1.03/1.11).
+    """
+
+    node: str
+    joiner: str
+    state: int
+    capacity: int = 10
+
+
+@dataclass(frozen=True)
+class NewPredecessor:
+    """<NewPredecessor, P> — peer-addressed; forwarded along successors
+    until it reaches the joiner's future successor (Algorithm 2)."""
+
+    joiner: str
+    capacity: int
+
+
+@dataclass(frozen=True)
+class YourInformation:
+    """<YourInformation, (pred, succ, ν_P)> — everything the joiner needs
+    to start operating (paper line 2.08 sends (Q_pred, Q, ν_P))."""
+
+    pred: str
+    succ: str
+    nodes: Tuple[NodePayload, ...]
+
+
+@dataclass(frozen=True)
+class UpdateSuccessor:
+    """<UpdateSuccessor, P> — tells the old predecessor its successor is
+    now the joiner (paper line 2.09)."""
+
+    new_successor: str
+
+
+@dataclass(frozen=True)
+class LeaveTransfer:
+    """<LeaveTransfer, (pred, ν_L)> — a gracefully departing peer hands its
+    hosted nodes and its predecessor pointer to its successor.  (The paper
+    models leaves in the simulation but gives no pseudo-code; this is the
+    symmetric inverse of Algorithm 2's join split.)"""
+
+    pred: str
+    nodes: Tuple[NodePayload, ...]
+
+
+@dataclass(frozen=True)
+class UpdatePredecessor:
+    """<UpdatePredecessor, P> — successor-side pointer fix-up on leave."""
+
+    new_predecessor: str
+
+
+# -- Algorithm 3: data insertion --------------------------------------------
+
+
+@dataclass(frozen=True)
+class DataInsertion:
+    """<DataInsertion, k> — node-addressed registration request."""
+
+    node: str
+    key: str
+    datum: object = None
+
+
+@dataclass(frozen=True)
+class SearchingHost:
+    """<SearchingHost, (l, f, C, δ)> — node-addressed; descends to the
+    highest node lower than ``payload.label`` (paper lines 3.32–3.37)."""
+
+    node: str
+    payload: NodePayload
+
+
+@dataclass(frozen=True)
+class Host:
+    """<Host, (l, f, C, δ)> — peer-addressed; instructs a peer to run the
+    node.  Forwarded along ring successors until the mapping rule holds."""
+
+    payload: NodePayload
+
+
+@dataclass(frozen=True)
+class UpdateChild:
+    """<UpdateChild, (old, new)> — node-addressed child-set fix-up
+    (paper lines 3.19/3.29)."""
+
+    node: str
+    old: str
+    new: str
+
+
+# -- discovery (Section 2 architecture; no pseudo-code in the paper) ---------
+
+
+@dataclass(frozen=True)
+class DiscoveryRequest:
+    """A client lookup entering the tree at ``node``, seeking ``key``.
+    ``reply_to`` is the client endpoint for the response."""
+
+    node: str
+    key: str
+    reply_to: str
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class DiscoveryReply:
+    """Response to a :class:`DiscoveryRequest`."""
+
+    key: str
+    found: bool
+    data: Tuple[object, ...] = ()
+    hops: int = 0

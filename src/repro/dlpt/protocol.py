@@ -1,0 +1,582 @@
+"""The asynchronous DLPT protocol engine (Algorithms 1–3 over messages).
+
+This is the *message-level* realisation of the protocols whose net effect
+the macro model (:class:`repro.dlpt.system.DLPTSystem`) applies atomically.
+Peers are endpoints on a simulated network; logical nodes live inside peers
+as :class:`NodeState` records with father/children *labels* (not object
+references — everything crosses the wire by identifier, as in the paper).
+
+Fidelity notes (divergences from the pseudo-code are deliberate and small):
+
+* Algorithm 2 line 2.03 forwards ``NewPredecessor`` while ``Q < P``; taken
+  literally this loops forever when the joiner's id exceeds ``P_max`` (every
+  peer satisfies ``Q < P``).  We use the circular-interval test
+  ``P ∈ (pred_Q, Q]`` instead, which reduces to the paper's condition on the
+  non-wrapped arc and terminates on the wrapped one.
+* Line 3.37 hands a new node to the host of the current (tree-wise closest)
+  node; when a peer with an identifier between that node and the new label
+  exists, the mapping rule points elsewhere, so ``Host`` messages forward
+  along ring successors until the rule ``host = lowest peer >= label`` holds.
+* Node-addressed messages resolve the destination peer through a location
+  table updated on node installs/migrations, modelling the node-to-node
+  addressing the pseudo-code assumes.  A message that races with a node
+  migration is re-resolved once on arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.ids import common_prefix_len, gcp
+from ..core.keyspace import in_interval_open_closed
+from ..sim.engine import Simulator
+from ..sim.network import Envelope, Network
+from . import messages as m
+
+
+@dataclass
+class NodeState:
+    """A logical node as stored on its hosting peer."""
+
+    label: str
+    father: Optional[str]
+    children: set[str] = field(default_factory=set)
+    data: set[object] = field(default_factory=set)
+
+    def max_child_leq(self, key: str) -> Optional[str]:
+        """``Max({q ∈ C_p : q <= key})`` — the descent step of Algorithms
+        1 and 3 (lines 1.12 and 3.33)."""
+        best: Optional[str] = None
+        for c in self.children:
+            if c <= key and (best is None or c > best):
+                best = c
+        return best
+
+    def child_sharing_longer_prefix(self, key: str) -> Optional[str]:
+        """The child ``q`` with ``|GCP(k, q)| > |GCP(k, p)|`` of line 3.05;
+        unique when it exists because children diverge right after the
+        parent label."""
+        for c in self.children:
+            if common_prefix_len(c, key) > len(self.label):
+                return c
+        return None
+
+
+@dataclass
+class ProtocolPeer:
+    """Peer-local protocol state: ring pointers + hosted nodes (ν)."""
+
+    id: str
+    capacity: int
+    pred: Optional[str] = None
+    succ: Optional[str] = None
+    nodes: Dict[str, NodeState] = field(default_factory=dict)
+
+    @property
+    def joined(self) -> bool:
+        return self.pred is not None
+
+
+class ProtocolEngine:
+    """Drives peers, nodes and messages over the event simulator."""
+
+    def __init__(self, sim: Optional[Simulator] = None, network: Optional[Network] = None) -> None:
+        self.sim = sim or Simulator()
+        self.net = network or Network(self.sim)
+        self.peers: Dict[str, ProtocolPeer] = {}
+        #: label -> hosting peer id (node location service).
+        self.locator: Dict[str, str] = {}
+        #: Messages for labels not yet installed (a SearchingHost can race
+        #: the Host message creating its target); flushed on install.
+        self.pending_node_messages: Dict[str, list] = {}
+        self.discovery_replies: list[m.DiscoveryReply] = []
+        self.dead_node_messages = 0
+        self._client_endpoint = "@client"
+        self.net.register(self._client_endpoint, self._on_client_message)
+
+    # ------------------------------------------------------------------
+    # bootstrap & membership
+    # ------------------------------------------------------------------
+
+    def bootstrap_peer(self, peer_id: str, capacity: int = 10) -> ProtocolPeer:
+        """Create the very first peer: a ring of one."""
+        if self.peers:
+            raise RuntimeError("bootstrap only valid on an empty system")
+        peer = ProtocolPeer(id=peer_id, capacity=capacity, pred=peer_id, succ=peer_id)
+        self._install_peer(peer)
+        return peer
+
+    def join_peer(self, peer_id: str, capacity: int = 10, via: Optional[str] = None) -> ProtocolPeer:
+        """Start the Algorithm 1 join of ``peer_id``.
+
+        ``via`` is the label of the entry node; a random node of an
+        arbitrary known peer in a real deployment.  When the tree is empty
+        the request is delegated directly to the peer layer (there are no
+        nodes to route it, cf. Section 3: routing "is mainly achieved by
+        the nodes").
+        """
+        if peer_id in self.peers:
+            raise ValueError(f"peer {peer_id!r} already exists")
+        peer = ProtocolPeer(id=peer_id, capacity=capacity)
+        self._install_peer(peer)
+        if via is None:
+            via = next(iter(self.locator), None)
+        if via is None:
+            # Empty tree: seed the NewPredecessor walk at any joined peer.
+            seed = next(pid for pid in self.peers if self.peers[pid].joined)
+            self.net.send(peer_id, seed, m.NewPredecessor(joiner=peer_id, capacity=capacity))
+        else:
+            self.send_to_node(
+                peer_id, via,
+                m.PeerJoin(node=via, joiner=peer_id, state=0, capacity=capacity),
+            )
+        return peer
+
+    def _install_peer(self, peer: ProtocolPeer) -> None:
+        self.peers[peer.id] = peer
+        self.net.register(peer.id, self._on_peer_message)
+
+    def leave_peer(self, peer_id: str) -> None:
+        """Graceful departure: hand ν to the successor, then disappear.
+
+        The leaver sends one ``LeaveTransfer`` to its successor (nodes +
+        its predecessor pointer) and an ``UpdatePredecessor`` notice to its
+        predecessor, then unregisters its endpoint — any message still in
+        flight to it is re-resolved through the location table on arrival.
+        """
+        peer = self.peers.get(peer_id)
+        if peer is None or not peer.joined:
+            raise KeyError(f"peer {peer_id!r} not joined")
+        if peer.succ == peer.id:
+            raise RuntimeError("cannot leave a single-peer ring")
+        payloads = tuple(
+            m.NodePayload(
+                label=st.label,
+                father=st.father,
+                children=frozenset(st.children),
+                data=tuple(st.data),
+            )
+            for st in peer.nodes.values()
+        )
+        self.net.send(peer.id, peer.succ, m.LeaveTransfer(pred=peer.pred, nodes=payloads))
+        self.net.send(peer.id, peer.pred, m.UpdateSuccessor(new_successor=peer.succ))
+        peer.nodes.clear()
+        self.net.unregister(peer.id)
+        del self.peers[peer_id]
+
+    def _on_leave_transfer(self, peer: ProtocolPeer, msg: m.LeaveTransfer) -> None:
+        for payload in msg.nodes:
+            self._install_node(peer, payload)
+        if len(self.peers) == 1:
+            # Ring collapsed to one peer: point at itself.
+            peer.pred = peer.id
+            peer.succ = peer.id
+        else:
+            peer.pred = msg.pred
+
+    def _on_update_predecessor(self, peer: ProtocolPeer, msg: m.UpdatePredecessor) -> None:
+        peer.pred = msg.new_predecessor
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+
+    def insert_data(self, key: str, datum: object = None, via: Optional[str] = None) -> None:
+        """Issue a DataInsertion for ``key`` (Algorithm 3 entry point)."""
+        datum = key if datum is None else datum
+        if not self.locator:
+            # Empty tree: fabricate the root node and find it a host.
+            payload = m.NodePayload(label=key, father=None, children=frozenset(), data=(datum,))
+            start = next(pid for pid in self.peers if self.peers[pid].joined)
+            self.net.send(self._client_endpoint, start, m.Host(payload=payload))
+            return
+        if via is None:
+            via = next(iter(self.locator))
+        self.send_to_node(self._client_endpoint, via, m.DataInsertion(node=via, key=key, datum=datum))
+
+    def discover(self, key: str, via: Optional[str] = None) -> None:
+        """Issue an asynchronous discovery; the reply lands in
+        :attr:`discovery_replies` once the simulator runs."""
+        if not self.locator:
+            raise RuntimeError("tree is empty")
+        if via is None:
+            via = next(iter(self.locator))
+        self.send_to_node(
+            self._client_endpoint,
+            via,
+            m.DiscoveryRequest(node=via, key=key, reply_to=self._client_endpoint),
+        )
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+
+    def send_to_node(self, src: str, label: str, payload) -> None:
+        """Deliver a node-addressed message via the location table.
+
+        Messages for a label with no known host are parked until the node
+        installs — the common cause is a ``SearchingHost`` racing the
+        ``Host`` message that creates its target node.
+        """
+        host = self.locator.get(label)
+        if host is None:
+            self.pending_node_messages.setdefault(label, []).append((src, payload))
+            return
+        self.net.send(src, host, payload)
+
+    def _on_client_message(self, env: Envelope) -> None:
+        if isinstance(env.payload, m.DiscoveryReply):
+            self.discovery_replies.append(env.payload)
+
+    def _on_peer_message(self, env: Envelope) -> None:
+        peer = self.peers[env.dst]
+        msg = env.payload
+        # Node-addressed messages may race a migration: re-resolve once.
+        node_label = getattr(msg, "node", None)
+        if node_label is not None and node_label not in peer.nodes:
+            current = self.locator.get(node_label)
+            if current is not None and current != peer.id:
+                self.net.send(env.src, current, msg)
+            elif current is None:
+                self.pending_node_messages.setdefault(node_label, []).append(
+                    (env.src, msg)
+                )
+            else:
+                self.dead_node_messages += 1
+            return
+        handler = self._HANDLERS[type(msg)]
+        handler(self, peer, msg)
+
+    # ------------------------------------------------------------------
+    # Algorithm 1 — peer insertion, on node p
+    # ------------------------------------------------------------------
+
+    def _on_peer_join(self, peer: ProtocolPeer, msg: m.PeerJoin) -> None:
+        p = peer.nodes[msg.node]
+        joiner = msg.joiner
+        cap = msg.capacity
+        if msg.state == 0:
+            # Upward phase (lines 1.03–1.10): climb until this node's label
+            # prefixes the joiner's id (its band covers the joiner) or the
+            # root is reached; either flips the request to state 1.
+            if _is_prefix(p.label, joiner) or p.father is None:
+                self.send_to_node(
+                    peer.id, p.label,
+                    m.PeerJoin(node=p.label, joiner=joiner, state=1, capacity=cap),
+                )
+            else:
+                self.send_to_node(
+                    peer.id, p.father,
+                    m.PeerJoin(node=p.father, joiner=joiner, state=0, capacity=cap),
+                )
+            return
+        # Downward phase (lines 1.11–1.16): descend towards the highest
+        # node id <= joiner, then delegate to the peer layer.
+        q = p.max_child_leq(joiner)
+        if q is not None:
+            self.send_to_node(
+                peer.id, q, m.PeerJoin(node=q, joiner=joiner, state=1, capacity=cap)
+            )
+        else:
+            self.net.send(peer.id, peer.id, m.NewPredecessor(joiner=joiner, capacity=cap))
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 — peer insertion, on peer Q
+    # ------------------------------------------------------------------
+
+    def _on_new_predecessor(self, peer: ProtocolPeer, msg: m.NewPredecessor) -> None:
+        joiner = msg.joiner
+        if len(self.peers) == 1 or peer.pred == peer.id:
+            # Second peer of the ring: trivial two-peer ring.
+            moving = self._split_nodes(peer, joiner)
+            self._send_your_information(peer, joiner, pred=peer.id, moving=moving)
+            peer.pred = joiner
+            peer.succ = joiner
+            return
+        if not in_interval_open_closed(joiner, peer.pred, peer.id):
+            # Not my predecessor: forward along the ring (paper line 2.04,
+            # generalised to the circular interval — see module docstring).
+            self.net.send(peer.id, peer.succ, msg)
+            return
+        moving = self._split_nodes(peer, joiner)
+        old_pred = peer.pred
+        self._send_your_information(peer, joiner, pred=old_pred, moving=moving)
+        self.net.send(peer.id, old_pred, m.UpdateSuccessor(new_successor=joiner))
+        peer.pred = joiner
+
+    def _split_nodes(self, peer: ProtocolPeer, joiner: str) -> list[m.NodePayload]:
+        """ν_P = {n ∈ ν_Q : n ∈ (pred_Q, P]} (lines 2.06–2.07, interval
+        form so the wrapped arc behaves)."""
+        pred = peer.pred if peer.pred is not None else peer.id
+        moving_labels = [
+            lbl for lbl in peer.nodes if in_interval_open_closed(lbl, pred, joiner)
+        ]
+        payloads = []
+        for lbl in moving_labels:
+            st = peer.nodes.pop(lbl)
+            payloads.append(
+                m.NodePayload(
+                    label=st.label,
+                    father=st.father,
+                    children=frozenset(st.children),
+                    data=tuple(st.data),
+                )
+            )
+        return payloads
+
+    def _send_your_information(
+        self, peer: ProtocolPeer, joiner: str, pred: str, moving: list[m.NodePayload]
+    ) -> None:
+        self.net.send(
+            peer.id,
+            joiner,
+            m.YourInformation(pred=pred, succ=peer.id, nodes=tuple(moving)),
+        )
+
+    def _on_your_information(self, peer: ProtocolPeer, msg: m.YourInformation) -> None:
+        peer.pred = msg.pred
+        peer.succ = msg.succ
+        for payload in msg.nodes:
+            self._install_node(peer, payload)
+
+    def _on_update_successor(self, peer: ProtocolPeer, msg: m.UpdateSuccessor) -> None:
+        peer.succ = msg.new_successor
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 — data insertion, on node p
+    # ------------------------------------------------------------------
+
+    def _on_data_insertion(self, peer: ProtocolPeer, msg: m.DataInsertion) -> None:
+        p = peer.nodes[msg.node]
+        k = msg.key
+        datum = msg.datum
+
+        if p.label == k:  # line 3.03
+            p.data.add(datum)
+            return
+
+        if _is_prefix(p.label, k) and p.label != k:  # lines 3.04–3.09
+            q = p.child_sharing_longer_prefix(k)
+            if q is not None:
+                self.send_to_node(peer.id, q, m.DataInsertion(node=q, key=k, datum=datum))
+            else:
+                payload = m.NodePayload(label=k, father=p.label, children=frozenset(), data=(datum,))
+                p.children.add(k)
+                self.send_to_node(peer.id, p.label, m.SearchingHost(node=p.label, payload=payload))
+            return
+
+        if _is_prefix(k, p.label):  # lines 3.10–3.20 (k properly prefixes p)
+            if p.father is None:
+                payload = m.NodePayload(
+                    label=k, father=None, children=frozenset({p.label}), data=(datum,)
+                )
+                p.father = k
+                self.send_to_node(peer.id, p.label, m.SearchingHost(node=p.label, payload=payload))
+            else:
+                father = p.father
+                # Line 3.15's printed condition |GCP(k, f_p)| = |p| can
+                # never hold (the GCP is at most |k| < |p|), and reading it
+                # as |f_p| ping-pongs between p and its father.  Both k and
+                # f_p prefix p, so they are totally ordered: climb when k
+                # is at or above the father (k prefixes f_p), splice k
+                # between f_p and p otherwise.
+                if common_prefix_len(k, father) == len(k):
+                    self.send_to_node(peer.id, father, m.DataInsertion(node=father, key=k, datum=datum))
+                else:
+                    payload = m.NodePayload(
+                        label=k, father=father, children=frozenset({p.label}), data=(datum,)
+                    )
+                    self.send_to_node(peer.id, father, m.SearchingHost(node=father, payload=payload))
+                    self.send_to_node(peer.id, father, m.UpdateChild(node=father, old=p.label, new=k))
+                    p.father = k
+            return
+
+        # Neither prefixes the other (lines 3.21–3.31).
+        father = p.father
+        if father is not None and common_prefix_len(k, p.label) == common_prefix_len(k, father):
+            self.send_to_node(peer.id, father, m.DataInsertion(node=father, key=k, datum=datum))
+            return
+        g = gcp(p.label, k)
+        parent_payload = m.NodePayload(
+            label=g, father=father, children=frozenset({p.label, k}), data=()
+        )
+        key_payload = m.NodePayload(label=k, father=g, children=frozenset(), data=(datum,))
+        if father is None:
+            self.send_to_node(peer.id, p.label, m.SearchingHost(node=p.label, payload=parent_payload))
+            self.send_to_node(peer.id, p.label, m.SearchingHost(node=p.label, payload=key_payload))
+        else:
+            self.send_to_node(peer.id, father, m.SearchingHost(node=father, payload=parent_payload))
+            self.send_to_node(peer.id, father, m.UpdateChild(node=father, old=p.label, new=g))
+            self.send_to_node(peer.id, father, m.SearchingHost(node=father, payload=key_payload))
+        p.father = g
+
+    def _on_searching_host(self, peer: ProtocolPeer, msg: m.SearchingHost) -> None:
+        # Lines 3.32–3.37: descend to the highest node lower than the new
+        # label, then hand the payload to the peer layer.
+        p = peer.nodes[msg.node]
+        q = p.max_child_leq(msg.payload.label)
+        if q is not None and q != msg.payload.label:
+            self.send_to_node(peer.id, q, m.SearchingHost(node=q, payload=msg.payload))
+        else:
+            self.net.send(peer.id, peer.id, m.Host(payload=msg.payload))
+
+    def _on_host(self, peer: ProtocolPeer, msg: m.Host) -> None:
+        # Peer layer: enforce the mapping rule by ring forwarding (module
+        # docstring, fidelity note 2).
+        label = msg.payload.label
+        if peer.pred is None:
+            self.dead_node_messages += 1
+            return
+        if len(self.peers) > 1 and not in_interval_open_closed(label, peer.pred, peer.id):
+            self.net.send(peer.id, peer.succ, msg)
+            return
+        self._install_node(peer, msg.payload)
+
+    def _on_update_child(self, peer: ProtocolPeer, msg: m.UpdateChild) -> None:
+        p = peer.nodes[msg.node]
+        p.children.discard(msg.old)
+        p.children.add(msg.new)
+
+    def _install_node(self, peer: ProtocolPeer, payload: m.NodePayload) -> None:
+        st = NodeState(
+            label=payload.label,
+            father=payload.father,
+            children=set(payload.children),
+            data=set(payload.data),
+        )
+        peer.nodes[payload.label] = st
+        self.locator[payload.label] = peer.id
+        # Flush messages that raced this node's creation/arrival.
+        parked = self.pending_node_messages.pop(payload.label, None)
+        if parked:
+            for src, msg in parked:
+                self.net.send(src, peer.id, msg)
+
+    # ------------------------------------------------------------------
+    # discovery
+    # ------------------------------------------------------------------
+
+    def _on_discovery(self, peer: ProtocolPeer, msg: m.DiscoveryRequest) -> None:
+        p = peer.nodes[msg.node]
+        k = msg.key
+        hops = msg.hops
+        if p.label == k:
+            self.net.send(
+                peer.id,
+                msg.reply_to,
+                m.DiscoveryReply(key=k, found=True, data=tuple(p.data), hops=hops),
+            )
+            return
+        if _is_prefix(p.label, k):
+            q = p.child_sharing_longer_prefix(k)
+            if q is not None and _is_prefix(q, k):
+                self.send_to_node(
+                    peer.id, q, m.DiscoveryRequest(node=q, key=k, reply_to=msg.reply_to, hops=hops + 1)
+                )
+                return
+            self.net.send(
+                peer.id, msg.reply_to, m.DiscoveryReply(key=k, found=False, hops=hops)
+            )
+            return
+        if p.father is not None:
+            self.send_to_node(
+                peer.id,
+                p.father,
+                m.DiscoveryRequest(node=p.father, key=k, reply_to=msg.reply_to, hops=hops + 1),
+            )
+            return
+        self.net.send(peer.id, msg.reply_to, m.DiscoveryReply(key=k, found=False, hops=hops))
+
+    # ------------------------------------------------------------------
+    # verification helpers
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Run the simulator until the protocol quiesces."""
+        self.sim.run_until_idle()
+
+    def tree_edges(self) -> set[tuple[str, str]]:
+        """(father, child) pairs as recorded on the hosting peers."""
+        edges = set()
+        for peer in self.peers.values():
+            for st in peer.nodes.values():
+                for c in st.children:
+                    edges.add((st.label, c))
+        return edges
+
+    def node_labels(self) -> set[str]:
+        return set(self.locator)
+
+    def check_ring(self) -> None:
+        """Ring pointers form a single consistent cycle in id order."""
+        ids = sorted(p.id for p in self.peers.values() if p.joined)
+        n = len(ids)
+        for i, pid in enumerate(ids):
+            peer = self.peers[pid]
+            assert peer.succ == ids[(i + 1) % n], (
+                f"{pid!r}: succ {peer.succ!r} != {ids[(i + 1) % n]!r}"
+            )
+            assert peer.pred == ids[(i - 1) % n], (
+                f"{pid!r}: pred {peer.pred!r} != {ids[(i - 1) % n]!r}"
+            )
+
+    def check_mapping(self) -> None:
+        """Every node lives on the lowest peer id >= its label (wrapped)."""
+        ids = sorted(p.id for p in self.peers.values() if p.joined)
+        import bisect
+
+        for label, host in self.locator.items():
+            i = bisect.bisect_left(ids, label)
+            expected = ids[i] if i < len(ids) else ids[0]
+            assert host == expected, (
+                f"node {label!r} on {host!r}, mapping rule wants {expected!r}"
+            )
+            assert label in self.peers[host].nodes
+
+    def check_tree(self) -> None:
+        """Father/child links are mutually consistent and acyclic, and the
+        PGCP labelling discipline holds."""
+        states: Dict[str, NodeState] = {}
+        for peer in self.peers.values():
+            for lbl, st in peer.nodes.items():
+                assert lbl not in states, f"node {lbl!r} hosted twice"
+                states[lbl] = st
+        roots = [st for st in states.values() if st.father is None]
+        assert len(roots) == (1 if states else 0), f"{len(roots)} roots"
+        for st in states.values():
+            for c in st.children:
+                assert c in states, f"dangling child {c!r} of {st.label!r}"
+                assert states[c].father == st.label, (
+                    f"child {c!r} thinks father is {states[c].father!r}, "
+                    f"not {st.label!r}"
+                )
+                assert c.startswith(st.label) and c != st.label
+            kids = sorted(st.children)
+            for i in range(len(kids)):
+                for j in range(i + 1, len(kids)):
+                    assert gcp(kids[i], kids[j]) == st.label, (
+                        f"Definition 1 violated under {st.label!r}: "
+                        f"{kids[i]!r} vs {kids[j]!r}"
+                    )
+
+    _HANDLERS = {}
+
+
+def _is_prefix(u: str, v: str) -> bool:
+    return v.startswith(u)
+
+
+ProtocolEngine._HANDLERS = {
+    m.PeerJoin: ProtocolEngine._on_peer_join,
+    m.NewPredecessor: ProtocolEngine._on_new_predecessor,
+    m.YourInformation: ProtocolEngine._on_your_information,
+    m.UpdateSuccessor: ProtocolEngine._on_update_successor,
+    m.LeaveTransfer: ProtocolEngine._on_leave_transfer,
+    m.UpdatePredecessor: ProtocolEngine._on_update_predecessor,
+    m.DataInsertion: ProtocolEngine._on_data_insertion,
+    m.SearchingHost: ProtocolEngine._on_searching_host,
+    m.Host: ProtocolEngine._on_host,
+    m.UpdateChild: ProtocolEngine._on_update_child,
+    m.DiscoveryRequest: ProtocolEngine._on_discovery,
+}

@@ -1,0 +1,129 @@
+"""Discovery-request routing through the PGCP tree.
+
+Paper, Section 2 (*Architecture*): "When a discovery request sent by a client
+enters the tree, on a random node, the request moves upward until reaching a
+node whose subtree contains the requested node and then moves [downward] to
+this node."
+
+This module computes the *logical path* (sequence of node labels) of a
+request; capacity accounting and physical-hop counting happen in
+:class:`repro.dlpt.system.DLPTSystem`, which charges each visited node's
+hosting peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.ids import common_prefix_len
+from ..core.pgcp import PGCPNode, PGCPTree
+
+
+@dataclass(frozen=True)
+class RoutePath:
+    """The logical trajectory of one request.
+
+    ``labels`` lists every node visited, entry first.  ``found`` is True when
+    the final node's label equals the requested key (and, for discovery
+    semantics, holds data — structural nodes are reported by the caller).
+    """
+
+    labels: list[str]
+    found: bool
+
+    @property
+    def logical_hops(self) -> int:
+        """Tree edges traversed (Figure 9's "Logical hops" series counts
+        hops, so a request served by its entry node costs 0)."""
+        return len(self.labels) - 1
+
+
+def route_path(tree: PGCPTree, entry_label: str, key: str) -> RoutePath:
+    """Compute the up-then-down path from ``entry_label`` towards ``key``.
+
+    The upward phase climbs to the first ancestor whose label prefixes the
+    key; the downward phase descends through children sharing ever longer
+    prefixes.  If the key is absent, the path ends at the deepest node that
+    would be its insertion neighbourhood and ``found`` is False.
+    """
+    node = tree.node(entry_label)
+    if node is None:
+        raise KeyError(f"entry node {entry_label!r} not in the tree")
+    labels = [node.label]
+
+    # -- upward phase -----------------------------------------------------
+    while not key.startswith(node.label):
+        parent = node.parent
+        if parent is None:
+            # Reached the root and it still does not prefix the key: the key
+            # lies outside the tree's label band (only possible for keys
+            # absent from the tree).
+            return RoutePath(labels=labels, found=False)
+        node = parent
+        labels.append(node.label)
+
+    # -- downward phase -----------------------------------------------------
+    while node.label != key:
+        child = node.child_towards(key)
+        if child is None:
+            return RoutePath(labels=labels, found=False)
+        cpl = common_prefix_len(child.label, key)
+        if cpl < len(child.label):
+            # The child diverges from the key before its own label ends; the
+            # key, if it existed, would sit between node and child.
+            if cpl == len(key):
+                # key is a proper prefix of child: its node does not exist.
+                return RoutePath(labels=labels, found=False)
+            return RoutePath(labels=labels, found=False)
+        node = child
+        labels.append(node.label)
+
+    return RoutePath(labels=labels, found=True)
+
+
+def route_up_only(tree: PGCPTree, entry_label: str, key: str) -> list[str]:
+    """Just the upward phase (used by subtree queries: completion/range
+    requests stop at the subtree root covering the prefix)."""
+    node = tree.node(entry_label)
+    if node is None:
+        raise KeyError(f"entry node {entry_label!r} not in the tree")
+    labels = [node.label]
+    while not key.startswith(node.label) and node.parent is not None:
+        node = node.parent
+        labels.append(node.label)
+    return labels
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Result of executing a discovery request against the live system."""
+
+    key: str
+    satisfied: bool
+    found: bool
+    logical_hops: int
+    physical_hops: int
+    dropped_at: Optional[str] = None
+
+    @property
+    def dropped(self) -> bool:
+        return self.dropped_at is not None
+
+
+def subtree_root_for_prefix(tree: PGCPTree, prefix: str) -> Optional[PGCPNode]:
+    """The highest node whose subtree contains every key extending
+    ``prefix`` (used by completion and hot-spot request generation)."""
+    if tree.root is None:
+        return None
+    node = tree.root
+    if common_prefix_len(node.label, prefix) < min(len(node.label), len(prefix)):
+        return None
+    while len(node.label) < len(prefix):
+        child = node.child_towards(prefix)
+        if child is None:
+            return None
+        if common_prefix_len(child.label, prefix) < min(len(child.label), len(prefix)):
+            return None
+        node = child
+    return node

@@ -1,0 +1,153 @@
+"""DiscoveryService — the public facade of the DLPT overlay.
+
+This is the API a grid middleware would program against: register services
+under string keys (optionally with multiple attributes), then discover them
+by exact name, by partial-string completion, by lexicographic range, or by a
+conjunction of attribute constraints — the search modes the paper credits
+trie overlays with (Section 1).
+
+Exact discovery goes through the full routed/capacity-accounted path of
+:class:`~repro.dlpt.system.DLPTSystem` (what the figures measure); the
+set-returning searches (completion / range / multi-attribute) are resolved
+on the logical tree and also report the logical hops a routed resolution
+would cost (entry → subtree root + subtree traversal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..core.queries import (
+    ExactQuery,
+    MultiAttributeQuery,
+    PrefixQuery,
+    RangeQuery,
+    SingleAttributeQuery,
+    attribute_key,
+)
+from .routing import RequestOutcome, route_up_only, subtree_root_for_prefix
+from .system import DLPTSystem
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """One registered service: a primary key plus optional attributes."""
+
+    name: str
+    attributes: Mapping[str, str] = field(default_factory=dict)
+
+
+class DiscoveryService:
+    """High-level register/discover API over a :class:`DLPTSystem`."""
+
+    def __init__(self, system: DLPTSystem) -> None:
+        self.system = system
+        self._records: Dict[str, ServiceRecord] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, name: str, attributes: Optional[Mapping[str, str]] = None) -> ServiceRecord:
+        """Register a service.  The primary name becomes a tree key; each
+        attribute is additionally registered under ``attr=value`` so that
+        multi-attribute queries can be answered by intersection."""
+        record = ServiceRecord(name=name, attributes=dict(attributes or {}))
+        self.system.register(name, datum=name)
+        for attr, value in record.attributes.items():
+            self.system.register(attribute_key(attr, value), datum=name)
+        self._records[name] = record
+        return record
+
+    def unregister(self, name: str) -> bool:
+        record = self._records.pop(name, None)
+        if record is None:
+            return False
+        self.system.unregister(name, datum=name)
+        for attr, value in record.attributes.items():
+            self.system.unregister(attribute_key(attr, value), datum=name)
+        return True
+
+    def record(self, name: str) -> Optional[ServiceRecord]:
+        return self._records.get(name)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- discovery ----------------------------------------------------------
+
+    def discover(self, name: str, rng=None, entry_label: Optional[str] = None) -> RequestOutcome:
+        """Exact discovery through the routed, capacity-accounted path."""
+        return self.system.discover(name, entry_label=entry_label, rng=rng)
+
+    def complete(self, partial: str) -> list[str]:
+        """All registered primary names extending ``partial`` (automatic
+        completion of partial search strings)."""
+        return [
+            k for k in self.system.tree.complete(partial) if k in self._records
+        ]
+
+    def range_search(self, lo: str, hi: str) -> list[str]:
+        """Registered primary names within the lexicographic range."""
+        return [
+            k for k in self.system.tree.range_query(lo, hi) if k in self._records
+        ]
+
+    def search(self, query: SingleAttributeQuery) -> list[str]:
+        """Evaluate a single query object against primary names."""
+        if isinstance(query, ExactQuery):
+            node = self.system.tree.lookup(query.key)
+            return [query.key] if node is not None and node.data and query.key in self._records else []
+        if isinstance(query, PrefixQuery):
+            return self.complete(query.prefix)
+        if isinstance(query, RangeQuery):
+            return self.range_search(query.lo, query.hi)
+        raise TypeError(f"unsupported query type {type(query)!r}")
+
+    def multi_attribute_search(self, query: MultiAttributeQuery) -> list[str]:
+        """Conjunction over attributes: intersect per-attribute matches.
+
+        Each clause is evaluated in its ``attr=value`` key band; the data
+        stored there are primary service names, so the intersection of the
+        per-clause result sets is exactly the conjunctive answer.
+        """
+        result: Optional[set[str]] = None
+        tree = self.system.tree
+        for attr, sub in query.attribute_queries().items():
+            names: set[str] = set()
+            if isinstance(sub, ExactQuery):
+                node = tree.lookup(sub.key)
+                if node is not None:
+                    names.update(d for d in node.data if isinstance(d, str))
+            elif isinstance(sub, PrefixQuery):
+                for key in tree.complete(sub.prefix):
+                    names.update(d for d in tree.lookup(key).data if isinstance(d, str))
+            elif isinstance(sub, RangeQuery):
+                for key in tree.range_query(sub.lo, sub.hi):
+                    names.update(d for d in tree.lookup(key).data if isinstance(d, str))
+            result = names if result is None else (result & names)
+            if not result:
+                return []
+        return sorted(result or ())
+
+    # -- cost estimation ----------------------------------------------------
+
+    def completion_route_cost(self, partial: str, entry_label: str) -> int:
+        """Logical hops a routed completion would take: climb from the
+        entry node to the subtree root covering ``partial``, then fan out
+        over that subtree (the trie parallelises the fan-out; we count the
+        sequential climb plus the subtree edge count)."""
+        up = route_up_only(self.system.tree, entry_label, partial)
+        root = subtree_root_for_prefix(self.system.tree, partial)
+        if root is None:
+            return len(up) - 1
+        subtree_edges = self._count_edges(root)
+        return (len(up) - 1) + subtree_edges
+
+    def _count_edges(self, node) -> int:
+        total = 0
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            total += len(n.children)
+            stack.extend(n.children.values())
+        return total

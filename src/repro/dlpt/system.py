@@ -1,0 +1,317 @@
+"""The live DLPT system: ring + PGCP tree + mapping + request execution.
+
+This is the *macro* (time-unit level) model used by all experiments.  It
+keeps the distributed system's global state — the peer ring, the logical
+tree, and the node→peer mapping — and executes the operations the paper's
+simulation performs each time unit: peer joins/leaves, service registration
+(tree growth), discovery requests with per-peer capacity accounting, and
+load-balancing hooks.
+
+The message-level protocols (Algorithms 1–3) are implemented separately in
+:mod:`repro.dlpt.protocol` and validated (property-based) to produce exactly
+the state transitions this class performs atomically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.alphabet import PRINTABLE, Alphabet
+from ..core.pgcp import PGCPTree
+from ..peers.capacity import CapacityModel, UniformCapacity
+from ..peers.peer import Peer
+from ..peers.ring import Ring
+from ..util.sortedlist import SortedList
+from .mapping import LexicographicMapping
+from .routing import RequestOutcome, route_path
+
+#: Default length of randomly drawn peer identifiers.  Long enough that
+#: collisions among ~10^4 peers are negligible for any alphabet size >= 2.
+DEFAULT_PEER_ID_LENGTH = 24
+
+
+class DLPTSystem:
+    """Global state of one DLPT deployment.
+
+    Parameters
+    ----------
+    alphabet:
+        Digit alphabet shared by peer identifiers and node labels.
+    capacity_model:
+        Distribution of per-peer capacities (requests per time unit).
+    mapping_factory:
+        Callable ``ring -> mapping``; defaults to the paper's lexicographic
+        mapping.  The Figure 9 baseline passes the hashed mapping instead.
+    peer_id_length:
+        Length of randomly generated peer identifiers.
+    peer_id_sampler:
+        Optional callable ``rng -> str`` drawing peer identifiers.  Peers
+        and nodes share one identifier space (Section 3), so deployments
+        typically draw peer ids from the same namespace as the service
+        keys; :func:`corpus_peer_id_sampler` builds such a sampler.  When
+        ``None``, identifiers are uniform random digit strings.
+    """
+
+    def __init__(
+        self,
+        *,
+        alphabet: Alphabet = PRINTABLE,
+        capacity_model: CapacityModel | None = None,
+        mapping_factory=None,
+        peer_id_length: int = DEFAULT_PEER_ID_LENGTH,
+        peer_id_sampler=None,
+    ) -> None:
+        self.alphabet = alphabet
+        self.capacity_model = capacity_model or UniformCapacity()
+        self.peer_id_length = peer_id_length
+        self.peer_id_sampler = peer_id_sampler
+        self.ring = Ring()
+        self.tree = PGCPTree()
+        self.mapping = (
+            mapping_factory(self.ring) if mapping_factory else LexicographicMapping(self.ring)
+        )
+        self.tree.on_create = lambda node: self.mapping.on_node_created(node.label)
+        self.tree.on_remove = lambda node: self.mapping.on_node_removed(node.label)
+        #: All node labels, sorted — uniform random entry-node selection.
+        self.node_index: SortedList[str] = SortedList()
+        self.tree_on_create_chain()
+        #: Aggregated per-node request counts of the last closed time unit
+        #: (the ``l_n`` that MLT and KC consume).
+        self.last_unit_load: Dict[str, int] = {}
+        self.time_unit = 0
+
+    def tree_on_create_chain(self) -> None:
+        """Chain node-index maintenance onto the tree hooks (kept separate
+        so subclasses/baselines can re-wire mapping hooks cleanly)."""
+        mapping_create = self.tree.on_create
+        mapping_remove = self.tree.on_remove
+
+        def _on_create(node) -> None:
+            mapping_create(node)
+            self.node_index.add(node.label)
+
+        def _on_remove(node) -> None:
+            mapping_remove(node)
+            self.node_index.remove(node.label)
+
+        self.tree.on_create = _on_create
+        self.tree.on_remove = _on_remove
+
+    # -- peer membership ---------------------------------------------------
+
+    def random_peer_id(self, rng) -> str:
+        """Draw a fresh (non-colliding) random peer identifier."""
+        while True:
+            if self.peer_id_sampler is not None:
+                pid = self.peer_id_sampler(rng)
+            else:
+                pid = self.alphabet.random_identifier(rng, self.peer_id_length)
+            if pid not in self.ring:
+                return pid
+
+    def add_peer(
+        self,
+        rng,
+        peer_id: Optional[str] = None,
+        capacity: Optional[int] = None,
+    ) -> Peer:
+        """Join a peer at ``peer_id`` (random when ``None``) and migrate the
+        node interval it takes over from its successor."""
+        random_id = peer_id is None
+        if peer_id is None:
+            peer_id = self.random_peer_id(rng)
+        elif peer_id in self.ring:
+            raise ValueError(f"peer id {peer_id!r} already on the ring")
+        if capacity is None:
+            capacity = self.capacity_model.sample(rng)
+        while True:
+            peer = Peer(id=peer_id, capacity=capacity)
+            self.ring.join(peer)
+            try:
+                self.mapping.on_peer_joined(peer)
+            except ValueError:
+                # Hash-position collision under the DHT mapping: retry with a
+                # fresh identifier when we chose it; surface caller choices.
+                self.ring.leave(peer_id)
+                if not random_id:
+                    raise
+                peer_id = self.random_peer_id(rng)
+                continue
+            return peer
+
+    def remove_peer(self, peer_id: str) -> Peer:
+        """Graceful leave: nodes migrate to the successor, then the peer
+        departs the ring."""
+        peer = self.ring.peer(peer_id)
+        if len(self.ring) == 1 and peer.nodes:
+            raise RuntimeError("cannot remove the last peer while the tree exists")
+        self.mapping.on_peer_leaving(peer)
+        self.ring.leave(peer_id)
+        return peer
+
+    def build(self, rng, n_peers: int) -> None:
+        """Bootstrap a platform of ``n_peers`` peers (before any services)."""
+        for _ in range(n_peers):
+            self.add_peer(rng)
+
+    # -- service registration -----------------------------------------------
+
+    def register(self, key: str, datum: object = None) -> None:
+        """Register a service key (Algorithm 3's outcome): the tree grows
+        and any created node is immediately mapped onto a peer."""
+        if len(self.ring) == 0:
+            raise RuntimeError("cannot register services on an empty ring")
+        self.alphabet.validate(key)
+        self.tree.insert(key, datum)
+
+    def unregister(self, key: str, datum: object = None) -> bool:
+        """Remove a service registration (extension; contracts the tree)."""
+        return self.tree.remove(key, datum)
+
+    # -- discovery -------------------------------------------------------------
+
+    def random_entry_label(self, rng) -> str:
+        """Uniformly random tree node — where a client's request enters."""
+        n = len(self.node_index)
+        if n == 0:
+            raise RuntimeError("tree is empty; no entry node")
+        return self.node_index[rng.randrange(n)]
+
+    def discover(
+        self,
+        key: str,
+        entry_label: Optional[str] = None,
+        rng=None,
+        accounting: str = "destination",
+    ) -> RequestOutcome:
+        """Execute one discovery request with capacity accounting.
+
+        A request is satisfied when it reaches the node owning ``key``
+        ("A request is said to be satisfied if it reaches its final
+        destination") and the responsible peer still has capacity ("All
+        requests received on a peer after it reached this number are
+        ignored").  Two accounting models are provided:
+
+        ``"destination"`` (default)
+            A request charges only the peer hosting its destination node —
+            the model under which the paper's pair-throughput objective
+            ``T = min(L_S, C_S) + min(L_P, C_P)`` is exact (every request
+            is processed by exactly one node, so the satisfied count of a
+            peer is precisely ``min(load, capacity)``).
+
+        ``"transit"``
+            Every node visited along the route charges its hosting peer;
+            a request dropped mid-route is unsatisfied.  This ablation
+            model makes the peers hosting upper tree nodes ("the upper a
+            node is, the more times it will be visited") a hard bottleneck
+            and is exercised by the ablation benches.
+        """
+        if accounting not in ("destination", "transit"):
+            raise ValueError(f"unknown accounting model {accounting!r}")
+        if entry_label is None:
+            if rng is None:
+                raise ValueError("need rng when entry_label is not given")
+            entry_label = self.random_entry_label(rng)
+        path = route_path(self.tree, entry_label, key)
+        host_of = self.mapping.host_of
+
+        physical_hops = 0
+        prev_peer = None
+        charge_transit = accounting == "transit"
+        last = len(path.labels) - 1
+        for i, label in enumerate(path.labels):
+            peer = host_of(label)
+            if prev_peer is not None and peer is not prev_peer:
+                physical_hops += 1
+            if charge_transit or i == last:
+                if not peer.try_process(label):
+                    return RequestOutcome(
+                        key=key,
+                        satisfied=False,
+                        found=False,
+                        logical_hops=i,
+                        physical_hops=physical_hops,
+                        dropped_at=peer.id,
+                    )
+            prev_peer = peer
+        return RequestOutcome(
+            key=key,
+            satisfied=path.found,
+            found=path.found,
+            logical_hops=path.logical_hops,
+            physical_hops=physical_hops,
+        )
+
+    # -- time bookkeeping -------------------------------------------------------
+
+    def end_time_unit(self) -> None:
+        """Close the current time unit: aggregate per-node loads for the
+        balancers and reset every peer's capacity budget."""
+        loads: Dict[str, int] = {}
+        for peer in self.ring:
+            for label, count in peer.node_load.items():
+                loads[label] = loads.get(label, 0) + count
+            peer.end_time_unit()
+        self.last_unit_load = loads
+        self.time_unit += 1
+
+    def node_last_load(self, label: str) -> int:
+        return self.last_unit_load.get(label, 0)
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def n_peers(self) -> int:
+        return len(self.ring)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.tree)
+
+    def registered_keys(self) -> set[str]:
+        return self.tree.keys()
+
+    def check_invariants(self) -> None:
+        """Full-system consistency: tree Definition 1, ring order, mapping
+        rule, and node-index completeness."""
+        self.tree.check_invariants()
+        self.ring.check_invariants()
+        if hasattr(self.mapping, "check_invariants"):
+            self.mapping.check_invariants()
+        assert set(self.node_index) == self.tree.labels(), (
+            "node index out of sync with the tree"
+        )
+
+
+def corpus_peer_id_sampler(
+    corpus,
+    alphabet: Alphabet = PRINTABLE,
+    suffix_length: int = 8,
+    alignment: float = 0.15,
+    prefix_digits: int = 2,
+):
+    """Build a peer-identifier sampler partially aligned with a key corpus.
+
+    Peers and tree nodes share one identifier space (paper Section 3).  With
+    probability ``alignment`` a peer names itself near the service namespace
+    (a random corpus key truncated to ``prefix_digits`` digits plus a random
+    suffix — peers cluster around the broad service families, not on exact
+    keys); otherwise its id is uniform.  This models the paper's premise
+    that "some regions of the ring are more densely populated than others"
+    (the KC motivation) while keeping the density imperfect — fully uniform
+    ids would strand whole service-name clusters on one peer and make the
+    no-LB baseline collapse, fully aligned ids would make placement trivial.
+    """
+    keys = list(corpus)
+    if not keys:
+        raise ValueError("corpus must not be empty")
+    if not 0.0 <= alignment <= 1.0:
+        raise ValueError("alignment must be in [0, 1]")
+
+    def sample(rng) -> str:
+        if rng.random() < alignment:
+            base = keys[rng.randrange(len(keys))][:prefix_digits]
+            return base + alphabet.random_identifier(rng, suffix_length)
+        return alphabet.random_identifier(rng, suffix_length + prefix_digits)
+
+    return sample

@@ -1,0 +1,70 @@
+"""Terminal line plots.
+
+The benchmarks regenerate the paper's figures as text: a fixed-size
+character grid with one glyph per series, plus a legend.  Not pretty, but
+diffable, dependency-free, and enough to eyeball the curve *shapes* the
+reproduction is judged on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+_GLYPHS = "*+xo#@%&"
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "time",
+    y_label: str = "value",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render ``series`` (equal-length y vectors over implicit x=0..n-1)."""
+    if not series:
+        raise ValueError("nothing to plot")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError("all series must have the same length")
+    (n,) = lengths
+    if n < 2:
+        raise ValueError("need at least two points")
+
+    all_vals = [v for ys in series.values() for v in ys]
+    lo = min(all_vals) if y_min is None else y_min
+    hi = max(all_vals) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), glyph in zip(series.items(), _GLYPHS):
+        for i, y in enumerate(ys):
+            x = round(i * (width - 1) / (n - 1))
+            yy = (y - lo) / (hi - lo)
+            row = height - 1 - round(yy * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][x] = glyph
+
+    left = max(len(f"{hi:.0f}"), len(f"{lo:.0f}")) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{hi:.0f}".rjust(left)
+        elif r == height - 1:
+            label = f"{lo:.0f}".rjust(left)
+        else:
+            label = " " * left
+        lines.append(f"{label}|{''.join(row)}")
+    lines.append(" " * left + "+" + "-" * width)
+    lines.append(" " * left + f" 0 .. {n - 1} ({x_label})   y: {y_label}")
+    legend = "   ".join(
+        f"{glyph} {name}" for (name, _), glyph in zip(series.items(), _GLYPHS)
+    )
+    lines.append(" " * left + " " + legend)
+    return "\n".join(lines)

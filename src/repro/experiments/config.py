@@ -1,0 +1,89 @@
+"""Experiment configuration (all Section 4 parameters in one place).
+
+Paper defaults: ~100 peers, ~1000 tree nodes, capacity heterogeneity ratio 4,
+KC with k = 4, 50 time units (Figures 4–7) of which the first 10 grow the
+tree, 160 units for the hot-spot experiments (Figures 8–9), 30/50/100
+repetitions.  The *load* of a run is the ratio between the number of
+requests issued per unit and the aggregated capacity of all peers (Table 1's
+left column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from ..core.alphabet import PRINTABLE, Alphabet
+from ..lb.base import LoadBalancer
+from ..peers.capacity import UniformCapacity
+from ..peers.churn import STABLE, ChurnModel
+from ..workloads.keys import grid_service_corpus
+from ..workloads.requests import PhasedSchedule, Phase, UniformRequests
+
+
+def default_schedule() -> PhasedSchedule:
+    """Uniform requests for the whole run (Figures 4–7)."""
+    return PhasedSchedule([Phase(0, 10_000, UniformRequests())])
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything one simulation run needs.
+
+    ``load_fraction`` is Table 1's load: requests issued per unit divided by
+    the platform's aggregate capacity at that unit.
+    """
+
+    # platform
+    n_peers: int = 100
+    capacity_model: UniformCapacity = field(default_factory=UniformCapacity)
+    alphabet: Alphabet = PRINTABLE
+    mapping_factory: Optional[Callable] = None  # None -> lexicographic
+
+    # workload
+    corpus: Sequence[str] = field(default_factory=grid_service_corpus)
+    growth_units: int = 10
+    total_units: int = 50
+    load_fraction: float = 0.10
+    schedule: PhasedSchedule = field(default_factory=default_schedule)
+    #: Capacity accounting: "destination" charges the destination peer only
+    #: (the model consistent with the paper's min(L,C)+min(L,C) objective);
+    #: "transit" charges every peer along the route (ablation).
+    accounting: str = "destination"
+    #: Peer identifiers: "corpus" draws them from the service-key namespace
+    #: (peers and nodes share the id space; ring density follows key
+    #: density), "uniform" draws uniform random digit strings (ablation —
+    #: leaves service-name clusters on very few peers).
+    peer_ids: str = "corpus"
+
+    # dynamics
+    churn: ChurnModel = STABLE
+
+    # load balancing
+    lb: LoadBalancer = field(default_factory=LoadBalancer)
+
+    # reproducibility
+    seed: int = 20080617  # the report's HAL submission date
+
+    def __post_init__(self) -> None:
+        if self.n_peers < 2:
+            raise ValueError("need at least 2 peers")
+        if not self.corpus:
+            raise ValueError("corpus must not be empty")
+        if self.growth_units < 1 or self.growth_units > self.total_units:
+            raise ValueError("growth_units must be within the run length")
+        if self.load_fraction <= 0:
+            raise ValueError("load_fraction must be positive")
+
+    def with_lb(self, lb: LoadBalancer) -> "ExperimentConfig":
+        """The same experiment under a different balancer — the controlled
+        comparison every figure makes (common seed, common workload)."""
+        return replace(self, lb=lb)
+
+    def describe(self) -> str:
+        net = "stable" if self.churn.join_fraction <= 0.01 else "dynamic"
+        return (
+            f"{self.lb.name} | {net} network | load={self.load_fraction:.0%} | "
+            f"{self.n_peers} peers | {len(self.corpus)} keys | "
+            f"{self.total_units} units"
+        )

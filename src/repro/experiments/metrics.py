@@ -1,0 +1,128 @@
+"""Per-run and aggregated experiment metrics.
+
+The paper's reported quantities:
+
+* **percentage of satisfied requests** per time unit (Figures 4–8);
+* **gain** of a heuristic over no-LB: relative increase in total satisfied
+  requests (Table 1);
+* **average hops per request** per time unit — logical, and physical under
+  each mapping (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..util.stats import SeriesSummary, summarize_series
+
+
+@dataclass
+class UnitStats:
+    """Counters for one time unit of one run."""
+
+    issued: int = 0
+    satisfied: int = 0
+    dropped: int = 0
+    not_found: int = 0
+    logical_hops: int = 0  # over satisfied requests
+    physical_hops: int = 0  # over satisfied requests
+    migrations: int = 0
+    peers: int = 0
+    nodes: int = 0
+    aggregate_capacity: int = 0
+
+    @property
+    def satisfied_pct(self) -> float:
+        return 100.0 * self.satisfied / self.issued if self.issued else 0.0
+
+    @property
+    def mean_logical_hops(self) -> float:
+        return self.logical_hops / self.satisfied if self.satisfied else 0.0
+
+    @property
+    def mean_physical_hops(self) -> float:
+        return self.physical_hops / self.satisfied if self.satisfied else 0.0
+
+
+@dataclass
+class RunResult:
+    """The full per-unit series of one simulation run."""
+
+    units: List[UnitStats] = field(default_factory=list)
+
+    def series(self, attr: str) -> list[float]:
+        return [float(getattr(u, attr)) for u in self.units]
+
+    @property
+    def satisfied_pct(self) -> list[float]:
+        return self.series("satisfied_pct")
+
+    @property
+    def total_satisfied(self) -> int:
+        return sum(u.satisfied for u in self.units)
+
+    @property
+    def total_issued(self) -> int:
+        return sum(u.issued for u in self.units)
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+
+@dataclass
+class ExperimentSeries:
+    """Aggregate of repeated runs of one configuration."""
+
+    label: str
+    runs: List[RunResult]
+
+    def summary(self, attr: str = "satisfied_pct") -> SeriesSummary:
+        return summarize_series([r.series(attr) for r in self.runs])
+
+    def mean_curve(self, attr: str = "satisfied_pct") -> np.ndarray:
+        return self.summary(attr).mean
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.runs)
+
+    def total_satisfied_mean(self) -> float:
+        return float(np.mean([r.total_satisfied for r in self.runs]))
+
+    def steady_state_satisfaction(self, warmup: int = 10) -> float:
+        """Mean satisfied % after the tree-growth transient."""
+        curve = self.mean_curve("satisfied_pct")
+        return float(np.mean(curve[warmup:]))
+
+
+def gain_table_row(
+    mlt: ExperimentSeries, kc: ExperimentSeries, nolb: ExperimentSeries
+) -> Dict[str, float]:
+    """Table 1 cell pair: gain (%) of MLT and KC over no-LB on total
+    satisfied requests, computed from run means."""
+    base = nolb.total_satisfied_mean()
+    if base <= 0:
+        raise ValueError("baseline satisfied none; gain undefined")
+    return {
+        "MLT": 100.0 * (mlt.total_satisfied_mean() - base) / base,
+        "KC": 100.0 * (kc.total_satisfied_mean() - base) / base,
+    }
+
+
+def series_table(
+    x: Sequence[int], columns: Dict[str, Sequence[float]], x_name: str = "time"
+) -> str:
+    """Render aligned numeric columns (the text twin of the paper's plots)."""
+    names = list(columns)
+    widths = [max(len(x_name), 6)] + [max(len(n), 8) for n in names]
+    header = "  ".join(n.rjust(w) for n, w in zip([x_name] + names, widths))
+    lines = [header, "-" * len(header)]
+    for i, xv in enumerate(x):
+        cells = [str(xv).rjust(widths[0])]
+        for n, w in zip(names, widths[1:]):
+            cells.append(f"{columns[n][i]:.2f}".rjust(w))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""The discrete-time experiment loop (paper Section 4).
+
+"Each time unit is composed of several steps. (1) If MLT is enabled, a fixed
+fraction of the peers executes the MLT load balancing. (2) A fixed fraction
+of peers join the system (applying the KC algorithm if enabled, or just the
+protocol detailed in Section 3, otherwise). (3) A fixed fraction of peers
+leaves the system. (4) A fixed fraction of new services are added in the
+tree (possibly resulting in the creation of new nodes). (5) Discovery
+requests are sent to the tree (and results on the number of satisfied
+discovery requests are collected)."
+
+Common random numbers: every stochastic decision draws from a named stream
+derived from the config seed, so runs that differ only in the balancer see
+identical churn, identical capacities and identical request sequences —
+the paper's three curves are then directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..dlpt.system import DLPTSystem, corpus_peer_id_sampler
+from ..util.rng import RngStreams
+from .config import ExperimentConfig
+from .metrics import ExperimentSeries, RunResult, UnitStats
+
+
+def build_system(config: ExperimentConfig, streams: RngStreams) -> DLPTSystem:
+    """Bootstrap the platform: peers only, no services yet."""
+    sampler = (
+        corpus_peer_id_sampler(config.corpus, config.alphabet)
+        if config.peer_ids == "corpus"
+        else None
+    )
+    system = DLPTSystem(
+        alphabet=config.alphabet,
+        capacity_model=config.capacity_model,
+        mapping_factory=config.mapping_factory,
+        peer_id_sampler=sampler,
+    )
+    boot = streams.stream("bootstrap")
+    cap = streams.stream("capacity")
+    for _ in range(config.n_peers):
+        system.add_peer(boot, capacity=config.capacity_model.sample(cap))
+    return system
+
+
+def growth_batches(config: ExperimentConfig, streams: RngStreams) -> List[List[str]]:
+    """Split the (shuffled) corpus into one registration batch per growth
+    unit — the tree grows during the first ``growth_units`` units and then
+    "remains the same"."""
+    keys = list(config.corpus)
+    streams.stream("corpus").shuffle(keys)
+    n = config.growth_units
+    base, extra = divmod(len(keys), n)
+    batches, start = [], 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        batches.append(keys[start : start + size])
+        start += size
+    return batches
+
+
+def run_single(config: ExperimentConfig, run_index: int = 0) -> RunResult:
+    """Execute one full simulation run and return its per-unit series."""
+    streams = RngStreams(config.seed).spawn(run_index)
+    system = build_system(config, streams)
+    batches = growth_batches(config, streams)
+
+    churn_rng = streams.stream("churn")
+    cap_rng = streams.stream("capacity")
+    lb_rng = streams.stream("lb")
+    req_rng = streams.stream("requests")
+    entry_rng = streams.stream("entry")
+
+    available: List[str] = []
+    result = RunResult()
+
+    for unit in range(config.total_units):
+        stats = UnitStats()
+
+        # (1) periodic load balancing (MLT) — uses last unit's history.
+        if unit > 0:
+            stats.migrations += config.lb.run_balancing(system, lb_rng)
+
+        # (2) peer joins — placement by the balancer (KC) or random.
+        for _ in range(config.churn.joins(len(system.ring), churn_rng)):
+            capacity = config.capacity_model.sample(cap_rng)
+            peer_id = config.lb.choose_join_id(system, capacity, lb_rng)
+            system.add_peer(lb_rng, peer_id=peer_id, capacity=capacity)
+
+        # (3) peer leaves — uniformly random victims.
+        for _ in range(config.churn.leaves(len(system.ring), churn_rng)):
+            victims = system.ring.ids()
+            system.remove_peer(victims[churn_rng.randrange(len(victims))])
+
+        # (4) service registrations — the tree grows for growth_units units.
+        if unit < len(batches):
+            for key in batches[unit]:
+                system.register(key)
+                available.append(key)
+
+        # (5) discovery requests under the per-unit capacity budget.
+        capacity_total = system.ring.aggregate_capacity()
+        n_requests = max(1, round(config.load_fraction * capacity_total))
+        if available:
+            for _ in range(n_requests):
+                key = config.schedule.sample(unit, req_rng, available)
+                outcome = system.discover(
+                    key, rng=entry_rng, accounting=config.accounting
+                )
+                stats.issued += 1
+                if outcome.satisfied:
+                    stats.satisfied += 1
+                    stats.logical_hops += outcome.logical_hops
+                    stats.physical_hops += outcome.physical_hops
+                elif outcome.dropped:
+                    stats.dropped += 1
+                else:
+                    stats.not_found += 1
+
+        stats.peers = system.n_peers
+        stats.nodes = system.n_nodes
+        stats.aggregate_capacity = capacity_total
+        system.end_time_unit()
+        result.units.append(stats)
+
+    return result
+
+
+def run_many(
+    config: ExperimentConfig,
+    n_runs: int,
+    label: Optional[str] = None,
+) -> ExperimentSeries:
+    """Repeat a configuration ``n_runs`` times (paper: 30/50/100)."""
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    runs = [run_single(config, i) for i in range(n_runs)]
+    return ExperimentSeries(label=label or config.lb.name, runs=runs)
+
+
+def compare_balancers(
+    config: ExperimentConfig,
+    balancers,
+    n_runs: int,
+) -> dict[str, ExperimentSeries]:
+    """Run the same experiment under each balancer (common random numbers);
+    the figures' three-curve layout."""
+    return {
+        lb.name: run_many(config.with_lb(lb), n_runs, label=lb.name)
+        for lb in balancers
+    }

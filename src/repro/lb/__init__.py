@@ -1,0 +1,8 @@
+"""Load balancing heuristics: No-LB baseline, MLT, and KC (k-choices)."""
+
+from .base import LoadBalancer
+from .kchoices import KChoices
+from .mlt import MLT, SplitDecision, best_split
+from .nolb import NoLB
+
+__all__ = ["LoadBalancer", "NoLB", "MLT", "KChoices", "best_split", "SplitDecision"]

@@ -1,0 +1,39 @@
+"""Load-balancer interface.
+
+The paper's simulation (Section 4) gives heuristics two hooks:
+
+* step (1) of every time unit — "a fixed fraction of the peers executes the
+  MLT load balancing" — :meth:`LoadBalancer.run_balancing`;
+* step (2) — "a fixed fraction of peers join the system (applying the KC
+  algorithm if enabled)" — :meth:`LoadBalancer.choose_join_id`.
+
+``NoLB`` implements both as no-ops / uniform-random, so the three curves of
+Figures 4–8 differ *only* in which balancer the runner plugs in.
+"""
+
+from __future__ import annotations
+
+from ..dlpt.system import DLPTSystem
+
+
+class LoadBalancer:
+    """Base balancer: protocol placement (random id), no periodic step."""
+
+    #: Display name used in experiment legends / table headers.
+    name = "NoLB"
+
+    def choose_join_id(self, system: DLPTSystem, capacity: int, rng) -> str:
+        """Identifier for a joining peer of the given capacity.
+
+        The default draws a uniformly random identifier — the plain
+        Section 3 protocol with no placement intelligence.
+        """
+        return system.random_peer_id(rng)
+
+    def run_balancing(self, system: DLPTSystem, rng) -> int:
+        """Periodic balancing step; returns the number of node migrations
+        performed (0 for heuristics that only act at join time)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,188 @@
+"""MLT — Max Local Throughput (the paper's second contribution, Section 3.3).
+
+At the end of each time unit a peer ``S`` and its predecessor ``P`` look at
+the per-node request counts ``l_n`` of the closed unit over the nodes they
+jointly host (``ν_S ∪ ν_P``) and pick the redistribution maximising their
+aggregate throughput for the next unit:
+
+    T = min(Σ_{n ∈ ν_P} l_n, C_P) + min(Σ_{n ∈ ν_S} l_n, C_S)
+
+Because node identifiers cannot change (routing consistency), the only
+degree of freedom is *where ``P`` sits on the ring* between its predecessor
+and ``S``: the candidate positions are the ``|ν_S ∪ ν_P| − 1`` interior split
+points of the jointly hosted, ring-ordered node sequence (each peer keeps at
+least one node).  Finding the best split is a single prefix-sum sweep —
+O(|ν_S ∪ ν_P|) time and space, matching the paper's complexity claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dlpt.system import DLPTSystem
+from ..peers.peer import Peer
+from .base import LoadBalancer
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """Outcome of evaluating one (P, S) pair."""
+
+    labels: list[str]  # ring-ordered nodes of ν_P ∪ ν_S
+    best_index: int  # P takes labels[:best_index]
+    current_index: int
+    best_throughput: float
+    current_throughput: float
+
+    @property
+    def is_move(self) -> bool:
+        return self.best_index != self.current_index
+
+
+def best_split(
+    labels: list[str],
+    loads: list[int],
+    cap_p: int,
+    cap_s: int,
+    current_index: int,
+    allow_empty: bool = False,
+) -> SplitDecision:
+    """Choose the split index maximising the pair throughput.
+
+    ``labels``/``loads`` are the ring-ordered joint nodes and their last-unit
+    request counts.  Candidate indices are ``1 .. m-1`` (paper) or ``0 .. m``
+    when ``allow_empty`` (ablation allowing a peer to hold no node).  Ties
+    prefer the split closest to ``current_index`` (fewest migrations), then
+    the lower index, making the decision deterministic.
+    """
+    m = len(labels)
+    if m != len(loads):
+        raise ValueError("labels and loads must align")
+    prefix = [0] * (m + 1)
+    for i, l in enumerate(loads):
+        prefix[i + 1] = prefix[i] + l
+    total = prefix[m]
+
+    lo, hi = (0, m) if allow_empty else (1, m - 1)
+    best_i: Optional[int] = None
+    best_key: Optional[tuple] = None
+    for i in range(lo, hi + 1):
+        lp, ls = prefix[i], total - prefix[i]
+        t = min(lp, cap_p) + min(ls, cap_s)
+        # Ranking: maximise throughput; among throughput-ties prefer the
+        # lowest peak utilisation (headroom against the next unit's load
+        # fluctuations — the paper leaves the tie unspecified), then the
+        # fewest migrations.  All terms derive from the same prefix sums,
+        # keeping the sweep O(m).
+        peak_util = max(lp / cap_p, ls / cap_s)
+        key = (-t, peak_util, abs(i - current_index))
+        if best_key is None or key < best_key:
+            best_i, best_key = i, key
+    assert best_i is not None, "at least one candidate split must exist"
+    best_t = -best_key[0]
+    cur_t = min(prefix[current_index], cap_p) + min(total - prefix[current_index], cap_s)
+    return SplitDecision(
+        labels=labels,
+        best_index=best_i,
+        current_index=current_index,
+        best_throughput=best_t,
+        current_throughput=cur_t,
+    )
+
+
+class MLT(LoadBalancer):
+    """Periodic pairwise throughput maximisation.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of peers executing the balancing step each unit ("a fixed
+        fraction of the peers executes the MLT load balancing").  1.0 — a
+        full sweep — is the default; the ablation bench varies it.
+    allow_empty:
+        Ablation switch: permit splits that leave one peer with no node
+        (the paper's ``m − 1`` candidates keep >= 1 node on each side).
+    """
+
+    name = "MLT"
+
+    def __init__(self, fraction: float = 1.0, allow_empty: bool = False) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.fraction = fraction
+        self.allow_empty = allow_empty
+
+    # -- one pair ---------------------------------------------------------
+
+    def balance_pair(self, system: DLPTSystem, peer_s: Peer) -> int:
+        """Run one MLT step on ``S`` = ``peer_s`` and its predecessor.
+
+        Returns the number of nodes migrated (0 when the current split is
+        already optimal or the pair is not balanceable).
+        """
+        ring = system.ring
+        if len(ring) < 2:
+            return 0
+        if not getattr(system.mapping, "supports_reposition", True):
+            # Hashed (random) mapping: a peer's place in hash space is fixed
+            # by its identifier's hash, so MLT has no lever to pull.
+            return 0
+        peer_p = ring.predecessor(peer_s.id)
+        if peer_p is peer_s:
+            return 0
+        pred_id = ring.predecessor(peer_p.id).id
+
+        # Ring order along the arc (pred_P … S]: labels above pred_P first
+        # (ascending), then the wrapped tail (ascending).  On a non-wrapped
+        # arc every label is above pred_P and this is a plain sort.
+        joint = sorted(
+            peer_p.nodes | peer_s.nodes,
+            key=lambda lbl: (0 if lbl > pred_id else 1, lbl),
+        )
+        m = len(joint)
+        min_m = 1 if self.allow_empty else 2
+        if m < min_m:
+            return 0
+        loads = [system.node_last_load(lbl) for lbl in joint]
+        current_index = len(peer_p.nodes)
+        decision = best_split(
+            joint,
+            loads,
+            cap_p=peer_p.capacity,
+            cap_s=peer_s.capacity,
+            current_index=current_index,
+            allow_empty=self.allow_empty,
+        )
+        if not decision.is_move:
+            return 0
+        if decision.best_index == 0:
+            # P gives everything away: park it just above its predecessor —
+            # not representable without changing other intervals; skip.
+            return 0
+        new_id = joint[decision.best_index - 1]
+        if new_id == peer_p.id:
+            return 0
+        if new_id in ring:
+            return 0  # extremely unlikely collision with another peer id
+        return system.mapping.reposition(peer_p, new_id)
+
+    # -- the periodic sweep ----------------------------------------------------
+
+    def run_balancing(self, system: DLPTSystem, rng) -> int:
+        """Step (1) of the time unit: each selected peer balances with its
+        predecessor, in random order (peers act asynchronously)."""
+        peers = system.ring.peers()
+        if len(peers) < 2:
+            return 0
+        if self.fraction < 1.0:
+            k = max(1, round(self.fraction * len(peers)))
+            peers = rng.sample(peers, k)
+        else:
+            peers = list(peers)
+            rng.shuffle(peers)
+        migrated = 0
+        for peer in peers:
+            if peer.id in system.ring:  # may have been repositioned
+                migrated += self.balance_pair(system, peer)
+        return migrated

@@ -1,0 +1,16 @@
+"""The no-load-balancing baseline ("No LB" in Figures 4–8).
+
+Peers join at uniformly random identifiers and never rebalance; node
+placement is governed purely by the Section 3 mapping rule.  This is the
+denominator of Table 1's gain metric.
+"""
+
+from __future__ import annotations
+
+from .base import LoadBalancer
+
+
+class NoLB(LoadBalancer):
+    """Alias of the base behaviour under its paper name."""
+
+    name = "NoLB"

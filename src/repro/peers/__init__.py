@@ -1,0 +1,12 @@
+"""Physical layer: peers, the bidirectional ring, capacities, churn."""
+
+from .capacity import DiscreteCapacity, FixedCapacity, UniformCapacity
+from .churn import DYNAMIC, FROZEN, STABLE, ChurnModel
+from .peer import Peer
+from .ring import Ring
+
+__all__ = [
+    "Peer", "Ring",
+    "UniformCapacity", "FixedCapacity", "DiscreteCapacity",
+    "ChurnModel", "STABLE", "DYNAMIC", "FROZEN",
+]

@@ -1,0 +1,101 @@
+"""Heterogeneous peer-capacity models.
+
+Paper, Section 4: "the capacity of a peer refers to the maximum number of
+requests processed by it during one time unit … The ratio between the most
+and the least powerful peers is 4."  Capacities are fixed for a peer's whole
+lifetime ("the peers capacity does not change over time", Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+
+class CapacityModel(Protocol):
+    """Draws a capacity for a newly created peer."""
+
+    def sample(self, rng) -> int:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class UniformCapacity:
+    """Capacities uniform on the integers ``[base, ratio * base]``.
+
+    With the paper's ratio of 4 and the default base of 5, capacities span
+    5..20 requests/unit, giving ~100-peer platforms an aggregate capacity of
+    roughly 1250 requests/unit — comfortably laptop-scale while preserving
+    the 4× heterogeneity that MLT exploits.
+    """
+
+    base: int = 5
+    ratio: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.base < 1:
+            raise ValueError("base capacity must be >= 1")
+        if self.ratio < 1:
+            raise ValueError("ratio must be >= 1")
+
+    @property
+    def max_capacity(self) -> int:
+        return int(round(self.base * self.ratio))
+
+    def sample(self, rng) -> int:
+        return rng.randint(self.base, self.max_capacity)
+
+    def mean(self) -> float:
+        return (self.base + self.max_capacity) / 2.0
+
+
+@dataclass(frozen=True)
+class FixedCapacity:
+    """Every peer gets the same capacity (homogeneous ablation: the
+    assumption PHT/P-Grid make and the paper criticises)."""
+
+    value: int = 10
+
+    def __post_init__(self) -> None:
+        if self.value < 1:
+            raise ValueError("capacity must be >= 1")
+
+    @property
+    def max_capacity(self) -> int:
+        return self.value
+
+    def sample(self, rng) -> int:
+        return self.value
+
+    def mean(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class DiscreteCapacity:
+    """Capacities drawn from an explicit class list (e.g. modelling a grid
+    with a few machine generations), with optional weights."""
+
+    values: Sequence[int] = (5, 10, 20)
+    weights: Sequence[float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.values or any(v < 1 for v in self.values):
+            raise ValueError("values must be non-empty positive integers")
+        if self.weights is not None and len(self.weights) != len(self.values):
+            raise ValueError("weights must match values")
+
+    @property
+    def max_capacity(self) -> int:
+        return max(self.values)
+
+    def sample(self, rng) -> int:
+        if self.weights is None:
+            return rng.choice(list(self.values))
+        return rng.choices(list(self.values), weights=list(self.weights), k=1)[0]
+
+    def mean(self) -> float:
+        if self.weights is None:
+            return sum(self.values) / len(self.values)
+        tot = sum(self.weights)
+        return sum(v * w for v, w in zip(self.values, self.weights)) / tot

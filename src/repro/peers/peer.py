@@ -1,0 +1,101 @@
+"""Physical peers: identifier, capacity, hosted nodes, load accounting.
+
+The paper's peer model (Sections 2–4): a peer has a distinct identifier drawn
+from the same circular space as the tree-node labels, a fixed *capacity* —
+"the maximum number of requests processed by it during one time unit. All
+requests received on a peer after it reached this number are ignored" — and
+runs a set ``ν`` of logical tree nodes.  At the end of each time unit every
+peer knows, per node it runs, how many requests that node received (the
+``l_n`` of Section 3.3), which is exactly the state MLT consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+
+@dataclass
+class Peer:
+    """One physical peer.
+
+    ``id`` is mutable on purpose: MLT rebalances by *moving a peer along the
+    ring* (paper Figure 3(b)), i.e. by changing its identifier within the
+    segment between its predecessor and successor.  Use
+    :meth:`repro.peers.ring.Ring.reposition` to change it safely.
+    """
+
+    id: str
+    capacity: int
+    #: Labels of the logical tree nodes currently hosted (ν in the paper).
+    nodes: Set[str] = field(default_factory=set)
+    #: Requests processed so far in the current time unit.
+    used: int = 0
+    #: Per-node request counts for the current (open) time unit.
+    node_load: Dict[str, int] = field(default_factory=dict)
+    #: Per-node request counts for the last *closed* unit (MLT's input).
+    last_node_load: Dict[str, int] = field(default_factory=dict)
+    #: Lifetime counters.
+    total_processed: int = 0
+    total_rejected: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"peer capacity must be >= 1, got {self.capacity}")
+
+    # -- request processing ----------------------------------------------
+
+    def try_process(self, node_label: str) -> bool:
+        """Account one request hop arriving at ``node_label`` on this peer.
+
+        Returns True when within capacity; False when the request must be
+        ignored (peer exhausted for this unit).  Either way the node's
+        received-request counter advances — a node's popularity is observed
+        regardless of whether the peer could serve it, which is what lets
+        MLT react to overload.
+        """
+        self.node_load[node_label] = self.node_load.get(node_label, 0) + 1
+        if self.used >= self.capacity:
+            self.total_rejected += 1
+            return False
+        self.used += 1
+        self.total_processed += 1
+        return True
+
+    @property
+    def load(self) -> int:
+        """Requests received this unit across all hosted nodes (``L_S``)."""
+        return sum(self.node_load.values())
+
+    @property
+    def saturated(self) -> bool:
+        return self.used >= self.capacity
+
+    def end_time_unit(self) -> None:
+        """Close the current unit: roll per-node loads into history and
+        reset the capacity budget."""
+        self.last_node_load = self.node_load
+        self.node_load = {}
+        self.used = 0
+
+    # -- node hosting ---------------------------------------------------------
+
+    def host_node(self, label: str) -> None:
+        self.nodes.add(label)
+
+    def drop_node(self, label: str) -> None:
+        self.nodes.discard(label)
+        # Keep the open unit's accounting consistent for migrated nodes: the
+        # receiving peer starts a fresh counter; history stays with the
+        # period in which it was observed.
+        self.node_load.pop(label, None)
+
+    def last_load_of(self, label: str) -> int:
+        """Last closed unit's request count for ``label`` (0 if unknown)."""
+        return self.last_node_load.get(label, 0)
+
+    def __hash__(self) -> int:  # identity-based: peers are mutable entities
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

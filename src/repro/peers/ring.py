@@ -1,0 +1,144 @@
+"""The bidirectional ring of peers (paper Section 3, first protocol part).
+
+"Peers are ordered in a bidirectional ring.  Each peer ``P`` has the
+knowledge of its immediate predecessor ``pred_P`` and immediate successor
+``succ_P``."  The ring also answers the mapping query of Section 3: the peer
+hosting a node ``n`` is the one with the lowest identifier ``>= n``, wrapping
+to ``P_min`` for nodes above ``P_max``.
+
+This class is the *state* of the ring (membership + order); protocol-level
+join routing through the tree lives in :mod:`repro.dlpt.peer_join`, and node
+migration policy in :mod:`repro.dlpt.mapping`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..util.sortedlist import SortedList
+from .peer import Peer
+
+
+class Ring:
+    """Sorted peer membership with circular successor/predecessor queries."""
+
+    def __init__(self) -> None:
+        self._ids: SortedList[str] = SortedList()
+        self._by_id: dict[str, Peer] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, peer_id: str) -> bool:
+        return peer_id in self._by_id
+
+    def __iter__(self) -> Iterator[Peer]:
+        for pid in self._ids:
+            yield self._by_id[pid]
+
+    def peer(self, peer_id: str) -> Peer:
+        return self._by_id[peer_id]
+
+    def get(self, peer_id: str) -> Optional[Peer]:
+        return self._by_id.get(peer_id)
+
+    def peers(self) -> list[Peer]:
+        """All peers in ring (identifier) order."""
+        return [self._by_id[pid] for pid in self._ids]
+
+    def ids(self) -> list[str]:
+        return self._ids.as_list()
+
+    def join(self, peer: Peer) -> None:
+        """Insert ``peer``; identifiers must be unique on the ring."""
+        if peer.id in self._by_id:
+            raise ValueError(f"peer id {peer.id!r} already on the ring")
+        self._ids.add(peer.id)
+        self._by_id[peer.id] = peer
+
+    def leave(self, peer_id: str) -> Peer:
+        """Remove and return the peer with ``peer_id``."""
+        peer = self._by_id.pop(peer_id, None)
+        if peer is None:
+            raise KeyError(f"peer {peer_id!r} not on the ring")
+        self._ids.remove(peer_id)
+        return peer
+
+    # -- circular order ----------------------------------------------------
+
+    def min_peer(self) -> Peer:
+        """``P_min`` — the peer with the lowest identifier."""
+        return self._by_id[self._ids.min()]
+
+    def max_peer(self) -> Peer:
+        """``P_max`` — the peer with the highest identifier."""
+        return self._by_id[self._ids.max()]
+
+    def successor_of_key(self, key: str) -> Peer:
+        """The peer hosting key/label ``key``: lowest peer id ``>= key``,
+        wrapping to ``P_min`` (the paper's mapping rule)."""
+        return self._by_id[self._ids.successor(key)]
+
+    def successor(self, peer_id: str) -> Peer:
+        """``succ_P``: the next peer strictly after ``peer_id`` (circular).
+        On a single-peer ring a peer is its own successor."""
+        return self._by_id[self._ids.strict_successor(peer_id)]
+
+    def predecessor(self, peer_id: str) -> Peer:
+        """``pred_P``: the previous peer strictly before ``peer_id``."""
+        return self._by_id[self._ids.predecessor(peer_id)]
+
+    def reposition(self, peer: Peer, new_id: str) -> None:
+        """Change ``peer``'s identifier (MLT's "move P along the ring").
+
+        The caller (the mapping layer) is responsible for migrating the
+        affected nodes; this method only preserves ring-order consistency.
+        The new identifier must keep the peer strictly between its current
+        neighbours so that no *other* peer's node interval changes.
+        """
+        if new_id == peer.id:
+            return
+        if new_id in self._by_id:
+            raise ValueError(f"identifier {new_id!r} already taken")
+        if len(self._ids) > 1:
+            pred = self.predecessor(peer.id)
+            succ = self.successor(peer.id)
+            # Strictly inside the (pred, succ) arc; both comparisons are on
+            # the non-wrapped segment because MLT only slides P between its
+            # physical neighbours.
+            from ..core.keyspace import in_interval_open_open
+
+            if not in_interval_open_open(new_id, pred.id, succ.id):
+                raise ValueError(
+                    f"reposition must stay between neighbours: "
+                    f"{pred.id!r} < {new_id!r} < {succ.id!r} violated"
+                )
+        old_id = peer.id
+        self._ids.remove(old_id)
+        del self._by_id[old_id]
+        peer.id = new_id
+        self._ids.add(new_id)
+        self._by_id[new_id] = peer
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Membership/order consistency (property-tested under churn)."""
+        ids = self._ids.as_list()
+        assert len(ids) == len(self._by_id)
+        assert ids == sorted(ids)
+        for pid in ids:
+            assert self._by_id[pid].id == pid, f"peer id desync at {pid!r}"
+        if len(ids) >= 2:
+            for i, pid in enumerate(ids):
+                succ = self.successor(pid)
+                assert succ.id == ids[(i + 1) % len(ids)]
+                pred = self.predecessor(pid)
+                assert pred.id == ids[(i - 1) % len(ids)]
+
+    def aggregate_capacity(self) -> int:
+        """Total requests/unit the whole platform can absorb (Table 1's
+        denominator for the load ratio)."""
+        return sum(p.capacity for p in self._by_id.values())

@@ -1,0 +1,11 @@
+"""Discrete-event simulation substrate (engine, network, tracing)."""
+
+from .engine import EventHandle, Simulator
+from .network import ConstantLatency, Envelope, LatencyModel, Network, UniformLatency
+from .trace import CounterSet, Trace, TraceEvent
+
+__all__ = [
+    "Simulator", "EventHandle",
+    "Network", "Envelope", "LatencyModel", "ConstantLatency", "UniformLatency",
+    "Trace", "TraceEvent", "CounterSet",
+]

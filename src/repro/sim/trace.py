@@ -1,0 +1,88 @@
+"""Structured tracing and counters for simulations.
+
+Experiments need per-time-unit counters (requests satisfied / dropped, hops,
+LB migrations); protocol debugging needs an event trace.  Both are cheap,
+optional, and off the hot path unless enabled.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced protocol event."""
+
+    time: float
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class Trace:
+    """An append-only event log with kind-based filtering.
+
+    Disabled traces (``enabled=False``) make :meth:`record` a no-op so the
+    experiment hot loop pays only an attribute check.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: list[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            raise RuntimeError(f"trace capacity {self.capacity} exceeded")
+        self._events.append(TraceEvent(time=time, kind=kind, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def kinds(self) -> Counter:
+        return Counter(e.kind for e in self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class CounterSet:
+    """Named integer counters with per-period snapshots.
+
+    ``snapshot()`` closes the current period and returns its deltas; the
+    experiment runner calls it once per time unit to build the series the
+    paper plots.
+    """
+
+    def __init__(self) -> None:
+        self._totals: defaultdict[str, int] = defaultdict(int)
+        self._period: defaultdict[str, int] = defaultdict(int)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._totals[name] += amount
+        self._period[name] += amount
+
+    def total(self, name: str) -> int:
+        return self._totals[name]
+
+    def period_value(self, name: str) -> int:
+        return self._period[name]
+
+    def snapshot(self) -> dict[str, int]:
+        """Return and reset the per-period deltas."""
+        snap = dict(self._period)
+        self._period.clear()
+        return snap
+
+    def totals(self) -> dict[str, int]:
+        return dict(self._totals)

@@ -1,0 +1,148 @@
+"""A small bisect-based sorted list with ceiling/floor queries.
+
+The DLPT mapping (paper Section 3) repeatedly asks: *given a node label n,
+which peer hosts it?* — the peer with the lowest identifier ``>= n``, wrapping
+to the minimum peer when ``n`` exceeds every peer id (``P_min`` hosts every
+node above ``P_max``).  That is a ceiling query on a sorted set with circular
+wrap-around, which this module provides in ``O(log n)`` without external
+dependencies (``sortedcontainers`` is not available offline).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Generic, Iterable, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class SortedList(Generic[T]):
+    """Sorted list of unique, mutually comparable items.
+
+    Supports ``O(log n)`` membership, insertion position, ceiling/floor and
+    circular successor/predecessor queries, and ``O(n)`` insertion/removal
+    (list shifting) — entirely adequate for rings of 10^2–10^4 peers.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Optional[Iterable[T]] = None) -> None:
+        self._items: list[T] = sorted(set(items)) if items else []
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        i = bisect.bisect_left(self._items, item)
+        return i < len(self._items) and self._items[i] == item
+
+    def __getitem__(self, index: int) -> T:
+        return self._items[index]
+
+    def __repr__(self) -> str:
+        return f"SortedList({self._items!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SortedList):
+            return self._items == other._items
+        return NotImplemented
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, item: T) -> None:
+        """Insert ``item``; raise :class:`ValueError` if already present."""
+        i = bisect.bisect_left(self._items, item)
+        if i < len(self._items) and self._items[i] == item:
+            raise ValueError(f"duplicate item {item!r}")
+        self._items.insert(i, item)
+
+    def discard(self, item: T) -> bool:
+        """Remove ``item`` if present; return whether it was present."""
+        i = bisect.bisect_left(self._items, item)
+        if i < len(self._items) and self._items[i] == item:
+            del self._items[i]
+            return True
+        return False
+
+    def remove(self, item: T) -> None:
+        """Remove ``item``; raise :class:`ValueError` if absent."""
+        if not self.discard(item):
+            raise ValueError(f"item {item!r} not present")
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    # -- order queries ---------------------------------------------------
+
+    def index(self, item: T) -> int:
+        """Index of ``item``; raise :class:`ValueError` if absent."""
+        i = bisect.bisect_left(self._items, item)
+        if i < len(self._items) and self._items[i] == item:
+            return i
+        raise ValueError(f"item {item!r} not present")
+
+    def min(self) -> T:
+        if not self._items:
+            raise ValueError("empty SortedList has no min")
+        return self._items[0]
+
+    def max(self) -> T:
+        if not self._items:
+            raise ValueError("empty SortedList has no max")
+        return self._items[-1]
+
+    def ceiling(self, key) -> Optional[T]:
+        """Smallest item ``>= key``, or ``None`` if every item is smaller."""
+        i = bisect.bisect_left(self._items, key)
+        return self._items[i] if i < len(self._items) else None
+
+    def floor(self, key) -> Optional[T]:
+        """Largest item ``<= key``, or ``None`` if every item is larger."""
+        i = bisect.bisect_right(self._items, key)
+        return self._items[i - 1] if i > 0 else None
+
+    def higher(self, key) -> Optional[T]:
+        """Smallest item strictly ``> key``, or ``None``."""
+        i = bisect.bisect_right(self._items, key)
+        return self._items[i] if i < len(self._items) else None
+
+    def lower(self, key) -> Optional[T]:
+        """Largest item strictly ``< key``, or ``None``."""
+        i = bisect.bisect_left(self._items, key)
+        return self._items[i - 1] if i > 0 else None
+
+    # -- circular (ring) queries ------------------------------------------
+
+    def successor(self, key) -> T:
+        """Circular ceiling: smallest item ``>= key``, wrapping to ``min()``.
+
+        This is exactly the paper's node→peer mapping rule ("the lowest peer
+        id higher than the key"; nodes above ``P_max`` map to ``P_min``).
+        """
+        if not self._items:
+            raise ValueError("empty SortedList has no successor")
+        c = self.ceiling(key)
+        return c if c is not None else self._items[0]
+
+    def strict_successor(self, key) -> T:
+        """Circular strictly-greater query, wrapping to ``min()``."""
+        if not self._items:
+            raise ValueError("empty SortedList has no successor")
+        h = self.higher(key)
+        return h if h is not None else self._items[0]
+
+    def predecessor(self, key) -> T:
+        """Circular strictly-lower query, wrapping to ``max()``."""
+        if not self._items:
+            raise ValueError("empty SortedList has no predecessor")
+        lo = self.lower(key)
+        return lo if lo is not None else self._items[-1]
+
+    def as_list(self) -> list[T]:
+        """A copy of the underlying sorted list."""
+        return list(self._items)

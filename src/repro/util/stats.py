@@ -1,0 +1,75 @@
+"""Statistics helpers for multi-run experiment aggregation.
+
+The paper repeats every simulation 30, 50 or 100 times and plots per-time-unit
+means.  This module aggregates per-run time series into mean / stdev /
+confidence-interval series, and computes the *gain* metric of Table 1
+(relative improvement in satisfied requests over the no-load-balancing run).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+# Two-sided 95% standard-normal quantile; with >= 30 runs (the paper's
+# minimum) the normal approximation to the t distribution is adequate.
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Per-time-unit aggregate of repeated runs of one time series."""
+
+    mean: np.ndarray
+    std: np.ndarray
+    ci95: np.ndarray
+    n_runs: int
+
+    def __len__(self) -> int:
+        return len(self.mean)
+
+
+def summarize_series(runs: Sequence[Sequence[float]]) -> SeriesSummary:
+    """Aggregate ``runs`` (one sequence per run, equal lengths) pointwise."""
+    if not runs:
+        raise ValueError("summarize_series() requires at least one run")
+    arr = np.asarray(runs, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("all runs must have the same length")
+    n = arr.shape[0]
+    mean = arr.mean(axis=0)
+    std = arr.std(axis=0, ddof=1) if n > 1 else np.zeros(arr.shape[1])
+    ci = _Z95 * std / math.sqrt(n) if n > 1 else np.zeros(arr.shape[1])
+    return SeriesSummary(mean=mean, std=std, ci95=ci, n_runs=n)
+
+
+def mean_ci(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and 95% CI half-width of a scalar sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean_ci() requires at least one value")
+    if arr.size == 1:
+        return float(arr[0]), 0.0
+    return float(arr.mean()), float(_Z95 * arr.std(ddof=1) / math.sqrt(arr.size))
+
+def gain_percent(heuristic_satisfied: float, baseline_satisfied: float) -> float:
+    """Table 1's gain metric: relative improvement (in %) of a heuristic's
+    satisfied-request count over the no-load-balancing baseline.
+
+    ``gain = 100 * (heuristic - baseline) / baseline``.
+    """
+    if baseline_satisfied <= 0:
+        raise ValueError("baseline satisfied-request count must be positive")
+    return 100.0 * (heuristic_satisfied - baseline_satisfied) / baseline_satisfied
+
+
+def steady_state_mean(series: Sequence[float], warmup: int) -> float:
+    """Mean of ``series`` after discarding the first ``warmup`` entries
+    (the paper's first ~10 units are tree-growth transient)."""
+    tail = list(series)[warmup:]
+    if not tail:
+        raise ValueError("warmup discards the whole series")
+    return float(np.mean(tail))

@@ -1,0 +1,27 @@
+"""Workloads: grid service-name corpora and request generators."""
+
+from .keys import (
+    blas_routines,
+    grid_service_corpus,
+    lapack_routines,
+    paper_figure1_binary_keys,
+    random_binary_keys,
+    s3l_routines,
+    scalapack_routines,
+)
+from .requests import (
+    HotSpotRequests,
+    Phase,
+    PhasedSchedule,
+    UniformRequests,
+    ZipfRequests,
+    figure8_schedule,
+)
+
+__all__ = [
+    "grid_service_corpus", "blas_routines", "lapack_routines",
+    "scalapack_routines", "s3l_routines", "paper_figure1_binary_keys",
+    "random_binary_keys",
+    "UniformRequests", "HotSpotRequests", "ZipfRequests",
+    "Phase", "PhasedSchedule", "figure8_schedule",
+]

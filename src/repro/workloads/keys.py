@@ -1,0 +1,124 @@
+"""Service-key corpora.
+
+"The prefix trees are built with identifiers commonly encountered in a grid
+computing context such as names of linear algebra routines" (Section 4), and
+the hot-spot experiment of Figure 8 targets the Sun S3L library (routines
+prefixed ``S3L_``) and ScaLAPACK (routines prefixed ``P``).
+
+The corpora below are assembled from the real naming schemes of those
+libraries: BLAS/LAPACK routines are ``<type-prefix><operation>`` with type
+prefixes ``s, d, c, z``; ScaLAPACK prepends ``P``; S3L names are
+``S3L_<operation>``.  The exact routine inventory of the authors' simulator
+is unpublished; any corpus with these prefix structures reproduces the
+experiments' behaviour because only the *prefix distribution* matters to the
+tree shape and to the hot spots.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_TYPES = ("s", "d", "c", "z")
+
+_BLAS_OPS = (
+    # Level 1
+    "axpy", "copy", "dot", "dotc", "dotu", "nrm2", "rot", "rotg", "rotm",
+    "rotmg", "scal", "swap", "asum", "amax",
+    # Level 2
+    "gemv", "gbmv", "hemv", "hbmv", "hpmv", "symv", "sbmv", "spmv", "trmv",
+    "tbmv", "tpmv", "trsv", "tbsv", "tpsv", "ger", "geru", "gerc", "her",
+    "her2", "hpr", "hpr2", "syr", "syr2", "spr", "spr2",
+    # Level 3
+    "gemm", "symm", "hemm", "syrk", "herk", "syr2k", "her2k", "trmm", "trsm",
+)
+
+_LAPACK_OPS = (
+    "gesv", "gbsv", "gtsv", "posv", "ppsv", "pbsv", "ptsv", "sysv", "spsv",
+    "hesv", "hpsv", "getrf", "getrs", "getri", "gbtrf", "gbtrs", "gttrf",
+    "gttrs", "potrf", "potrs", "potri", "pptrf", "pptrs", "pbtrf", "pbtrs",
+    "pttrf", "pttrs", "sytrf", "sytrs", "sptrf", "sptrs", "hetrf", "hetrs",
+    "geqrf", "geqlf", "gerqf", "gelqf", "orgqr", "ormqr", "ungqr", "unmqr",
+    "gels", "gelss", "gelsd", "gelsy", "gesvd", "gesdd", "geev", "geevx",
+    "gees", "geesx", "syev", "syevd", "syevr", "syevx", "heev", "heevd",
+    "heevr", "heevx", "gehrd", "hseqr", "trevc", "trexc", "trsen", "trsyl",
+    "gebal", "gebak", "langb", "lange", "lansy", "lantr",
+)
+
+# ScaLAPACK implements a (large) subset of LAPACK's drivers plus PBLAS.
+_SCALAPACK_OPS = (
+    "gesv", "gbsv", "posv", "pbsv", "ptsv", "dbsv", "dtsv", "getrf", "getrs",
+    "getri", "gbtrf", "gbtrs", "potrf", "potrs", "potri", "pbtrf", "pbtrs",
+    "pttrf", "pttrs", "geqrf", "geqlf", "gerqf", "gelqf", "orgqr", "ormqr",
+    "gels", "gesvd", "syev", "syevd", "syevx", "heev", "heevd", "heevx",
+    "gehrd", "hseqr", "gebal", "gemm", "symm", "syrk", "syr2k", "trmm",
+    "trsm", "gemv", "symv", "trmv", "trsv", "ger", "geadd", "tradd", "lange",
+)
+
+# Sun S3L (Scalable Scientific Subroutine Library) public operations.
+_S3L_OPS = (
+    "mat_mult", "matvec_mult", "mat_trans", "mat_inv", "mat_norm",
+    "lu_factor", "lu_solve", "lu_invert", "lu_deallocate",
+    "qr_factor", "qr_solve", "cholesky_factor", "cholesky_solve",
+    "eigen", "eigen_vec", "sym_eigen", "gen_band_factor", "gen_band_solve",
+    "fft", "fft_detailed", "ifft", "rc_fft", "cr_fft", "fft_setup", "fft_free",
+    "sort", "sort_up", "sort_down", "sort_detailed_up", "sort_detailed_down",
+    "grade_up", "grade_down", "rank",
+    "gather", "scatter", "copy_array", "transpose", "reduce", "scan",
+    "random_fibonacci", "random_lcg", "rand_fib", "rand_lcg",
+    "declare_sparse", "sparse_matvec", "sparse_solve",
+    "walsh", "trans", "zero_elements", "set_array_element", "get_array_element",
+    "to_ScaLAPACK_desc", "from_ScaLAPACK_desc",
+)
+
+
+def blas_routines() -> list[str]:
+    """Typed BLAS routine names, e.g. ``dgemm``, ``saxpy`` (Figure 1(b))."""
+    return sorted(t + op for t in _TYPES for op in _BLAS_OPS)
+
+
+def lapack_routines() -> list[str]:
+    """Typed LAPACK driver/computational routine names, e.g. ``dgetrf``."""
+    return sorted(t + op for t in _TYPES for op in _LAPACK_OPS)
+
+
+def scalapack_routines() -> list[str]:
+    """ScaLAPACK names: ``p`` + type + operation, e.g. ``pdgesv``.
+
+    Upper-cased first letter ``P`` as the paper uses ("the ScaLapack
+    library whose functions begin with 'P'")."""
+    return sorted("P" + t + op for t in _TYPES for op in _SCALAPACK_OPS)
+
+
+def s3l_routines() -> list[str]:
+    """Sun S3L names: ``S3L_`` + operation (the Figure 8 hot spot)."""
+    return sorted("S3L_" + op for op in _S3L_OPS)
+
+
+def grid_service_corpus() -> list[str]:
+    """The full corpus the experiments register: BLAS + LAPACK + ScaLAPACK
+    + S3L — about a thousand keys with deep shared-prefix structure."""
+    return sorted(
+        set(blas_routines()) | set(lapack_routines())
+        | set(scalapack_routines()) | set(s3l_routines())
+    )
+
+
+def paper_figure1_binary_keys() -> list[str]:
+    """The exact binary keys of the paper's Figure 1(a)."""
+    return ["01", "10101", "10111", "101111"]
+
+
+def random_binary_keys(rng, count: int, length: int = 12) -> list[str]:
+    """Uniform random distinct binary keys (synthetic workloads)."""
+    keys: set[str] = set()
+    limit = 2**length
+    if count > limit:
+        raise ValueError(f"cannot draw {count} distinct {length}-bit keys")
+    while len(keys) < count:
+        keys.add(format(rng.randrange(limit), f"0{length}b"))
+    return sorted(keys)
+
+
+def keys_with_prefix(keys: Sequence[str], prefix: str) -> list[str]:
+    """Subset of ``keys`` extending ``prefix`` (hot-spot targeting)."""
+    return [k for k in keys if k.startswith(prefix)]

@@ -1,0 +1,155 @@
+"""Discovery-request generators.
+
+Section 4 uses two request regimes:
+
+* "services requested were randomly picked among the set of available
+  services" — :class:`UniformRequests`;
+* the Figure 8 hot spots — "temporarily launching many discovery requests on
+  some keys stored in the same region of the tree i.e., lexicographically
+  close, in bursts" — :class:`HotSpotRequests` concentrated on a prefix,
+  scheduled over time by :class:`PhasedSchedule`.
+
+:class:`ZipfRequests` is an extension (skewed popularity without locality)
+used by ablation benches.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+from .keys import keys_with_prefix
+
+
+class RequestGenerator(Protocol):
+    """Draws the key of the next discovery request."""
+
+    def sample(self, rng, available_keys: Sequence[str]) -> str:  # pragma: no cover
+        ...
+
+
+class UniformRequests:
+    """Uniform over the currently available keys."""
+
+    name = "uniform"
+
+    def sample(self, rng, available_keys: Sequence[str]) -> str:
+        return available_keys[rng.randrange(len(available_keys))]
+
+
+class HotSpotRequests:
+    """With probability ``intensity``, request a key under ``prefix``;
+    otherwise fall back to uniform.  Models a library suddenly becoming
+    popular (S3L between units 40–80, ScaLAPACK's ``P`` after 80)."""
+
+    def __init__(self, prefix: str, intensity: float = 0.8) -> None:
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError("intensity must be in (0, 1]")
+        self.prefix = prefix
+        self.intensity = intensity
+        self.name = f"hotspot:{prefix}"
+        self._cached_for: Optional[tuple[int, str]] = None
+        self._hot: list[str] = []
+
+    def _hot_keys(self, available_keys: Sequence[str]) -> list[str]:
+        # The key population changes only when the tree grows; cache per
+        # (size, first key) fingerprint to avoid rescanning every draw.
+        fingerprint = (len(available_keys), available_keys[0] if available_keys else "")
+        if self._cached_for != fingerprint:
+            self._hot = keys_with_prefix(available_keys, self.prefix)
+            self._cached_for = fingerprint
+        return self._hot
+
+    def sample(self, rng, available_keys: Sequence[str]) -> str:
+        hot = self._hot_keys(available_keys)
+        if hot and rng.random() < self.intensity:
+            return hot[rng.randrange(len(hot))]
+        return available_keys[rng.randrange(len(available_keys))]
+
+
+class ZipfRequests:
+    """Zipf(s) popularity over a fixed key ranking (rank 1 = hottest).
+
+    The ranking permutation is drawn once per generator from ``seed_rng`` so
+    repeated units target the same hot keys.
+    """
+
+    def __init__(self, s: float = 1.0, seed_rng=None) -> None:
+        if s <= 0:
+            raise ValueError("Zipf exponent must be positive")
+        self.s = s
+        self.name = f"zipf:{s}"
+        self._perm: Optional[list[int]] = None
+        self._cdf: list[float] = []
+        self._n = 0
+        self._seed_rng = seed_rng
+
+    def _prepare(self, n: int, rng) -> None:
+        if self._n == n:
+            return
+        weights = [1.0 / (i + 1) ** self.s for i in range(n)]
+        total = sum(weights)
+        self._cdf = list(itertools.accumulate(w / total for w in weights))
+        order_rng = self._seed_rng or rng
+        perm = list(range(n))
+        order_rng.shuffle(perm)
+        self._perm = perm
+        self._n = n
+
+    def sample(self, rng, available_keys: Sequence[str]) -> str:
+        n = len(available_keys)
+        self._prepare(n, rng)
+        rank = bisect.bisect_left(self._cdf, rng.random())
+        rank = min(rank, n - 1)
+        return available_keys[self._perm[rank]]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A half-open time window ``[start, end)`` driven by one generator."""
+
+    start: int
+    end: int
+    generator: RequestGenerator
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"bad phase window [{self.start}, {self.end})")
+
+
+class PhasedSchedule:
+    """Time-varying workload: the generator in force depends on the unit.
+
+    Unit indices outside every phase fall back to uniform requests.
+    """
+
+    def __init__(self, phases: Sequence[Phase]) -> None:
+        self.phases = sorted(phases, key=lambda p: p.start)
+        for a, b in zip(self.phases, self.phases[1:]):
+            if a.end > b.start:
+                raise ValueError(f"overlapping phases at unit {b.start}")
+        self._fallback = UniformRequests()
+
+    def generator_at(self, unit: int) -> RequestGenerator:
+        for phase in self.phases:
+            if phase.start <= unit < phase.end:
+                return phase.generator
+        return self._fallback
+
+    def sample(self, unit: int, rng, available_keys: Sequence[str]) -> str:
+        return self.generator_at(unit).sample(rng, available_keys)
+
+
+def figure8_schedule(intensity: float = 0.8) -> PhasedSchedule:
+    """The exact Figure 8 timeline: uniform for units 0–40, an S3L hot spot
+    for 40–80, a ScaLAPACK ("P") hot spot for 80–120, uniform afterwards."""
+    return PhasedSchedule(
+        [
+            Phase(0, 40, UniformRequests()),
+            Phase(40, 80, HotSpotRequests("S3L", intensity=intensity)),
+            Phase(80, 120, HotSpotRequests("P", intensity=intensity)),
+            Phase(120, 10_000, UniformRequests()),
+        ]
+    )

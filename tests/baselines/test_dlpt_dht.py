@@ -1,0 +1,102 @@
+"""Hashed (random) mapping: the DLPT-over-DHT baseline of Figure 9."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dlpt_dht import HashedMapping
+from repro.core.alphabet import BINARY
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity
+
+binary_keys = st.text(alphabet="01", min_size=1, max_size=8)
+
+
+def hashed_system(rng, n_peers=6):
+    s = DLPTSystem(
+        alphabet=BINARY,
+        capacity_model=FixedCapacity(1000),
+        mapping_factory=HashedMapping,
+    )
+    s.build(rng, n_peers)
+    return s
+
+
+class TestHashedMapping:
+    def test_nodes_assigned_by_hash(self, rng):
+        s = hashed_system(rng)
+        s.register("1010")
+        s.mapping.check_invariants()
+
+    def test_join_leave_migrations(self, rng):
+        s = hashed_system(rng, n_peers=3)
+        for k in ("000", "010", "101", "111", "0", "1"):
+            s.register(k)
+        s.add_peer(rng)
+        s.mapping.check_invariants()
+        victim = s.ring.peers()[0]
+        s.remove_peer(victim.id)
+        s.mapping.check_invariants()
+
+    def test_reposition_unsupported(self, rng):
+        s = hashed_system(rng)
+        s.register("1")
+        with pytest.raises(NotImplementedError):
+            s.mapping.reposition(s.ring.peers()[0], "zzz")
+
+    def test_discovery_still_works(self, rng):
+        s = hashed_system(rng)
+        for k in ("000", "010", "101"):
+            s.register(k)
+        out = s.discover("101", rng=rng)
+        assert out.satisfied
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=st.lists(binary_keys, min_size=1, max_size=20),
+           seed=st.integers(0, 5000))
+    def test_invariants_under_churn(self, keys, seed):
+        rng = random.Random(seed)
+        s = hashed_system(rng, n_peers=3)
+        for i, k in enumerate(keys):
+            s.register(k)
+            if i % 3 == 0:
+                s.add_peer(rng)
+            if i % 4 == 0 and len(s.ring) > 2:
+                victims = s.ring.ids()
+                s.remove_peer(victims[rng.randrange(len(victims))])
+            s.mapping.check_invariants()
+
+
+class TestLocalityContrast:
+    def test_random_mapping_has_more_physical_hops(self, rng):
+        """The Figure 9 effect in miniature: with many peers, the hashed
+        mapping turns nearly every logical hop into a peer crossing while
+        the lexicographic mapping keeps subtrees co-located."""
+        keys = [format(i, "06b") for i in range(40)]
+
+        def mean_physical(mapping_factory):
+            r = random.Random(11)
+            s = DLPTSystem(
+                alphabet=BINARY,
+                capacity_model=FixedCapacity(10_000),
+                mapping_factory=mapping_factory,
+            )
+            s.build(r, 20)
+            for k in keys:
+                s.register(k)
+            tot = n = 0
+            for k in keys:
+                for _ in range(5):
+                    out = s.discover(k, rng=r)
+                    if out.satisfied:
+                        tot += out.physical_hops
+                        n += 1
+            return tot / n
+
+        lex = mean_physical(None)
+        rnd = mean_physical(HashedMapping)
+        assert rnd > lex

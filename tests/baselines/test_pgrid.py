@@ -1,0 +1,107 @@
+"""P-Grid: partition construction, routing, state size."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pgrid import PGrid
+from repro.workloads.keys import random_binary_keys
+
+
+def make_grid(n_peers=16, n_keys=40, key_bits=8, seed=1):
+    rng = random.Random(seed)
+    keys = random_binary_keys(rng, n_keys, length=key_bits)
+    peer_ids = [f"p{i:03d}" for i in range(n_peers)]
+    return PGrid(peer_ids, keys, key_bits=key_bits, rng=rng), keys
+
+
+class TestConstruction:
+    def test_partitions_are_prefix_free(self):
+        grid, _ = make_grid()
+        grid.check_invariants()
+
+    def test_every_peer_has_a_path(self):
+        grid, _ = make_grid()
+        assert all(p.path in grid.by_path for p in grid.peers.values())
+
+    def test_replication_when_more_peers_than_partitions(self):
+        grid, _ = make_grid(n_peers=32, n_keys=8)
+        counts = [len(v) for v in grid.by_path.values()]
+        assert max(counts) >= 2  # some partition replicated
+
+    def test_needs_peers(self):
+        with pytest.raises(ValueError):
+            PGrid([], ["0" * 8], key_bits=8, rng=random.Random(1))
+
+    def test_bad_key_width(self):
+        with pytest.raises(ValueError):
+            PGrid(["p"], ["010"], key_bits=8, rng=random.Random(1))
+
+
+class TestLookup:
+    def test_all_keys_found_from_all_starts(self):
+        grid, keys = make_grid(n_peers=12, n_keys=30)
+        for start in list(grid.peers)[:6]:
+            for k in keys[:10]:
+                found, hops = grid.lookup(k, start_peer=start)
+                assert found, (start, k)
+
+    def test_absent_key_reports_not_found(self):
+        grid, keys = make_grid()
+        missing = next(
+            format(i, "08b") for i in range(256) if format(i, "08b") not in set(keys)
+        )
+        found, _ = grid.lookup(missing)
+        assert not found
+
+    def test_hops_bounded_by_path_length(self):
+        grid, keys = make_grid(n_peers=32, n_keys=100)
+        max_path = max(len(p.path) for p in grid.peers.values())
+        for k in keys[:20]:
+            _, hops = grid.lookup(k)
+            assert hops <= max_path + 2
+
+    def test_hops_scale_with_partitions(self):
+        """O(log |Π|): doubling partitions adds ~1 hop, not ~|Π| hops."""
+        rng = random.Random(3)
+        small, keys_s = make_grid(n_peers=8, n_keys=64, seed=3)
+        large, keys_l = make_grid(n_peers=64, n_keys=512, key_bits=12, seed=3)
+        mean = lambda g, ks: sum(g.lookup(k)[1] for k in ks[:50]) / 50
+        m_small, m_large = mean(small, keys_s), mean(large, keys_l)
+        assert m_large <= m_small + math.log2(large.n_partitions / max(small.n_partitions, 1)) + 3
+
+
+class TestRange:
+    def test_range_matches_filter(self):
+        grid, keys = make_grid(n_peers=12, n_keys=50)
+        lo, hi = "00100000", "11000000"
+        out, hops = grid.range_query(lo, hi)
+        assert out == sorted(k for k in keys if lo <= k <= hi)
+
+    def test_bad_range(self):
+        grid, _ = make_grid()
+        with pytest.raises(ValueError):
+            grid.range_query("1" * 8, "0" * 8)
+
+
+class TestState:
+    def test_state_size_is_logarithmic(self):
+        grid, _ = make_grid(n_peers=32, n_keys=200)
+        # Mean routing state ~ path length ~ log2(|Π|), far below |Π|.
+        assert grid.mean_state_size() <= 4 * math.log2(max(grid.n_partitions, 2)) + 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100), n_keys=st.integers(4, 60))
+    def test_membership_invariant_random_instances(self, seed, n_keys):
+        rng = random.Random(seed)
+        keys = random_binary_keys(rng, n_keys, length=8)
+        grid = PGrid([f"p{i}" for i in range(10)], keys, key_bits=8, rng=rng)
+        grid.check_invariants()
+        for k in keys:
+            found, _ = grid.lookup(k)
+            assert found

@@ -1,0 +1,140 @@
+"""Prefix Hash Tree: trie maintenance, lookup modes, ranges, costs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.pht import PrefixHashTree
+from repro.dht.chord import ChordRing
+from repro.workloads.keys import random_binary_keys
+
+
+def make_pht(n_peers=16, key_bits=8, leaf_capacity=2):
+    chord = ChordRing(bits=24)
+    for i in range(n_peers):
+        chord.add_peer(f"p{i:03d}")
+    return PrefixHashTree(chord, key_bits=key_bits, leaf_capacity=leaf_capacity)
+
+
+class TestInsertAndSplit:
+    def test_root_leaf_initially(self):
+        pht = make_pht()
+        assert pht.leaf_count() == 1
+
+    def test_insert_within_capacity_no_split(self):
+        pht = make_pht(leaf_capacity=4)
+        pht.insert("00000000")
+        pht.insert("11111111")
+        assert pht.leaf_count() == 1
+        pht.check_invariants()
+
+    def test_overflow_splits(self):
+        pht = make_pht(leaf_capacity=2)
+        for k in ("00000000", "01111111", "10000000"):
+            pht.insert(k)
+        assert pht.leaf_count() >= 2
+        pht.check_invariants()
+
+    def test_skewed_keys_split_recursively(self):
+        pht = make_pht(leaf_capacity=2)
+        for k in ("00000000", "00000001", "00000010", "00000011"):
+            pht.insert(k)
+        pht.check_invariants()
+        # All keys share 6 leading zeros: the trie must go deep.
+        assert any(len(p) >= 3 for p, n in pht.nodes.items() if n.is_leaf)
+
+    def test_bad_key_rejected(self):
+        pht = make_pht(key_bits=8)
+        with pytest.raises(ValueError):
+            pht.insert("0101")  # wrong width
+        with pytest.raises(ValueError):
+            pht.insert("0101010x")
+
+    def test_bad_leaf_capacity(self):
+        with pytest.raises(ValueError):
+            PrefixHashTree(ChordRing(), leaf_capacity=0)
+
+
+class TestLookup:
+    @pytest.fixture
+    def loaded(self):
+        pht = make_pht(key_bits=8, leaf_capacity=2)
+        rng = random.Random(4)
+        self.keys = random_binary_keys(rng, 30, length=8)
+        for k in self.keys:
+            pht.insert(k)
+        return pht
+
+    def test_linear_finds_present_keys(self, loaded):
+        for k in self.keys:
+            assert loaded.lookup(k, mode="linear").found
+
+    def test_binary_agrees_with_linear(self, loaded):
+        for k in self.keys[:10]:
+            lin = loaded.lookup(k, mode="linear")
+            binr = loaded.lookup(k, mode="binary")
+            assert lin.leaf_prefix == binr.leaf_prefix
+            assert lin.found == binr.found
+
+    def test_absent_key_not_found(self, loaded):
+        missing = next(
+            format(i, "08b") for i in range(256)
+            if format(i, "08b") not in set(self.keys)
+        )
+        assert not loaded.lookup(missing).found
+
+    def test_unknown_mode(self, loaded):
+        with pytest.raises(ValueError):
+            loaded.lookup("00000000", mode="psychic")
+
+    def test_linear_costs_one_dht_get_per_level(self, loaded):
+        res = loaded.lookup(self.keys[0], mode="linear")
+        assert res.trie_steps == len(res.leaf_prefix) + 1
+
+
+class TestRange:
+    def test_range_matches_filter(self):
+        pht = make_pht(key_bits=8, leaf_capacity=2)
+        rng = random.Random(7)
+        keys = random_binary_keys(rng, 40, length=8)
+        for k in keys:
+            pht.insert(k)
+        lo, hi = "00100000", "11000000"
+        out, hops = pht.range_query(lo, hi)
+        assert out == sorted(k for k in keys if lo <= k <= hi)
+        assert hops >= 0
+
+    def test_bad_range(self):
+        pht = make_pht()
+        with pytest.raises(ValueError):
+            pht.range_query("11111111", "00000000")
+
+
+class TestCostsAndState:
+    def test_dht_hops_accumulate(self):
+        pht = make_pht()
+        before = pht.total_dht_hops
+        pht.insert("00000000")
+        assert pht.total_dht_hops >= before
+
+    def test_local_state_covers_all_nodes(self):
+        pht = make_pht(leaf_capacity=1, key_bits=8)
+        for k in ("00000000", "10000000", "01000000", "11000000"):
+            pht.insert(k)
+        state = pht.local_state()
+        assert sum(state.values()) == len(pht.nodes)
+
+    @settings(max_examples=30, deadline=None)
+    @given(keys=st.sets(st.text(alphabet="01", min_size=8, max_size=8),
+                        min_size=1, max_size=40))
+    def test_invariants_and_membership(self, keys):
+        pht = make_pht(key_bits=8, leaf_capacity=3)
+        for k in keys:
+            pht.insert(k)
+        pht.check_invariants()
+        for k in keys:
+            assert pht.lookup(k).found

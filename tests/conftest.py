@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.alphabet import BINARY, PRINTABLE
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity, UniformCapacity
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG; tests must not depend on global random state."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_corpus():
+    """A hand-picked corpus exercising every prefix relationship: shared
+    prefixes at several depths, one key prefixing another, and disjoint
+    top-level families."""
+    return [
+        "dgemm", "dgemv", "dgetrf", "daxpy", "ddot",
+        "sgemm", "sgemv", "saxpy",
+        "S3L_fft", "S3L_sort", "S3L_mat_mult",
+        "Pdgesv", "Psgesv",
+        "zherk", "zher2k",  # zherk prefixes zher2k? no: 'zher2k' vs 'zherk' diverge at 4
+        "cg", "cgemm",      # 'cg' is a proper prefix of 'cgemm'
+    ]
+
+
+@pytest.fixture
+def binary_system(rng):
+    """A small DLPT over the binary alphabet with generous capacities."""
+    system = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(10_000))
+    system.build(rng, n_peers=8)
+    return system
+
+
+@pytest.fixture
+def grid_system(rng):
+    """A DLPT over printable ids with paper-style heterogeneous capacities."""
+    system = DLPTSystem(alphabet=PRINTABLE, capacity_model=UniformCapacity(base=5, ratio=4))
+    system.build(rng, n_peers=20)
+    return system

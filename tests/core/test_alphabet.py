@@ -1,0 +1,107 @@
+"""Alphabets: validation, ordering, identifier generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.alphabet import BINARY, PRINTABLE, Alphabet, alphabet_for
+
+
+class TestConstruction:
+    def test_binary_has_two_digits(self):
+        assert BINARY.size == 2
+        assert list(BINARY) == ["0", "1"]
+
+    def test_printable_covers_routine_names(self):
+        for name in ("dgemm", "S3L_fft", "Pdgesv", "zher2k"):
+            assert PRINTABLE.is_valid(name)
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet(digits=())
+
+    def test_multichar_digit_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet(digits=("ab",))
+
+    def test_duplicate_digit_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet(digits=("0", "0"))
+
+    def test_len_and_contains(self):
+        assert len(BINARY) == 2
+        assert "0" in BINARY and "x" not in BINARY
+
+
+class TestValidation:
+    def test_validate_accepts_epsilon(self):
+        assert BINARY.validate("") == ""
+
+    def test_validate_rejects_foreign_digit(self):
+        with pytest.raises(ValueError, match="not a digit"):
+            BINARY.validate("10 2")
+
+    def test_is_valid_mirror(self):
+        assert BINARY.is_valid("0101")
+        assert not BINARY.is_valid("012")
+
+
+class TestOrdering:
+    def test_natural_order_flags(self):
+        assert BINARY.is_natural_order
+        assert PRINTABLE.is_natural_order
+
+    def test_rank(self):
+        assert BINARY.rank("0") == 0
+        assert BINARY.rank("1") == 1
+        with pytest.raises(ValueError):
+            BINARY.rank("2")
+
+    def test_compare_natural(self):
+        assert BINARY.compare("01", "10") == -1
+        assert BINARY.compare("10", "10") == 0
+        assert BINARY.compare("11", "10") == 1
+
+    def test_custom_order_compare(self):
+        # Reverse-ordered binary alphabet: '1' sorts before '0'.
+        rev = Alphabet(digits=("1", "0"), name="rev")
+        assert not rev.is_natural_order
+        assert rev.compare("1", "0") == -1
+        assert rev.sort_key("10") == (0, 1)
+
+    @given(a=st.text(alphabet="01", max_size=8), b=st.text(alphabet="01", max_size=8))
+    def test_compare_consistent_with_python_strings(self, a, b):
+        assert BINARY.compare(a, b) == (a > b) - (a < b)
+
+
+class TestGeneration:
+    def test_random_identifier_length_and_digits(self):
+        rng = random.Random(1)
+        ident = PRINTABLE.random_identifier(rng, 16)
+        assert len(ident) == 16
+        assert PRINTABLE.is_valid(ident)
+
+    def test_random_identifier_zero_length(self):
+        assert BINARY.random_identifier(random.Random(1), 0) == ""
+
+    def test_random_identifier_negative_raises(self):
+        with pytest.raises(ValueError):
+            BINARY.random_identifier(random.Random(1), -1)
+
+    def test_deterministic_for_seed(self):
+        a = BINARY.random_identifier(random.Random(7), 20)
+        b = BINARY.random_identifier(random.Random(7), 20)
+        assert a == b
+
+    def test_alphabet_for_infers_cover(self):
+        alpha = alphabet_for(["dgemm", "S3L"])
+        for ch in "dgemmS3L_":
+            if ch != "_":
+                assert ch in alpha
+
+    def test_alphabet_for_empty_collection(self):
+        assert alphabet_for([]).size == 1

@@ -1,0 +1,162 @@
+"""Identifier algebra: the exact laws of paper Section 2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ids import (
+    EPSILON,
+    common_prefix_len,
+    concat,
+    gcp,
+    gcp_many,
+    is_prefix,
+    is_proper_prefix,
+    length,
+    pgcp,
+    prefix_set,
+    prefixes,
+)
+
+binary_ids = st.text(alphabet="01", min_size=0, max_size=12)
+binary_ids_nonempty = st.text(alphabet="01", min_size=1, max_size=12)
+
+
+class TestPrefixPredicates:
+    def test_epsilon_prefixes_everything(self):
+        assert is_prefix("", "10101")
+        assert is_prefix("", "")
+
+    def test_identity_is_prefix_not_proper(self):
+        assert is_prefix("101", "101")
+        assert not is_proper_prefix("101", "101")
+
+    def test_basic_proper_prefix(self):
+        assert is_proper_prefix("10", "101")
+        assert not is_proper_prefix("11", "101")
+
+    def test_longer_never_prefixes_shorter(self):
+        assert not is_prefix("1010", "101")
+
+    @given(u=binary_ids, w=binary_ids_nonempty)
+    def test_concatenation_makes_proper_prefix(self, u, w):
+        assert is_proper_prefix(u, u + w)
+
+    @given(u=binary_ids, v=binary_ids)
+    def test_proper_prefix_iff_decomposition(self, u, v):
+        # u proper-prefixes v  <=>  exists non-empty w with v = uw.
+        if is_proper_prefix(u, v):
+            w = v[len(u):]
+            assert w and u + w == v
+
+
+class TestGCP:
+    def test_paper_example(self):
+        # Section 3: "GCP(101, 100) = 10".
+        assert gcp("101", "100") == "10"
+
+    def test_disjoint(self):
+        assert gcp("01", "10") == ""
+
+    def test_identical(self):
+        assert gcp("1011", "1011") == "1011"
+
+    def test_one_prefixes_other(self):
+        assert gcp("10", "10111") == "10"
+
+    def test_gcp_many_three(self):
+        assert gcp_many(["10101", "10111", "101111"]) == "101"
+
+    def test_gcp_many_single(self):
+        assert gcp_many(["abc"]) == "abc"
+
+    def test_gcp_many_empty_raises(self):
+        with pytest.raises(ValueError):
+            gcp_many([])
+
+    @given(a=binary_ids, b=binary_ids)
+    def test_commutative(self, a, b):
+        assert gcp(a, b) == gcp(b, a)
+
+    @given(a=binary_ids, b=binary_ids, c=binary_ids)
+    def test_associative(self, a, b, c):
+        assert gcp(gcp(a, b), c) == gcp(a, gcp(b, c))
+
+    @given(a=binary_ids, b=binary_ids)
+    def test_result_prefixes_both(self, a, b):
+        g = gcp(a, b)
+        assert is_prefix(g, a) and is_prefix(g, b)
+
+    @given(a=binary_ids, b=binary_ids)
+    def test_maximality(self, a, b):
+        # No longer shared prefix exists.
+        g = gcp(a, b)
+        if len(g) < min(len(a), len(b)):
+            assert a[len(g)] != b[len(g)]
+
+    @given(a=binary_ids)
+    def test_idempotent(self, a):
+        assert gcp(a, a) == a
+
+
+class TestPGCP:
+    def test_plain_divergence(self):
+        assert pgcp(["101", "100"]) == "10"
+
+    def test_one_id_prefixing_all_shortens(self):
+        # GCP(10, 101) = 10 = one of the ids -> PGCP must drop a digit.
+        assert pgcp(["10", "101"]) == "1"
+
+    def test_single_identifier(self):
+        assert pgcp(["101"]) == "10"
+
+    def test_empty_id_in_collection_raises(self):
+        with pytest.raises(ValueError):
+            pgcp(["", "01"])
+
+    @given(ids=st.lists(binary_ids_nonempty, min_size=2, max_size=6))
+    def test_pgcp_is_proper_prefix_of_all(self, ids):
+        p = pgcp(ids)
+        for w in ids:
+            assert is_prefix(p, w) and p != w
+
+
+class TestPrefixes:
+    def test_paper_example(self):
+        # Section 3: Prefixes(10101) = {ε, 1, 10, 101, 1010}.
+        assert prefixes("10101") == ["", "1", "10", "101", "1010"]
+
+    def test_epsilon_has_no_proper_prefix(self):
+        assert prefixes("") == []
+
+    def test_prefix_set_matches_list(self):
+        assert prefix_set("1010") == frozenset(prefixes("1010"))
+
+    @given(w=binary_ids)
+    def test_count_equals_length(self, w):
+        assert len(prefixes(w)) == len(w)
+
+    @given(w=binary_ids_nonempty)
+    def test_all_proper(self, w):
+        for p in prefixes(w):
+            assert is_proper_prefix(p, w)
+
+
+class TestConcatAndLength:
+    @given(w=binary_ids)
+    def test_epsilon_identity(self, w):
+        # Section 2: wε = εw = w.
+        assert concat(EPSILON, w) == w == concat(w, EPSILON)
+
+    @given(u=binary_ids, v=binary_ids)
+    def test_length_additive(self, u, v):
+        assert length(concat(u, v)) == length(u) + length(v)
+
+    def test_epsilon_length_zero(self):
+        assert length(EPSILON) == 0
+
+    @given(a=binary_ids, b=binary_ids)
+    def test_common_prefix_len_matches_gcp(self, a, b):
+        assert common_prefix_len(a, b) == len(gcp(a, b))

@@ -1,0 +1,79 @@
+"""Circular interval arithmetic (the ring's ownership rule)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.keyspace import (
+    in_interval_closed_open,
+    in_interval_open_closed,
+    in_interval_open_open,
+    ring_distance_clockwise,
+)
+
+ids = st.text(alphabet="abc", min_size=0, max_size=5)
+
+
+class TestOpenClosed:
+    def test_plain_interval(self):
+        assert in_interval_open_closed("b", "a", "c")
+        assert in_interval_open_closed("c", "a", "c")  # closed end
+        assert not in_interval_open_closed("a", "a", "c")  # open start
+
+    def test_wrapped_interval(self):
+        # (x, b] with x > b wraps through the space's extremes.
+        assert in_interval_open_closed("z", "x", "b")
+        assert in_interval_open_closed("a", "x", "b")
+        assert not in_interval_open_closed("m", "x", "b")
+
+    def test_degenerate_full_ring(self):
+        # (a, a] covers everything: a single-peer ring owns all keys.
+        assert in_interval_open_closed("q", "a", "a")
+        assert in_interval_open_closed("a", "a", "a")
+
+    @given(x=ids, a=ids, b=ids)
+    def test_complement_of_open_closed_is_open_closed(self, x, a, b):
+        # The ring is partitioned: x ∈ (a,b] xor x ∈ (b,a] — except x==a==b.
+        if a != b:
+            assert in_interval_open_closed(x, a, b) != in_interval_open_closed(x, b, a)
+
+
+class TestOpenOpen:
+    def test_plain(self):
+        assert in_interval_open_open("b", "a", "c")
+        assert not in_interval_open_open("c", "a", "c")
+
+    def test_wrapped(self):
+        assert in_interval_open_open("z", "x", "b")
+        assert not in_interval_open_open("x", "x", "b")
+
+    def test_degenerate_everything_but_a(self):
+        assert in_interval_open_open("b", "a", "a")
+        assert not in_interval_open_open("a", "a", "a")
+
+
+class TestClosedOpen:
+    def test_plain(self):
+        assert in_interval_closed_open("a", "a", "c")
+        assert not in_interval_closed_open("c", "a", "c")
+
+    def test_degenerate_everything(self):
+        assert in_interval_closed_open("a", "a", "a")
+        assert in_interval_closed_open("z", "a", "a")
+
+
+class TestRingDistance:
+    def test_forward(self):
+        assert ring_distance_clockwise(2, 5, 16) == 3
+
+    def test_wraps(self):
+        assert ring_distance_clockwise(14, 2, 16) == 4
+
+    def test_zero(self):
+        assert ring_distance_clockwise(7, 7, 16) == 0
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            ring_distance_clockwise(0, 1, 0)

@@ -1,0 +1,79 @@
+"""Query model: match predicates and multi-attribute composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import (
+    ExactQuery,
+    MultiAttributeQuery,
+    PrefixQuery,
+    RangeQuery,
+    attribute_key,
+)
+
+
+class TestExact:
+    def test_match(self):
+        q = ExactQuery("dgemm")
+        assert q.matches("dgemm")
+        assert not q.matches("dgemv")
+
+    def test_describe(self):
+        assert ExactQuery("x").describe() == "exact:x"
+
+
+class TestPrefix:
+    def test_match(self):
+        q = PrefixQuery("dge")
+        assert q.matches("dgemm") and q.matches("dgetrf")
+        assert not q.matches("sgemm")
+
+    def test_empty_prefix_matches_all(self):
+        assert PrefixQuery("").matches("anything")
+
+
+class TestRange:
+    def test_match_inclusive_bounds(self):
+        q = RangeQuery("dgemm", "dger")
+        assert q.matches("dgemm") and q.matches("dger")
+        assert q.matches("dgemv")
+        assert not q.matches("dgesv")  # 'dges' > 'dger'
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery("z", "a")
+
+
+class TestAttributeKey:
+    def test_composition(self):
+        assert attribute_key("os", "linux") == "os=linux"
+
+    def test_separator_in_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            attribute_key("o=s", "linux")
+
+
+class TestMultiAttribute:
+    def test_requires_clause(self):
+        with pytest.raises(ValueError):
+            MultiAttributeQuery(clauses={})
+
+    def test_rebases_each_clause_kind(self):
+        q = MultiAttributeQuery(
+            clauses={
+                "name": ExactQuery("dgemm"),
+                "arch": PrefixQuery("x86"),
+                "mem": RangeQuery("128", "512"),
+            }
+        )
+        sub = q.attribute_queries()
+        assert sub["name"] == ExactQuery("name=dgemm")
+        assert sub["arch"] == PrefixQuery("arch=x86")
+        assert sub["mem"] == RangeQuery("mem=128", "mem=512")
+
+    def test_describe_is_sorted_and_stable(self):
+        q = MultiAttributeQuery(
+            clauses={"b": ExactQuery("2"), "a": ExactQuery("1")}
+        )
+        assert q.describe() == "multi:{a~exact:1, b~exact:2}"

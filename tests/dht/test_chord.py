@@ -1,0 +1,122 @@
+"""Chord ring: consistent hashing, finger routing, hop scaling."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.chord import ChordRing
+from repro.dht.hashing import hash_to_int, to_binary_string
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert hash_to_int("dgemm") == hash_to_int("dgemm")
+
+    def test_within_bits(self):
+        for bits in (8, 16, 32):
+            v = hash_to_int("key", bits)
+            assert 0 <= v < (1 << bits)
+
+    def test_bits_bounds(self):
+        with pytest.raises(ValueError):
+            hash_to_int("x", 0)
+        with pytest.raises(ValueError):
+            hash_to_int("x", 161)
+
+    def test_binary_string_width(self):
+        s = to_binary_string("key", 16)
+        assert len(s) == 16 and set(s) <= {"0", "1"}
+
+    def test_binary_string_matches_int(self):
+        assert int(to_binary_string("key", 16), 2) == hash_to_int("key", 16)
+
+
+def ring_with(n, bits=16):
+    ring = ChordRing(bits=bits)
+    for i in range(n):
+        ring.add_peer(f"peer-{i:04d}")
+    return ring
+
+
+class TestMembership:
+    def test_add_remove(self):
+        ring = ring_with(5)
+        assert len(ring) == 5
+        ring.remove_peer("peer-0000")
+        assert len(ring) == 4
+        ring.check_invariants()
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ring_with(2).remove_peer("ghost")
+
+    def test_duplicate_position_rejected(self):
+        ring = ring_with(3)
+        with pytest.raises(ValueError):
+            ring.add_peer("peer-0000")
+
+
+class TestConsistentHashing:
+    def test_successor_peer_is_clockwise_owner(self):
+        ring = ring_with(10)
+        positions = sorted(n.position for n in ring.nodes())
+        key = "some-key"
+        pos = hash_to_int(key, ring.bits)
+        expected_pos = min((p for p in positions if p >= pos), default=positions[0])
+        owner = ring.successor_peer(key)
+        assert ring.position_of(owner) == expected_pos
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(RuntimeError):
+            ChordRing().successor_position(0)
+
+    @given(n=st.integers(1, 30), key=st.text(min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_lookup_agrees_with_successor(self, n, key):
+        """Finger routing lands on the same peer consistent hashing names."""
+        ring = ring_with(n)
+        owner, hops = ring.lookup(key)
+        assert owner == ring.successor_peer(key)
+        assert hops <= n
+
+
+class TestRoutingCost:
+    def test_single_node_zero_hops(self):
+        ring = ring_with(1)
+        owner, hops = ring.lookup("k")
+        assert owner == "peer-0000" and hops == 0
+
+    def test_hops_scale_logarithmically(self):
+        """Mean lookup hops grow like (1/2)·log2(P) — Chord's classic bound
+        (checked loosely: within a factor of 2)."""
+        rng = random.Random(1)
+        means = {}
+        for n in (16, 64, 256):
+            ring = ring_with(n, bits=24)
+            hops = []
+            for i in range(300):
+                start = f"peer-{rng.randrange(n):04d}"
+                _, h = ring.lookup(f"key-{i}", start_peer=start)
+                hops.append(h)
+            means[n] = sum(hops) / len(hops)
+        for n, mean in means.items():
+            assert mean <= 2.0 * math.log2(n), (n, mean)
+        assert means[256] > means[16]
+
+    def test_lookup_from_every_start(self):
+        ring = ring_with(12)
+        for node in ring.nodes():
+            owner, hops = ring.lookup("target", start_peer=node.peer_id)
+            assert owner == ring.successor_peer("target")
+
+    def test_fingers_rebuilt_after_churn(self):
+        ring = ring_with(10)
+        ring.lookup("a")  # builds fingers
+        ring.remove_peer("peer-0003")
+        owner, _ = ring.lookup("a")  # must re-route correctly
+        assert owner == ring.successor_peer("a")

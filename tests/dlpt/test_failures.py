@@ -1,0 +1,168 @@
+"""Crash failures, successor replication and tree repair."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import BINARY
+from repro.dlpt.failures import ReplicationManager, crash_peer, repair
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity
+
+KEYS = ["000", "001", "010", "011", "100", "101", "110", "111"]
+
+
+def build(rng, n_peers=8, keys=KEYS):
+    s = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(1000))
+    s.build(rng, n_peers)
+    for k in keys:
+        s.register(k)
+    return s
+
+
+class TestReplication:
+    def test_factor_must_be_positive(self, rng):
+        with pytest.raises(ValueError):
+            ReplicationManager(build(rng), factor=0)
+
+    def test_replicas_on_distinct_successors(self, rng):
+        s = build(rng)
+        rep = ReplicationManager(s, factor=2)
+        peers = rep.replica_peers("101")
+        host = s.mapping.host_of("101")
+        assert host not in peers
+        assert len({p.id for p in peers}) == len(peers) <= 2
+
+    def test_replicate_all_covers_every_key(self, rng):
+        s = build(rng)
+        rep = ReplicationManager(s, factor=1)
+        writes = rep.replicate_all()
+        assert writes >= len(KEYS)
+        assert set(rep.surviving_records()) == set(KEYS)
+
+    def test_structural_nodes_not_replicated(self, rng):
+        s = build(rng)
+        rep = ReplicationManager(s, factor=1)
+        rep.replicate_all()
+        # structural labels (e.g. "0", "00") carry no data records.
+        assert all(k in KEYS for k in rep.surviving_records())
+
+    def test_dead_peer_store_dropped(self, rng):
+        s = build(rng)
+        rep = ReplicationManager(s, factor=1)
+        rep.replicate_all()
+        some_peer = next(iter(rep.stores))
+        rep.on_peer_removed(some_peer)
+        assert some_peer not in rep.stores
+
+    def test_single_peer_ring_has_no_replica_targets(self, rng):
+        s = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(10))
+        s.build(rng, 1)
+        s.register("1")
+        rep = ReplicationManager(s, factor=3)
+        assert rep.replica_peers("1") == []
+
+
+class TestCrash:
+    def test_crash_loses_hosted_nodes(self, rng):
+        s = build(rng)
+        victim = max(s.ring.peers(), key=lambda p: len(p.nodes))
+        hosted = set(victim.nodes)
+        report = crash_peer(s, victim.id)
+        assert report.lost_nodes == hosted
+        assert victim.id not in s.ring
+        for lbl in hosted:
+            assert s.tree.node(lbl) is None
+
+    def test_crash_reports_lost_keys_only(self, rng):
+        s = build(rng)
+        victim = max(s.ring.peers(), key=lambda p: len(p.nodes))
+        report = crash_peer(s, victim.id)
+        assert report.lost_keys <= report.lost_nodes
+        assert all(k in KEYS for k in report.lost_keys)
+
+    def test_cannot_crash_last_peer(self, rng):
+        s = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(10))
+        s.build(rng, 1)
+        with pytest.raises(RuntimeError):
+            crash_peer(s, s.ring.peers()[0].id)
+
+    def test_crash_without_nodes_is_clean(self, rng):
+        s = build(rng)
+        victim = min(s.ring.peers(), key=lambda p: len(p.nodes))
+        if victim.nodes:
+            pytest.skip("every peer hosts nodes in this draw")
+        crash_peer(s, victim.id)
+        s.check_invariants()
+
+
+class TestRepair:
+    def test_repair_without_replication_keeps_survivors(self, rng):
+        s = build(rng)
+        victim = max(s.ring.peers(), key=lambda p: len(p.nodes))
+        report = crash_peer(s, victim.id)
+        rr = repair(s, None, lost_keys=report.lost_keys)
+        s.check_invariants()
+        assert rr.unrecoverable_keys == report.lost_keys
+        assert s.registered_keys() == set(KEYS) - set(report.lost_keys)
+
+    def test_repair_with_replication_recovers_everything(self, rng):
+        s = build(rng)
+        rep = ReplicationManager(s, factor=2)
+        rep.replicate_all()
+        victim = max(s.ring.peers(), key=lambda p: len(p.nodes))
+        report = crash_peer(s, victim.id)
+        rep.on_peer_removed(victim.id)
+        rr = repair(s, rep, lost_keys=report.lost_keys)
+        s.check_invariants()
+        assert rr.unrecoverable_keys == frozenset()
+        assert s.registered_keys() == set(KEYS)
+
+    def test_repair_preserves_data_values(self, rng):
+        s = build(rng, keys=[])
+        s.register("1010", "server-A")
+        s.register("1010", "server-B")
+        rep = ReplicationManager(s, factor=2)
+        rep.replicate_all()
+        victim = s.mapping.host_of("1010")
+        report = crash_peer(s, victim.id)
+        repair(s, rep, lost_keys=report.lost_keys)
+        assert s.tree.node("1010").data == {"server-A", "server-B"}
+
+    def test_repair_counts_cost(self, rng):
+        s = build(rng)
+        rep = ReplicationManager(s, factor=1)
+        rep.replicate_all()
+        victim = max(s.ring.peers(), key=lambda p: len(p.nodes))
+        report = crash_peer(s, victim.id)
+        rr = repair(s, rep, lost_keys=report.lost_keys)
+        # Rebuild re-registers every surviving + recovered key once per datum.
+        assert rr.reinserted_keys == len(KEYS) - len(rr.unrecoverable_keys)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.lists(st.text(alphabet="01", min_size=1, max_size=8),
+                      min_size=1, max_size=20, unique=True),
+        seed=st.integers(0, 5000),
+        n_crashes=st.integers(1, 3),
+    )
+    def test_repair_after_multiple_crashes(self, keys, seed, n_crashes):
+        rng = random.Random(seed)
+        s = build(rng, n_peers=8, keys=keys)
+        rep = ReplicationManager(s, factor=2)
+        rep.replicate_all()
+        lost: set[str] = set()
+        for _ in range(min(n_crashes, len(s.ring) - 2)):
+            victims = s.ring.ids()
+            report = crash_peer(s, victims[rng.randrange(len(victims))])
+            rep.on_peer_removed(report.peer_id)
+            lost |= report.lost_keys
+        rr = repair(s, rep, lost_keys=frozenset(lost))
+        s.check_invariants()
+        # With factor-2 replication, a key is lost only if its host AND
+        # both replicas crashed before any re-replication.
+        assert s.registered_keys() | rr.unrecoverable_keys == set(keys)

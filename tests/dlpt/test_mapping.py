@@ -1,0 +1,135 @@
+"""Lexicographic mapping: the Section 3 hosting rule under churn and MLT."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import BINARY
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity
+
+binary_keys = st.text(alphabet="01", min_size=1, max_size=10)
+
+
+def make_system(rng, n_peers=6):
+    s = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(1000))
+    s.build(rng, n_peers)
+    return s
+
+
+class TestHostingRule:
+    def test_node_hosted_by_ceiling_peer(self, rng):
+        s = make_system(rng)
+        s.register("0101")
+        host = s.mapping.host_of("0101")
+        assert host is s.ring.successor_of_key("0101")
+
+    def test_wrap_to_min_peer(self, rng):
+        s = make_system(rng)
+        high = "1" * 30  # above every peer id (ids have length 24)
+        s.register(high)
+        assert s.mapping.host_of(high) is s.ring.min_peer()
+
+    def test_structural_nodes_are_mapped_too(self, rng):
+        s = make_system(rng)
+        s.register("1010")
+        s.register("1001")  # creates structural "10"
+        assert s.mapping.host_of("10") is s.ring.successor_of_key("10")
+
+    def test_mapping_invariant_checker(self, rng):
+        s = make_system(rng)
+        for k in ("0", "10", "110", "111"):
+            s.register(k)
+        s.mapping.check_invariants()
+
+
+class TestJoinMigration:
+    def test_join_pulls_interval_from_successor(self, rng):
+        s = make_system(rng, n_peers=2)
+        for k in ("000", "010", "101", "111"):
+            s.register(k)
+        new = s.add_peer(rng)
+        s.check_invariants()
+        # Every node the newcomer hosts is in its interval.
+        pred = s.ring.predecessor(new.id)
+        for lbl in new.nodes:
+            from repro.core.keyspace import in_interval_open_closed
+
+            assert in_interval_open_closed(lbl, pred.id, new.id)
+
+    def test_leave_pushes_nodes_to_successor(self, rng):
+        s = make_system(rng, n_peers=3)
+        for k in ("000", "010", "101", "111"):
+            s.register(k)
+        victim = s.ring.peers()[1]
+        moved = set(victim.nodes)
+        succ = s.ring.successor(victim.id)
+        s.remove_peer(victim.id)
+        s.check_invariants()
+        assert moved <= succ.nodes
+
+    def test_migration_counter_advances(self, rng):
+        s = make_system(rng, n_peers=2)
+        for k in ("000", "111"):
+            s.register(k)
+        before = s.mapping.migrations
+        s.add_peer(rng)
+        s.remove_peer(s.ring.peers()[0].id)
+        assert s.mapping.migrations >= before
+
+    def test_cannot_drain_last_peer(self, rng):
+        s = make_system(rng, n_peers=1)
+        s.register("01")
+        with pytest.raises(RuntimeError):
+            s.remove_peer(s.ring.peers()[0].id)
+
+
+class TestReposition:
+    def test_move_towards_successor_absorbs(self, rng):
+        s = make_system(rng, n_peers=3)
+        for k in ("000", "001", "010", "011", "100", "101", "110", "111"):
+            s.register(k)
+        peers = s.ring.peers()
+        p = peers[0]
+        succ = s.ring.successor(p.id)
+        if succ.nodes:
+            target = max(lbl for lbl in succ.nodes) if max(succ.nodes) < succ.id else None
+            candidates = sorted(lbl for lbl in succ.nodes if lbl < succ.id and lbl > p.id)
+            if candidates:
+                moved = s.mapping.reposition(p, candidates[0])
+                assert moved >= 1
+                s.check_invariants()
+
+    def test_noop_reposition(self, rng):
+        s = make_system(rng, n_peers=3)
+        p = s.ring.peers()[0]
+        assert s.mapping.reposition(p, p.id) == 0
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        keys=st.lists(binary_keys, min_size=1, max_size=25),
+        seed=st.integers(0, 2**16),
+        churn_ops=st.lists(st.sampled_from(["join", "leave", "insert"]), max_size=15),
+    )
+    def test_invariant_under_interleaved_churn_and_growth(self, keys, seed, churn_ops):
+        rng = random.Random(seed)
+        s = make_system(rng, n_peers=3)
+        pending = list(keys)
+        for op in churn_ops:
+            if op == "join":
+                s.add_peer(rng)
+            elif op == "leave" and len(s.ring) > 2:
+                victims = s.ring.ids()
+                s.remove_peer(victims[rng.randrange(len(victims))])
+            elif op == "insert" and pending:
+                s.register(pending.pop())
+            s.check_invariants()
+        for k in pending:
+            s.register(k)
+        s.check_invariants()

@@ -1,0 +1,99 @@
+"""Graceful leave at the message level (inverse of Algorithm 2's split)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlpt.protocol import ProtocolEngine
+
+
+def engine_with(peer_ids, keys=()):
+    eng = ProtocolEngine()
+    ids = list(peer_ids)
+    eng.bootstrap_peer(ids[0])
+    for pid in ids[1:]:
+        eng.join_peer(pid)
+        eng.run()
+    for k in keys:
+        eng.insert_data(k)
+        eng.run()
+    return eng
+
+
+class TestLeave:
+    def test_nodes_move_to_successor(self):
+        eng = engine_with(["cccc", "mmmm", "zzzz"], keys=["aa", "ll", "yy"])
+        leaver = "mmmm"
+        hosted = set(eng.peers[leaver].nodes)
+        eng.leave_peer(leaver)
+        eng.run()
+        eng.check_ring()
+        eng.check_mapping()
+        assert leaver not in eng.peers
+        assert hosted <= set(eng.peers["zzzz"].nodes)
+
+    def test_ring_pointers_heal(self):
+        eng = engine_with(["cccc", "mmmm", "zzzz"])
+        eng.leave_peer("mmmm")
+        eng.run()
+        assert eng.peers["cccc"].succ == "zzzz"
+        assert eng.peers["zzzz"].pred == "cccc"
+
+    def test_two_peer_ring_collapses_to_one(self):
+        eng = engine_with(["cccc", "mmmm"], keys=["aa"])
+        eng.leave_peer("cccc")
+        eng.run()
+        survivor = eng.peers["mmmm"]
+        assert survivor.pred == "mmmm" and survivor.succ == "mmmm"
+        assert "aa" in survivor.nodes
+
+    def test_single_peer_cannot_leave(self):
+        eng = engine_with(["cccc"])
+        with pytest.raises(RuntimeError):
+            eng.leave_peer("cccc")
+
+    def test_unknown_peer_cannot_leave(self):
+        eng = engine_with(["cccc", "mmmm"])
+        with pytest.raises(KeyError):
+            eng.leave_peer("ghost")
+
+    def test_discovery_still_works_after_leave(self):
+        eng = engine_with(["cccc", "mmmm", "zzzz"],
+                          keys=["dgemm", "dgemv", "S3L_fft"])
+        eng.leave_peer("mmmm")
+        eng.run()
+        eng.discover("dgemm")
+        eng.run()
+        assert eng.discovery_replies[-1].found
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        keys=st.lists(st.text(alphabet="01", min_size=1, max_size=6),
+                      min_size=1, max_size=10, unique=True),
+        seed=st.integers(0, 1000),
+    )
+    def test_join_leave_churn_preserves_tree(self, keys, seed):
+        """Interleaved joins and leaves never lose a node or break the
+        mapping (quiescing between membership events)."""
+        rng = random.Random(seed)
+        eng = engine_with(["mmmmmm"], keys=keys)
+        expected = eng.node_labels()
+        alive = ["mmmmmm"]
+        for _ in range(6):
+            if len(alive) > 1 and rng.random() < 0.4:
+                victim = alive.pop(rng.randrange(len(alive)))
+                eng.leave_peer(victim)
+            else:
+                pid = "".join(rng.choice("0123456789abcdef") for _ in range(6))
+                if pid not in eng.peers:
+                    eng.join_peer(pid)
+                    alive.append(pid)
+            eng.run()
+            eng.check_ring()
+            eng.check_mapping()
+            eng.check_tree()
+            assert eng.node_labels() == expected

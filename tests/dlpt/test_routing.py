@@ -1,0 +1,123 @@
+"""Discovery routing: the up-then-down traversal of Section 2."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pgcp import PGCPTree
+from repro.dlpt.routing import route_path, route_up_only, subtree_root_for_prefix
+from repro.workloads.keys import paper_figure1_binary_keys
+
+binary_keys = st.text(alphabet="01", min_size=1, max_size=10)
+
+
+def tree_of(keys):
+    t = PGCPTree()
+    for k in keys:
+        t.insert(k)
+    return t
+
+
+@pytest.fixture
+def fig1_tree():
+    return tree_of(paper_figure1_binary_keys())
+
+
+class TestRoutePath:
+    def test_request_at_target(self, fig1_tree):
+        p = route_path(fig1_tree, "10101", "10101")
+        assert p.found and p.labels == ["10101"] and p.logical_hops == 0
+
+    def test_up_then_down(self, fig1_tree):
+        p = route_path(fig1_tree, "01", "10111")
+        assert p.found
+        assert p.labels == ["01", "", "101", "10111"]
+        assert p.logical_hops == 3
+
+    def test_down_only_from_ancestor(self, fig1_tree):
+        p = route_path(fig1_tree, "101", "101111")
+        assert p.found
+        assert p.labels == ["101", "10111", "101111"]
+
+    def test_up_only_to_ancestor(self, fig1_tree):
+        p = route_path(fig1_tree, "101111", "10111")
+        assert p.found and p.labels == ["101111", "10111"]
+
+    def test_missing_key_stops_at_neighbourhood(self, fig1_tree):
+        p = route_path(fig1_tree, "01", "1110")
+        assert not p.found
+        assert p.labels[-1] == ""  # no child of ε towards 11…
+
+    def test_missing_key_below_leaf(self, fig1_tree):
+        p = route_path(fig1_tree, "01", "1010100")
+        assert not p.found
+        assert p.labels[-1] == "10101"
+
+    def test_missing_key_prefixing_a_node(self, fig1_tree):
+        # key 1010 would sit between 101 and 10101: not found.
+        p = route_path(fig1_tree, "10111", "1010")
+        assert not p.found
+
+    def test_unknown_entry_raises(self, fig1_tree):
+        with pytest.raises(KeyError):
+            route_path(fig1_tree, "zz", "01")
+
+    def test_structural_node_reachable(self, fig1_tree):
+        # Routing to a structural label succeeds (found means label match;
+        # data presence is the service layer's concern).
+        p = route_path(fig1_tree, "01", "101")
+        assert p.found
+
+    @settings(max_examples=100)
+    @given(keys=st.lists(binary_keys, min_size=1, max_size=20), data=st.data())
+    def test_every_key_reachable_from_every_entry(self, keys, data):
+        tree = tree_of(keys)
+        labels = sorted(tree.labels())
+        entry = data.draw(st.sampled_from(labels))
+        target = data.draw(st.sampled_from(sorted(keys)))
+        p = route_path(tree, entry, target)
+        assert p.found and p.labels[-1] == target
+        assert p.labels[0] == entry
+
+    @settings(max_examples=100)
+    @given(keys=st.lists(binary_keys, min_size=1, max_size=20), data=st.data())
+    def test_path_is_a_tree_walk(self, keys, data):
+        """Consecutive path labels are parent/child in the tree."""
+        tree = tree_of(keys)
+        labels = sorted(tree.labels())
+        entry = data.draw(st.sampled_from(labels))
+        target = data.draw(st.sampled_from(sorted(keys)))
+        p = route_path(tree, entry, target)
+        for a, b in zip(p.labels, p.labels[1:]):
+            na, nb = tree.node(a), tree.node(b)
+            assert nb.parent is na or na.parent is nb
+
+    @settings(max_examples=100)
+    @given(keys=st.lists(binary_keys, min_size=1, max_size=20), data=st.data())
+    def test_hops_bounded_by_twice_depth(self, keys, data):
+        tree = tree_of(keys)
+        entry = data.draw(st.sampled_from(sorted(tree.labels())))
+        target = data.draw(st.sampled_from(sorted(keys)))
+        p = route_path(tree, entry, target)
+        assert p.logical_hops <= 2 * max(tree.depth(), 1)
+
+
+class TestUpOnlyAndSubtree:
+    def test_route_up_only_stops_at_covering_ancestor(self, fig1_tree):
+        labels = route_up_only(fig1_tree, "10101", "10111")
+        assert labels == ["10101", "101"]
+
+    def test_subtree_root_exact_node(self, fig1_tree):
+        assert subtree_root_for_prefix(fig1_tree, "101").label == "101"
+
+    def test_subtree_root_between_nodes(self, fig1_tree):
+        # Prefix 1010 is covered by node 10101.
+        assert subtree_root_for_prefix(fig1_tree, "1010").label == "10101"
+
+    def test_subtree_root_missing_band(self, fig1_tree):
+        assert subtree_root_for_prefix(fig1_tree, "11") is None
+
+    def test_subtree_root_of_empty_tree(self):
+        assert subtree_root_for_prefix(PGCPTree(), "1") is None

@@ -1,0 +1,108 @@
+"""DiscoveryService facade: registration, search modes, multi-attribute."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import ExactQuery, MultiAttributeQuery, PrefixQuery, RangeQuery
+from repro.dlpt.service import DiscoveryService
+
+
+@pytest.fixture
+def service(grid_system):
+    svc = DiscoveryService(grid_system)
+    svc.register("dgemm", attributes={"lib": "blas", "prec": "double"})
+    svc.register("dgemv", attributes={"lib": "blas", "prec": "double"})
+    svc.register("sgemm", attributes={"lib": "blas", "prec": "single"})
+    svc.register("S3L_fft", attributes={"lib": "s3l", "prec": "double"})
+    return svc
+
+
+class TestRegistration:
+    def test_record_kept(self, service):
+        rec = service.record("dgemm")
+        assert rec.name == "dgemm" and rec.attributes["lib"] == "blas"
+
+    def test_len_counts_services(self, service):
+        assert len(service) == 4
+
+    def test_attribute_keys_registered_in_tree(self, service):
+        assert "lib=blas" in service.system.tree.keys()
+        assert "prec=double" in service.system.tree.keys()
+
+    def test_unregister_removes_everything(self, service):
+        assert service.unregister("S3L_fft")
+        assert service.record("S3L_fft") is None
+        assert "S3L_fft" not in service.system.tree.keys()
+        # Shared attribute keys survive for the other services…
+        assert "prec=double" in service.system.tree.keys()
+        # …but the s3l-only one is gone.
+        assert "lib=s3l" not in service.system.tree.keys()
+        service.system.check_invariants()
+
+    def test_unregister_unknown_returns_false(self, service):
+        assert not service.unregister("nope")
+
+
+class TestDiscovery:
+    def test_discover_routes(self, service, rng):
+        out = service.discover("dgemm", rng=rng)
+        assert out.satisfied
+
+    def test_complete(self, service):
+        assert service.complete("dgem") == ["dgemm", "dgemv"]
+
+    def test_complete_excludes_attribute_keys(self, service):
+        # 'lib=…' keys live in the tree but are not primary services.
+        assert service.complete("lib") == []
+
+    def test_range_search(self, service):
+        assert service.range_search("dgemm", "sgemm") == ["dgemm", "dgemv", "sgemm"]
+
+    def test_search_dispatch(self, service):
+        assert service.search(ExactQuery("dgemm")) == ["dgemm"]
+        assert service.search(PrefixQuery("S3L")) == ["S3L_fft"]
+        assert service.search(RangeQuery("a", "e")) == ["dgemm", "dgemv"]
+
+    def test_search_exact_miss(self, service):
+        assert service.search(ExactQuery("qq")) == []
+
+
+class TestMultiAttribute:
+    def test_conjunction(self, service):
+        q = MultiAttributeQuery(
+            clauses={"lib": ExactQuery("blas"), "prec": ExactQuery("double")}
+        )
+        assert service.multi_attribute_search(q) == ["dgemm", "dgemv"]
+
+    def test_prefix_clause(self, service):
+        q = MultiAttributeQuery(clauses={"lib": PrefixQuery("s")})
+        assert service.multi_attribute_search(q) == ["S3L_fft"]
+
+    def test_prefix_clause_shared_value(self, service):
+        q = MultiAttributeQuery(clauses={"lib": PrefixQuery("b")})
+        assert service.multi_attribute_search(q) == ["dgemm", "dgemv", "sgemm"]
+
+    def test_range_clause(self, service):
+        q = MultiAttributeQuery(clauses={"prec": RangeQuery("double", "single")})
+        assert set(service.multi_attribute_search(q)) == {
+            "dgemm", "dgemv", "sgemm", "S3L_fft",
+        }
+
+    def test_empty_intersection_short_circuits(self, service):
+        q = MultiAttributeQuery(
+            clauses={"lib": ExactQuery("s3l"), "prec": ExactQuery("single")}
+        )
+        assert service.multi_attribute_search(q) == []
+
+
+class TestCompletionCost:
+    def test_cost_counts_climb_plus_subtree(self, service):
+        entry = next(iter(service.system.tree.labels()))
+        cost = service.completion_route_cost("dgem", entry)
+        assert cost >= 0
+
+    def test_cost_for_missing_band(self, service):
+        entry = "dgemm"
+        cost = service.completion_route_cost("zzz", entry)
+        assert cost >= 0

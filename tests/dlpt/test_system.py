@@ -1,0 +1,198 @@
+"""DLPTSystem: registration, discovery, accounting models, time units."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.alphabet import BINARY, PRINTABLE
+from repro.dlpt.system import DLPTSystem, corpus_peer_id_sampler
+from repro.peers.capacity import FixedCapacity
+
+
+def tiny_system(rng, capacity=1000, n_peers=5):
+    s = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(capacity))
+    s.build(rng, n_peers)
+    return s
+
+
+class TestRegistration:
+    def test_register_creates_mapped_nodes(self, rng):
+        s = tiny_system(rng)
+        s.register("1010")
+        s.register("1001")
+        assert s.n_nodes == 3  # two keys + structural "10"
+        s.check_invariants()
+
+    def test_register_requires_peers(self, rng):
+        s = DLPTSystem(alphabet=BINARY)
+        with pytest.raises(RuntimeError):
+            s.register("1")
+
+    def test_register_validates_alphabet(self, rng):
+        s = tiny_system(rng)
+        with pytest.raises(ValueError):
+            s.register("xyz")
+
+    def test_unregister_contracts(self, rng):
+        s = tiny_system(rng)
+        s.register("1010")
+        s.register("1001")
+        assert s.unregister("1001")
+        s.check_invariants()
+        assert s.n_nodes == 1
+
+    def test_registered_keys(self, rng):
+        s = tiny_system(rng)
+        s.register("1010")
+        s.register("1001")
+        assert s.registered_keys() == {"1010", "1001"}
+
+
+class TestDiscovery:
+    def test_satisfied_request(self, rng):
+        s = tiny_system(rng)
+        s.register("1010")
+        out = s.discover("1010", rng=rng)
+        assert out.satisfied and out.found and not out.dropped
+
+    def test_missing_key_not_found(self, rng):
+        s = tiny_system(rng)
+        s.register("1010")
+        out = s.discover("0001", rng=rng)
+        assert not out.satisfied and not out.found and not out.dropped
+
+    def test_explicit_entry(self, rng):
+        s = tiny_system(rng)
+        s.register("1010")
+        s.register("1001")
+        out = s.discover("1010", entry_label="1001")
+        assert out.satisfied and out.logical_hops == 2  # 1001 -> 10 -> 1010
+
+    def test_entry_without_rng_raises(self, rng):
+        s = tiny_system(rng)
+        s.register("1")
+        with pytest.raises(ValueError):
+            s.discover("1")
+
+    def test_empty_tree_raises(self, rng):
+        s = tiny_system(rng)
+        with pytest.raises(RuntimeError):
+            s.discover("1", rng=rng)
+
+    def test_unknown_accounting_rejected(self, rng):
+        s = tiny_system(rng)
+        s.register("1")
+        with pytest.raises(ValueError):
+            s.discover("1", rng=rng, accounting="teleport")
+
+
+class TestDestinationAccounting:
+    def test_drop_when_destination_exhausted(self, rng):
+        s = tiny_system(rng, capacity=1)
+        s.register("1010")
+        host = s.mapping.host_of("1010")
+        first = s.discover("1010", entry_label="1010")
+        second = s.discover("1010", entry_label="1010")
+        assert first.satisfied and not second.satisfied
+        assert second.dropped_at == host.id
+
+    def test_transit_nodes_do_not_consume(self, rng):
+        s = tiny_system(rng, capacity=1)
+        s.register("1010")
+        s.register("1001")
+        # Route through the structural node "10" must not charge its host.
+        host10 = s.mapping.host_of("10")
+        used_before = host10.used
+        s.discover("1010", entry_label="1001")
+        host_dest = s.mapping.host_of("1010")
+        if host10 is not host_dest:
+            assert host10.used == used_before
+
+
+class TestTransitAccounting:
+    def test_every_hop_charges(self, rng):
+        s = tiny_system(rng, capacity=1000)
+        s.register("1010")
+        s.register("1001")
+        out = s.discover("1010", entry_label="1001", accounting="transit")
+        assert out.satisfied
+        total_used = sum(p.used for p in s.ring)
+        assert total_used == out.logical_hops + 1  # every visited node
+
+    def test_drop_mid_route(self, rng):
+        s = tiny_system(rng, capacity=1)
+        s.register("1010")
+        s.register("1001")
+        # Exhaust the host of the structural node "10" first.
+        host10 = s.mapping.host_of("10")
+        host10.used = host10.capacity
+        out = s.discover("1010", entry_label="1001", accounting="transit")
+        assert not out.satisfied and out.dropped_at == host10.id
+
+
+class TestTimeUnits:
+    def test_end_unit_aggregates_loads(self, rng):
+        s = tiny_system(rng)
+        s.register("1010")
+        for _ in range(3):
+            s.discover("1010", entry_label="1010")
+        s.end_time_unit()
+        assert s.node_last_load("1010") == 3
+        assert s.time_unit == 1
+
+    def test_budgets_reset(self, rng):
+        s = tiny_system(rng, capacity=1)
+        s.register("1")
+        assert s.discover("1", entry_label="1").satisfied
+        assert not s.discover("1", entry_label="1").satisfied
+        s.end_time_unit()
+        assert s.discover("1", entry_label="1").satisfied
+
+    def test_load_history_is_one_unit(self, rng):
+        s = tiny_system(rng)
+        s.register("1")
+        s.discover("1", entry_label="1")
+        s.end_time_unit()
+        s.end_time_unit()
+        assert s.node_last_load("1") == 0
+
+
+class TestPhysicalHops:
+    def test_same_peer_path_has_zero_physical_hops(self, rng):
+        s = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(100))
+        s.add_peer(rng, peer_id="1" * 24)  # single peer hosts everything
+        s.register("1010")
+        s.register("1001")
+        out = s.discover("1010", entry_label="1001")
+        assert out.satisfied and out.physical_hops == 0 and out.logical_hops == 2
+
+    def test_physical_bounded_by_logical(self, rng):
+        s = tiny_system(rng, n_peers=8)
+        for k in ("000", "001", "010", "011", "100", "101", "110", "111"):
+            s.register(k)
+        for _ in range(50):
+            out = s.discover("101", rng=rng)
+            assert out.physical_hops <= out.logical_hops
+
+
+class TestCorpusSampler:
+    def test_sampler_draws_near_corpus(self):
+        sampler = corpus_peer_id_sampler(["dgemm"], PRINTABLE, alignment=1.0, prefix_digits=2)
+        rng = random.Random(1)
+        pid = sampler(rng)
+        assert pid.startswith("dg")
+
+    def test_alignment_zero_is_uniform(self):
+        sampler = corpus_peer_id_sampler(["dgemm"], PRINTABLE, alignment=0.0)
+        rng = random.Random(1)
+        assert len(sampler(rng)) == 10  # suffix 8 + prefix_digits 2
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_peer_id_sampler([])
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            corpus_peer_id_sampler(["a"], alignment=1.5)

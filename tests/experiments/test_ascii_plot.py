@@ -1,0 +1,39 @@
+"""ASCII plot rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        out = ascii_plot({"a": [0, 5, 10], "b": [10, 5, 0]}, width=30, height=8)
+        assert "* a" in out and "+ b" in out
+        assert "|" in out
+
+    def test_title_line(self):
+        out = ascii_plot({"a": [0, 1]}, title="Figure 4")
+        assert out.splitlines()[0] == "Figure 4"
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1, 2], "b": [1]})
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [1]})
+
+    def test_flat_series_does_not_crash(self):
+        out = ascii_plot({"a": [5, 5, 5]})
+        assert "*" in out
+
+    def test_explicit_bounds(self):
+        out = ascii_plot({"a": [10, 90]}, y_min=0, y_max=100, height=10)
+        grid_lines = [l for l in out.splitlines() if "|" in l]
+        assert sum(l.count("*") for l in grid_lines) == 2

@@ -1,0 +1,46 @@
+"""Experiment configuration: validation and derived descriptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.lb.mlt import MLT
+
+
+class TestValidation:
+    def test_defaults_are_paper_scale(self):
+        cfg = ExperimentConfig()
+        assert cfg.n_peers == 100
+        assert cfg.growth_units == 10
+        assert cfg.total_units == 50
+        assert len(cfg.corpus) >= 600
+
+    def test_too_few_peers(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_peers=1)
+
+    def test_empty_corpus(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(corpus=[])
+
+    def test_growth_exceeding_run(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(growth_units=60, total_units=50)
+
+    def test_nonpositive_load(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(load_fraction=0)
+
+
+class TestDerived:
+    def test_with_lb_preserves_everything_else(self):
+        cfg = ExperimentConfig(load_fraction=0.24)
+        other = cfg.with_lb(MLT())
+        assert other.lb.name == "MLT"
+        assert other.load_fraction == 0.24
+        assert other.seed == cfg.seed
+
+    def test_describe_mentions_lb_and_load(self):
+        text = ExperimentConfig(load_fraction=0.4).describe()
+        assert "NoLB" in text and "40%" in text

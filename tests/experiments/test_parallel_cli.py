@@ -1,0 +1,110 @@
+"""Parallel runner determinism and the regeneration CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import (
+    compare_balancers_parallel,
+    default_workers,
+    run_many_parallel,
+)
+from repro.experiments.runner import run_many
+from repro.lb.mlt import MLT
+from repro.lb.nolb import NoLB
+from repro.workloads.keys import blas_routines
+
+TINY = dict(
+    n_peers=10, corpus=blas_routines()[:40], growth_units=2,
+    total_units=5, load_fraction=0.2,
+)
+
+
+class TestParallelRunner:
+    def test_matches_sequential_exactly(self):
+        cfg = ExperimentConfig(**TINY)
+        seq = run_many(cfg, 3)
+        par = run_many_parallel(cfg, 3, workers=3)
+        for a, b in zip(seq.runs, par.runs):
+            assert a.satisfied_pct == b.satisfied_pct
+
+    def test_single_worker_avoids_pool(self):
+        cfg = ExperimentConfig(**TINY)
+        series = run_many_parallel(cfg, 2, workers=1)
+        assert series.n_runs == 2
+
+    def test_requires_runs(self):
+        with pytest.raises(ValueError):
+            run_many_parallel(ExperimentConfig(**TINY), 0)
+
+    def test_compare_balancers_parallel_layout(self):
+        cfg = ExperimentConfig(**TINY)
+        out = compare_balancers_parallel(cfg, [MLT(), NoLB()], n_runs=2, workers=2)
+        assert set(out) == {"MLT", "NoLB"}
+        assert all(s.n_runs == 2 for s in out.values())
+
+    def test_compare_matches_sequential(self):
+        from repro.experiments.runner import compare_balancers
+
+        cfg = ExperimentConfig(**TINY)
+        seq = compare_balancers(cfg, [MLT(), NoLB()], 2)
+        par = compare_balancers_parallel(cfg, [MLT(), NoLB()], 2, workers=2)
+        for name in seq:
+            for a, b in zip(seq[name].runs, par[name].runs):
+                assert a.satisfied_pct == b.satisfied_pct
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig4", "fig8", "fig9", "table1", "table2"):
+            assert name in out
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "DLPT" in out and "O(D)" in out
+
+    def test_figure_run_small(self, capsys):
+        assert main(["fig4", "--runs", "1", "--peers", "20", "--no-plot"]) == 0
+        out = capsys.readouterr().out
+        assert "MLT enabled" in out and "time" in out
+
+
+class TestCLISubprocess:
+    def test_parallel_workers_path(self):
+        """`--workers > 1` routes the sweep through the process pool; run
+        in a subprocess so the CLI's module patching cannot leak into this
+        test session."""
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fig4", "--runs", "1",
+             "--peers", "20", "--workers", "2", "--no-plot"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "MLT enabled" in proc.stdout
+        assert "regenerated in" in proc.stdout
+
+    def test_module_entry_point_list(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "table2" in proc.stdout

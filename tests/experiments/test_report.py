@@ -1,0 +1,52 @@
+"""Report assembly from archived benchmark results."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.report import SECTIONS, build_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "fig4_stable_no_overload.txt").write_text("FIG4 BODY\n")
+    (d / "table1_gain_summary.txt").write_text("TABLE1 BODY\n")
+    (d / "custom_extra.txt").write_text("EXTRA BODY\n")
+    return d
+
+
+class TestBuildReport:
+    def test_known_sections_in_order(self, results_dir):
+        text = build_report(results_dir)
+        i_fig4 = text.index("Figure 4")
+        i_tab1 = text.index("Table 1")
+        assert i_fig4 < i_tab1
+        assert "FIG4 BODY" in text and "TABLE1 BODY" in text
+
+    def test_unknown_results_appended(self, results_dir):
+        text = build_report(results_dir)
+        assert "custom_extra" in text and "EXTRA BODY" in text
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            build_report(tmp_path / "nope")
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(tmp_path / "REPORT.md", results_dir)
+        assert out.exists()
+        assert out.read_text().startswith("# DLPT reproduction")
+
+    def test_section_table_covers_all_benches(self):
+        """Every bench archive name used in benchmarks/ has a section."""
+        stems = {s for s, _ in SECTIONS}
+        bench_dir = pathlib.Path(__file__).parents[2] / "benchmarks"
+        import re
+
+        used = set()
+        for f in bench_dir.glob("bench_*.py"):
+            used |= set(re.findall(r'archive\(\s*"([^"]+)"', f.read_text()))
+        assert used <= stems, f"unlisted archives: {used - stems}"

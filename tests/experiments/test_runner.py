@@ -1,0 +1,101 @@
+"""Experiment runner: the Section 4 time-unit loop at miniature scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    compare_balancers,
+    growth_batches,
+    run_many,
+    run_single,
+)
+from repro.lb.kchoices import KChoices
+from repro.lb.mlt import MLT
+from repro.lb.nolb import NoLB
+from repro.peers.churn import DYNAMIC, FROZEN
+from repro.util.rng import RngStreams
+from repro.workloads.keys import blas_routines
+
+TINY = dict(
+    n_peers=12,
+    corpus=blas_routines()[:60],
+    growth_units=3,
+    total_units=8,
+    load_fraction=0.2,
+)
+
+
+class TestGrowthBatches:
+    def test_partition_covers_corpus(self):
+        cfg = ExperimentConfig(**TINY)
+        batches = growth_batches(cfg, RngStreams(1))
+        flat = [k for b in batches for k in b]
+        assert sorted(flat) == sorted(cfg.corpus)
+        assert len(batches) == cfg.growth_units
+
+    def test_batches_deterministic_per_seed(self):
+        cfg = ExperimentConfig(**TINY)
+        a = growth_batches(cfg, RngStreams(5))
+        b = growth_batches(cfg, RngStreams(5))
+        assert a == b
+
+
+class TestRunSingle:
+    def test_produces_full_series(self):
+        r = run_single(ExperimentConfig(**TINY), 0)
+        assert len(r) == TINY["total_units"]
+        assert all(u.issued > 0 for u in r.units)
+
+    def test_tree_grows_then_freezes(self):
+        r = run_single(ExperimentConfig(**TINY, churn=FROZEN), 0)
+        assert r.units[0].nodes < r.units[3].nodes
+        assert r.units[3].nodes == r.units[-1].nodes
+
+    def test_churn_changes_population(self):
+        r = run_single(ExperimentConfig(**TINY, churn=DYNAMIC), 0)
+        assert all(u.peers >= 2 for u in r.units)
+
+    def test_deterministic_per_run_index(self):
+        cfg = ExperimentConfig(**TINY)
+        a = run_single(cfg, 2)
+        b = run_single(cfg, 2)
+        assert a.satisfied_pct == b.satisfied_pct
+
+    def test_run_indices_vary(self):
+        cfg = ExperimentConfig(**TINY)
+        assert run_single(cfg, 0).satisfied_pct != run_single(cfg, 1).satisfied_pct
+
+    def test_transit_accounting_runs(self):
+        r = run_single(ExperimentConfig(**TINY, accounting="transit"), 0)
+        assert r.total_issued > 0
+
+
+class TestRunMany:
+    def test_aggregates_runs(self):
+        series = run_many(ExperimentConfig(**TINY), 3)
+        assert series.n_runs == 3
+        assert len(series.mean_curve()) == TINY["total_units"]
+
+    def test_requires_runs(self):
+        with pytest.raises(ValueError):
+            run_many(ExperimentConfig(**TINY), 0)
+
+
+class TestCompareBalancers:
+    def test_common_random_numbers(self):
+        """NoLB and MLT runs share churn + workload streams: with a frozen
+        membership their issued request counts per unit are identical.
+        (Under churn the counts can drift because repositioned peer ids
+        change which peer a leave event victimises.)"""
+        cfg = ExperimentConfig(**TINY, churn=FROZEN)
+        results = compare_balancers(cfg, [MLT(), NoLB()], n_runs=2)
+        issued_mlt = [u.issued for u in results["MLT"].runs[0].units]
+        issued_nolb = [u.issued for u in results["NoLB"].runs[0].units]
+        assert issued_mlt == issued_nolb
+
+    def test_three_balancer_layout(self):
+        cfg = ExperimentConfig(**TINY)
+        results = compare_balancers(cfg, [MLT(), KChoices(), NoLB()], n_runs=1)
+        assert set(results) == {"MLT", "KC", "NoLB"}

@@ -1,0 +1,31 @@
+"""No-LB baseline: protocol placement, no periodic balancing."""
+
+from __future__ import annotations
+
+from repro.core.alphabet import BINARY
+from repro.dlpt.system import DLPTSystem
+from repro.lb.base import LoadBalancer
+from repro.lb.nolb import NoLB
+from repro.peers.capacity import FixedCapacity
+
+
+class TestNoLB:
+    def test_periodic_step_is_noop(self, rng):
+        s = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(5))
+        s.build(rng, 4)
+        s.register("101")
+        assert NoLB().run_balancing(s, rng) == 0
+
+    def test_join_id_is_valid_and_fresh(self, rng):
+        s = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(5))
+        s.build(rng, 4)
+        pid = NoLB().choose_join_id(s, capacity=5, rng=rng)
+        assert pid not in s.ring
+        assert s.alphabet.is_valid(pid)
+
+    def test_name_for_legends(self):
+        assert NoLB().name == "NoLB"
+        assert LoadBalancer().name == "NoLB"
+
+    def test_repr(self):
+        assert "NoLB" in repr(NoLB())

@@ -1,0 +1,68 @@
+"""Capacity models: ranges, heterogeneity ratio, means."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.peers.capacity import DiscreteCapacity, FixedCapacity, UniformCapacity
+
+
+class TestUniform:
+    def test_paper_ratio_four(self):
+        m = UniformCapacity(base=5, ratio=4.0)
+        rng = random.Random(1)
+        samples = [m.sample(rng) for _ in range(500)]
+        assert min(samples) >= 5 and max(samples) <= 20
+        # The full heterogeneity range is actually exercised.
+        assert min(samples) == 5 and max(samples) == 20
+
+    def test_mean(self):
+        assert UniformCapacity(base=5, ratio=4.0).mean() == 12.5
+
+    def test_bad_base(self):
+        with pytest.raises(ValueError):
+            UniformCapacity(base=0)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ValueError):
+            UniformCapacity(ratio=0.5)
+
+    def test_ratio_one_is_homogeneous(self):
+        m = UniformCapacity(base=7, ratio=1.0)
+        rng = random.Random(1)
+        assert all(m.sample(rng) == 7 for _ in range(20))
+
+
+class TestFixed:
+    def test_constant(self):
+        m = FixedCapacity(9)
+        assert m.sample(random.Random(1)) == 9
+        assert m.mean() == 9.0 and m.max_capacity == 9
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            FixedCapacity(0)
+
+
+class TestDiscrete:
+    def test_samples_from_values(self):
+        m = DiscreteCapacity(values=(2, 4))
+        rng = random.Random(1)
+        assert {m.sample(rng) for _ in range(100)} == {2, 4}
+
+    def test_weighted_mean(self):
+        m = DiscreteCapacity(values=(10, 20), weights=(3, 1))
+        assert m.mean() == pytest.approx(12.5)
+
+    def test_unweighted_mean(self):
+        assert DiscreteCapacity(values=(1, 3)).mean() == 2.0
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DiscreteCapacity(values=(1, 2), weights=(1,))
+
+    def test_nonpositive_value_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteCapacity(values=(0,))

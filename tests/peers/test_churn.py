@@ -1,0 +1,48 @@
+"""Churn models: expectations, bounds, presets."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.peers.churn import DYNAMIC, FROZEN, STABLE, ChurnModel
+
+
+class TestChurnModel:
+    def test_frozen_generates_nothing(self):
+        rng = random.Random(1)
+        assert FROZEN.joins(100, rng) == 0
+        assert FROZEN.leaves(100, rng) == 0
+        assert FROZEN.is_stable
+
+    def test_dynamic_is_ten_percent(self):
+        assert DYNAMIC.join_fraction == 0.10
+        assert DYNAMIC.leave_fraction == 0.10
+
+    def test_expectation_of_stochastic_rounding(self):
+        rng = random.Random(42)
+        m = ChurnModel(join_fraction=0.05, leave_fraction=0.0)
+        total = sum(m.joins(100, rng) for _ in range(2000))
+        assert total == pytest.approx(2000 * 5, rel=0.1)
+
+    def test_integral_rate_is_exact(self):
+        rng = random.Random(1)
+        m = ChurnModel(join_fraction=0.10, leave_fraction=0.10)
+        assert all(m.joins(100, rng) == 10 for _ in range(10))
+
+    def test_leaves_never_empty_the_ring(self):
+        rng = random.Random(1)
+        m = ChurnModel(join_fraction=0.0, leave_fraction=0.9)
+        assert m.leaves(1, rng) == 0
+        assert m.leaves(2, rng) <= 1
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ChurnModel(join_fraction=1.0)
+        with pytest.raises(ValueError):
+            ChurnModel(leave_fraction=-0.1)
+
+    def test_stable_preset_is_low(self):
+        assert STABLE.join_fraction <= 0.02
+        assert not STABLE.is_stable  # low but nonzero membership change

@@ -1,0 +1,90 @@
+"""Peer: capacity accounting, per-node load history, node hosting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.peers.peer import Peer
+
+
+class TestCapacityAccounting:
+    def test_processes_up_to_capacity(self):
+        p = Peer(id="a", capacity=2)
+        assert p.try_process("n1")
+        assert p.try_process("n2")
+        assert not p.try_process("n3")  # exhausted -> ignored
+
+    def test_rejected_requests_still_counted_in_node_load(self):
+        """A node's popularity is observed even when the peer drops the
+        request — otherwise MLT could never react to overload."""
+        p = Peer(id="a", capacity=1)
+        p.try_process("n")
+        p.try_process("n")
+        assert p.node_load["n"] == 2
+        assert p.total_processed == 1 and p.total_rejected == 1
+
+    def test_load_sums_over_nodes(self):
+        p = Peer(id="a", capacity=10)
+        p.try_process("n1")
+        p.try_process("n1")
+        p.try_process("n2")
+        assert p.load == 3
+
+    def test_saturated_flag(self):
+        p = Peer(id="a", capacity=1)
+        assert not p.saturated
+        p.try_process("n")
+        assert p.saturated
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Peer(id="a", capacity=0)
+
+
+class TestTimeUnits:
+    def test_end_unit_rolls_history_and_resets_budget(self):
+        p = Peer(id="a", capacity=2)
+        p.try_process("n")
+        p.end_time_unit()
+        assert p.last_load_of("n") == 1
+        assert p.node_load == {} and p.used == 0
+        assert p.try_process("n")  # budget refreshed
+
+    def test_last_load_of_unknown_node(self):
+        assert Peer(id="a", capacity=1).last_load_of("x") == 0
+
+    def test_history_is_one_unit_deep(self):
+        p = Peer(id="a", capacity=5)
+        p.try_process("n")
+        p.end_time_unit()
+        p.end_time_unit()
+        assert p.last_load_of("n") == 0
+
+
+class TestNodeHosting:
+    def test_host_and_drop(self):
+        p = Peer(id="a", capacity=1)
+        p.host_node("n")
+        assert "n" in p.nodes
+        p.drop_node("n")
+        assert "n" not in p.nodes
+
+    def test_drop_clears_open_unit_counter(self):
+        """A migrated node's in-flight counter leaves with it, keeping the
+        source peer's per-unit accounting consistent."""
+        p = Peer(id="a", capacity=5)
+        p.host_node("n")
+        p.try_process("n")
+        p.drop_node("n")
+        assert "n" not in p.node_load
+
+    def test_drop_missing_is_noop(self):
+        Peer(id="a", capacity=1).drop_node("ghost")
+
+
+class TestIdentity:
+    def test_peers_compare_by_identity(self):
+        a = Peer(id="x", capacity=1)
+        b = Peer(id="x", capacity=1)
+        assert a != b and a == a
+        assert len({a, b}) == 2

@@ -1,0 +1,155 @@
+"""Ring: membership, circular order, repositioning, invariants."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.peers.peer import Peer
+from repro.peers.ring import Ring
+
+
+def ring_of(*ids):
+    r = Ring()
+    for pid in ids:
+        r.join(Peer(id=pid, capacity=10))
+    return r
+
+
+class TestMembership:
+    def test_join_and_len(self):
+        r = ring_of("b", "a")
+        assert len(r) == 2 and "a" in r and "c" not in r
+
+    def test_duplicate_join_rejected(self):
+        r = ring_of("a")
+        with pytest.raises(ValueError):
+            r.join(Peer(id="a", capacity=1))
+
+    def test_leave_returns_peer(self):
+        r = ring_of("a", "b")
+        p = r.leave("a")
+        assert p.id == "a" and len(r) == 1
+
+    def test_leave_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ring_of("a").leave("zz")
+
+    def test_iteration_in_id_order(self):
+        r = ring_of("c", "a", "b")
+        assert [p.id for p in r] == ["a", "b", "c"]
+
+    def test_min_max(self):
+        r = ring_of("m", "a", "z")
+        assert r.min_peer().id == "a" and r.max_peer().id == "z"
+
+
+class TestCircularOrder:
+    def test_successor_of_key_basic(self):
+        r = ring_of("b", "d", "f")
+        assert r.successor_of_key("c").id == "d"
+        assert r.successor_of_key("d").id == "d"  # inclusive
+
+    def test_successor_of_key_wraps_to_min(self):
+        # Paper: "if n > P_max, the peer running n is P_min".
+        r = ring_of("b", "d", "f")
+        assert r.successor_of_key("z").id == "b"
+
+    def test_peer_successor_predecessor(self):
+        r = ring_of("b", "d", "f")
+        assert r.successor("d").id == "f"
+        assert r.successor("f").id == "b"
+        assert r.predecessor("b").id == "f"
+
+    def test_single_peer_is_own_neighbour(self):
+        r = ring_of("a")
+        assert r.successor("a").id == "a"
+        assert r.predecessor("a").id == "a"
+
+    def test_aggregate_capacity(self):
+        r = Ring()
+        r.join(Peer(id="a", capacity=3))
+        r.join(Peer(id="b", capacity=7))
+        assert r.aggregate_capacity() == 10
+
+
+class TestReposition:
+    def test_moves_within_neighbours(self):
+        r = ring_of("b", "d", "f")
+        p = r.peer("d")
+        r.reposition(p, "e")
+        assert p.id == "e"
+        assert [q.id for q in r] == ["b", "e", "f"]
+        r.check_invariants()
+
+    def test_same_id_is_noop(self):
+        r = ring_of("b", "d")
+        r.reposition(r.peer("d"), "d")
+        assert "d" in r
+
+    def test_collision_rejected(self):
+        r = ring_of("b", "d")
+        with pytest.raises(ValueError):
+            r.reposition(r.peer("d"), "b")
+
+    def test_crossing_a_neighbour_rejected(self):
+        r = ring_of("b", "d", "f")
+        with pytest.raises(ValueError, match="between neighbours"):
+            r.reposition(r.peer("d"), "g")  # would pass f
+
+    def test_wrapped_arc_reposition(self):
+        # The min peer may slide across the space origin (MLT on the pair
+        # containing the root node's host).
+        r = ring_of("b", "d", "f")
+        p = r.peer("b")  # pred is "f": arc (f..d) wraps
+        r.reposition(p, "z")  # z > f: still inside the wrapped arc
+        assert [q.id for q in r] == ["d", "f", "z"]
+        r.check_invariants()
+
+    def test_single_peer_repositions_freely(self):
+        r = ring_of("m")
+        r.reposition(r.peer("m"), "q")
+        assert "q" in r
+
+
+class TestPropertyBased:
+    @settings(max_examples=60)
+    @given(ids=st.sets(st.text(alphabet="abcdef", min_size=1, max_size=6),
+                       min_size=1, max_size=20))
+    def test_invariants_after_joins(self, ids):
+        r = Ring()
+        for pid in ids:
+            r.join(Peer(id=pid, capacity=1))
+        r.check_invariants()
+
+    @settings(max_examples=60)
+    @given(
+        ids=st.sets(st.text(alphabet="abcdef", min_size=1, max_size=6),
+                    min_size=2, max_size=20),
+        seed=st.integers(0, 2**16),
+    )
+    def test_invariants_under_churn(self, ids, seed):
+        rng = random.Random(seed)
+        r = Ring()
+        alive = []
+        for pid in sorted(ids):
+            r.join(Peer(id=pid, capacity=1))
+            alive.append(pid)
+            if len(alive) > 1 and rng.random() < 0.4:
+                victim = alive.pop(rng.randrange(len(alive)))
+                r.leave(victim)
+            r.check_invariants()
+
+    @settings(max_examples=60)
+    @given(ids=st.sets(st.text(alphabet="abc", min_size=1, max_size=4),
+                       min_size=1, max_size=12),
+           key=st.text(alphabet="abc", min_size=0, max_size=5))
+    def test_successor_of_key_is_ceiling_with_wrap(self, ids, key):
+        r = Ring()
+        for pid in ids:
+            r.join(Peer(id=pid, capacity=1))
+        expected = min((i for i in ids if i >= key), default=min(ids))
+        assert r.successor_of_key(key).id == expected

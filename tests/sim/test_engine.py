@@ -1,0 +1,122 @@
+"""Discrete-event engine: ordering, cancellation, run bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3, lambda: log.append("c"))
+        sim.schedule(1, lambda: log.append("a"))
+        sim.schedule(2, lambda: log.append("b"))
+        sim.run_until_idle()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run_until_idle()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(4.0, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [4.0]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(1, lambda: log.append(("inner", sim.now)))
+
+        sim.schedule(1, outer)
+        sim.run_until_idle()
+        assert log == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        log = []
+        h = sim.schedule(1, lambda: log.append("x"))
+        assert h.cancel()
+        sim.run_until_idle()
+        assert log == []
+
+    def test_double_cancel_returns_false(self):
+        h = Simulator().schedule(1, lambda: None)
+        assert h.cancel()
+        assert not h.cancel()
+
+    def test_handle_exposes_time(self):
+        sim = Simulator()
+        h = sim.schedule(2.5, lambda: None)
+        assert h.time == 2.5 and not h.cancelled
+
+
+class TestRunBounds:
+    def test_run_until_time(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1, lambda: log.append(1))
+        sim.schedule(5, lambda: log.append(5))
+        sim.run(until=3)
+        assert log == [1]
+        assert sim.now == 3
+        sim.run_until_idle()
+        assert log == [1, 5]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(i, lambda i=i: log.append(i))
+        executed = sim.run(max_events=4)
+        assert executed == 4 and log == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        assert not Simulator().step()
+
+    def test_livelock_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(1, forever)
+        with pytest.raises(RuntimeError, match="quiesce"):
+            sim.run_until_idle(max_events=100)
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_executed == 3
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0

@@ -1,0 +1,107 @@
+"""Message network: delivery, latency, loss, dead-lettering."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import ConstantLatency, Network, UniformLatency
+
+
+def make_net(**kwargs):
+    sim = Simulator()
+    return sim, Network(sim, **kwargs)
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        sim, net = make_net()
+        inbox = []
+        net.register("b", lambda env: inbox.append(env))
+        net.send("a", "b", "hello")
+        sim.run_until_idle()
+        assert len(inbox) == 1
+        env = inbox[0]
+        assert env.src == "a" and env.dst == "b" and env.payload == "hello"
+
+    def test_fifo_between_same_pair(self):
+        sim, net = make_net(latency=ConstantLatency(1.0))
+        inbox = []
+        net.register("b", lambda env: inbox.append(env.payload))
+        for i in range(5):
+            net.send("a", "b", i)
+        sim.run_until_idle()
+        assert inbox == [0, 1, 2, 3, 4]
+
+    def test_counters(self):
+        sim, net = make_net()
+        net.register("b", lambda env: None)
+        net.send("a", "b", 1)
+        sim.run_until_idle()
+        assert net.messages_sent == 1 and net.messages_delivered == 1
+
+    def test_unregistered_destination_dead_letters(self):
+        sim, net = make_net()
+        net.send("a", "ghost", 1)
+        sim.run_until_idle()
+        assert net.messages_dead_lettered == 1
+
+    def test_unregister_mid_flight(self):
+        sim, net = make_net(latency=ConstantLatency(5.0))
+        net.register("b", lambda env: None)
+        net.send("a", "b", 1)
+        net.unregister("b")
+        sim.run_until_idle()
+        assert net.messages_dead_lettered == 1
+
+    def test_reregistration_replaces_handler(self):
+        sim, net = make_net()
+        first, second = [], []
+        net.register("b", lambda env: first.append(env))
+        net.register("b", lambda env: second.append(env))
+        net.send("a", "b", 1)
+        sim.run_until_idle()
+        assert not first and len(second) == 1
+
+
+class TestLatency:
+    def test_constant_latency_delays_delivery(self):
+        sim, net = make_net(latency=ConstantLatency(3.0))
+        times = []
+        net.register("b", lambda env: times.append(sim.now))
+        net.send("a", "b", 1)
+        sim.run_until_idle()
+        assert times == [3.0]
+
+    def test_uniform_latency_within_bounds(self):
+        rng = random.Random(5)
+        model = UniformLatency(rng, lo=1.0, hi=2.0)
+        for _ in range(50):
+            assert 1.0 <= model.sample("a", "b") <= 2.0
+
+    def test_uniform_latency_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(random.Random(1), lo=3, hi=2)
+
+
+class TestLoss:
+    def test_loss_requires_rng(self):
+        with pytest.raises(ValueError):
+            Network(Simulator(), loss_rate=0.5)
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            Network(Simulator(), loss_rate=1.0, rng=random.Random(1))
+
+    def test_total_loss_near_one_drops_most(self):
+        sim = Simulator()
+        net = Network(sim, loss_rate=0.99, rng=random.Random(1))
+        inbox = []
+        net.register("b", lambda env: inbox.append(env))
+        for _ in range(200):
+            net.send("a", "b", 1)
+        sim.run_until_idle()
+        assert net.messages_dropped > 150
+        assert net.messages_dropped + net.messages_delivered == 200

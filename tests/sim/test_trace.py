@@ -1,0 +1,67 @@
+"""Tracing and per-period counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import CounterSet, Trace
+
+
+class TestTrace:
+    def test_record_and_filter(self):
+        t = Trace()
+        t.record(0.0, "join", peer="a")
+        t.record(1.0, "leave", peer="b")
+        t.record(2.0, "join", peer="c")
+        assert len(t) == 3
+        assert [e.detail["peer"] for e in t.of_kind("join")] == ["a", "c"]
+
+    def test_kinds_counter(self):
+        t = Trace()
+        t.record(0, "x")
+        t.record(0, "x")
+        t.record(0, "y")
+        assert t.kinds() == {"x": 2, "y": 1}
+
+    def test_disabled_trace_is_noop(self):
+        t = Trace(enabled=False)
+        t.record(0, "x")
+        assert len(t) == 0
+
+    def test_capacity_guard(self):
+        t = Trace(capacity=1)
+        t.record(0, "x")
+        with pytest.raises(RuntimeError):
+            t.record(1, "y")
+
+    def test_clear(self):
+        t = Trace()
+        t.record(0, "x")
+        t.clear()
+        assert len(t) == 0
+
+
+class TestCounterSet:
+    def test_incr_and_totals(self):
+        c = CounterSet()
+        c.incr("satisfied")
+        c.incr("satisfied", 2)
+        assert c.total("satisfied") == 3
+
+    def test_snapshot_resets_period_not_total(self):
+        c = CounterSet()
+        c.incr("x", 5)
+        assert c.snapshot() == {"x": 5}
+        c.incr("x", 2)
+        assert c.snapshot() == {"x": 2}
+        assert c.total("x") == 7
+
+    def test_unknown_counter_reads_zero(self):
+        assert CounterSet().total("nope") == 0
+
+    def test_period_value(self):
+        c = CounterSet()
+        c.incr("x")
+        assert c.period_value("x") == 1
+        c.snapshot()
+        assert c.period_value("x") == 0

@@ -1,0 +1,146 @@
+"""SortedList: ordering, ceiling/floor, circular queries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sortedlist import SortedList
+
+
+class TestBasics:
+    def test_init_sorts_and_dedups(self):
+        s = SortedList(["c", "a", "b", "a"])
+        assert list(s) == ["a", "b", "c"]
+
+    def test_add_keeps_order(self):
+        s = SortedList(["a", "c"])
+        s.add("b")
+        assert list(s) == ["a", "b", "c"]
+
+    def test_add_duplicate_raises(self):
+        s = SortedList(["a"])
+        with pytest.raises(ValueError):
+            s.add("a")
+
+    def test_remove(self):
+        s = SortedList(["a", "b"])
+        s.remove("a")
+        assert list(s) == ["b"]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ValueError):
+            SortedList(["a"]).remove("b")
+
+    def test_discard_missing_returns_false(self):
+        s = SortedList(["a"])
+        assert not s.discard("b")
+        assert s.discard("a")
+
+    def test_contains_and_index(self):
+        s = SortedList(["a", "b", "c"])
+        assert "b" in s and "z" not in s
+        assert s.index("c") == 2
+        with pytest.raises(ValueError):
+            s.index("z")
+
+    def test_getitem_and_len(self):
+        s = SortedList(["b", "a"])
+        assert s[0] == "a" and len(s) == 2
+
+    def test_min_max(self):
+        s = SortedList(["m", "a", "z"])
+        assert s.min() == "a" and s.max() == "z"
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            SortedList().min()
+
+    def test_equality(self):
+        assert SortedList(["a", "b"]) == SortedList(["b", "a"])
+
+    def test_clear(self):
+        s = SortedList(["a"])
+        s.clear()
+        assert len(s) == 0
+
+
+class TestOrderQueries:
+    @pytest.fixture
+    def s(self):
+        return SortedList(["b", "d", "f"])
+
+    def test_ceiling(self, s):
+        assert s.ceiling("a") == "b"
+        assert s.ceiling("b") == "b"  # inclusive
+        assert s.ceiling("c") == "d"
+        assert s.ceiling("g") is None
+
+    def test_floor(self, s):
+        assert s.floor("g") == "f"
+        assert s.floor("d") == "d"  # inclusive
+        assert s.floor("a") is None
+
+    def test_higher_strict(self, s):
+        assert s.higher("b") == "d"
+        assert s.higher("f") is None
+
+    def test_lower_strict(self, s):
+        assert s.lower("d") == "b"
+        assert s.lower("b") is None
+
+
+class TestCircularQueries:
+    @pytest.fixture
+    def s(self):
+        return SortedList(["b", "d", "f"])
+
+    def test_successor_wraps(self, s):
+        # The paper's mapping rule: lowest id >= key, wrapping to the min.
+        assert s.successor("c") == "d"
+        assert s.successor("d") == "d"
+        assert s.successor("g") == "b"  # wrap to P_min
+
+    def test_strict_successor_wraps(self, s):
+        assert s.strict_successor("d") == "f"
+        assert s.strict_successor("f") == "b"
+
+    def test_predecessor_wraps(self, s):
+        assert s.predecessor("d") == "b"
+        assert s.predecessor("b") == "f"  # wrap to P_max
+        assert s.predecessor("a") == "f"
+
+    def test_empty_circular_queries_raise(self):
+        for method in ("successor", "strict_successor", "predecessor"):
+            with pytest.raises(ValueError):
+                getattr(SortedList(), method)("x")
+
+
+class TestPropertyBased:
+    @given(items=st.sets(st.integers(0, 1000), min_size=1, max_size=60),
+           key=st.integers(-10, 1010))
+    def test_successor_is_ceiling_with_wrap(self, items, key):
+        s = SortedList(items)
+        expected = min((i for i in items if i >= key), default=min(items))
+        assert s.successor(key) == expected
+
+    @given(items=st.sets(st.integers(0, 1000), min_size=1, max_size=60),
+           key=st.integers(-10, 1010))
+    def test_predecessor_is_strict_floor_with_wrap(self, items, key):
+        s = SortedList(items)
+        expected = max((i for i in items if i < key), default=max(items))
+        assert s.predecessor(key) == expected
+
+    @given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 50)), max_size=80))
+    def test_mirrors_a_python_set(self, ops):
+        s = SortedList()
+        model = set()
+        for add, v in ops:
+            if add and v not in model:
+                s.add(v)
+                model.add(v)
+            elif not add:
+                assert s.discard(v) == (v in model)
+                model.discard(v)
+        assert list(s) == sorted(model)

@@ -1,0 +1,79 @@
+"""Statistics helpers: series aggregation and the Table 1 gain metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    gain_percent,
+    mean_ci,
+    steady_state_mean,
+    summarize_series,
+)
+
+
+class TestSummarizeSeries:
+    def test_mean_of_constant_runs(self):
+        s = summarize_series([[1, 2, 3], [1, 2, 3]])
+        assert np.allclose(s.mean, [1, 2, 3])
+        assert np.allclose(s.std, 0)
+        assert np.allclose(s.ci95, 0)
+
+    def test_mean_across_runs(self):
+        s = summarize_series([[0, 0], [2, 4]])
+        assert np.allclose(s.mean, [1, 2])
+
+    def test_single_run_has_zero_ci(self):
+        s = summarize_series([[5, 5, 5]])
+        assert s.n_runs == 1
+        assert np.allclose(s.ci95, 0)
+
+    def test_ragged_runs_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_series([[1, 2], [1]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_series([])
+
+    def test_len(self):
+        assert len(summarize_series([[1, 2, 3]])) == 3
+
+
+class TestMeanCI:
+    def test_single_value(self):
+        assert mean_ci([4.0]) == (4.0, 0.0)
+
+    def test_symmetric_sample(self):
+        m, ci = mean_ci([1.0, 3.0])
+        assert m == 2.0 and ci > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+
+class TestGain:
+    def test_paper_style_gain(self):
+        # 230.51% gain = heuristic satisfied 3.3051x the baseline.
+        assert gain_percent(330.51, 100.0) == pytest.approx(230.51)
+
+    def test_zero_gain(self):
+        assert gain_percent(50, 50) == 0.0
+
+    def test_negative_gain(self):
+        assert gain_percent(40, 50) == pytest.approx(-20.0)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            gain_percent(10, 0)
+
+
+class TestSteadyState:
+    def test_discards_warmup(self):
+        assert steady_state_mean([0, 0, 10, 10], warmup=2) == 10.0
+
+    def test_all_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            steady_state_mean([1, 2], warmup=2)

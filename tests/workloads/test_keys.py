@@ -1,0 +1,78 @@
+"""Key corpora: naming schemes, sizes, prefix structure."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.alphabet import PRINTABLE
+from repro.workloads.keys import (
+    blas_routines,
+    grid_service_corpus,
+    keys_with_prefix,
+    lapack_routines,
+    paper_figure1_binary_keys,
+    random_binary_keys,
+    s3l_routines,
+    scalapack_routines,
+)
+
+
+class TestCorpora:
+    def test_blas_has_typed_names(self):
+        blas = blas_routines()
+        for name in ("dgemm", "saxpy", "zherk", "ctrsm"):
+            assert name in blas
+
+    def test_type_prefixes_cover_four_types(self):
+        assert {n[0] for n in blas_routines()} == {"s", "d", "c", "z"}
+
+    def test_scalapack_all_start_with_P(self):
+        # Figure 8: "the ScaLapack library whose functions begin with 'P'".
+        names = scalapack_routines()
+        assert names and all(n.startswith("P") for n in names)
+        assert "Pdgesv" in names
+
+    def test_s3l_all_start_with_S3L(self):
+        # Figure 8: "Most of S3L routines are named by a string beginning
+        # by 'S3L'".
+        names = s3l_routines()
+        assert names and all(n.startswith("S3L_") for n in names)
+
+    def test_full_corpus_size_near_paper(self):
+        """~1000 tree nodes in the paper; the corpus plus structural nodes
+        lands in that ballpark."""
+        corpus = grid_service_corpus()
+        assert 600 <= len(corpus) <= 1500
+
+    def test_corpus_is_sorted_and_unique(self):
+        corpus = grid_service_corpus()
+        assert corpus == sorted(set(corpus))
+
+    def test_corpus_valid_under_printable_alphabet(self):
+        for k in grid_service_corpus():
+            assert PRINTABLE.is_valid(k), k
+
+    def test_lapack_disjoint_prefix_families(self):
+        # LAPACK and ScaLAPACK names must not collide (P prefix separates).
+        assert not set(lapack_routines()) & set(scalapack_routines())
+
+    def test_figure1_keys_exact(self):
+        assert paper_figure1_binary_keys() == ["01", "10101", "10111", "101111"]
+
+
+class TestGenerators:
+    def test_random_binary_keys_distinct(self):
+        keys = random_binary_keys(random.Random(1), 50, length=10)
+        assert len(keys) == 50 == len(set(keys))
+        assert all(len(k) == 10 and set(k) <= {"0", "1"} for k in keys)
+
+    def test_random_binary_keys_exhaustion_guard(self):
+        with pytest.raises(ValueError):
+            random_binary_keys(random.Random(1), 10, length=3)
+
+    def test_keys_with_prefix(self):
+        corpus = grid_service_corpus()
+        s3l = keys_with_prefix(corpus, "S3L")
+        assert s3l == s3l_routines()
