@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Performance-regression gate: fresh BENCH_micro.json vs the committed one.
+
+Runs the ``micro`` benchmark suite and compares each scenario against the
+committed baseline at the repository root.  Exits non-zero when any
+scenario regresses by more than ``--threshold`` (default 25%).
+
+Two comparison modes:
+
+``--mode ratio`` (default)
+    Re-time *both* the frozen seed reference and the optimised code in
+    this process and compare the seed/optimised speedup against the
+    baseline's ``speedup_median``.  The machine's absolute speed — and
+    run-to-run load drift, which moves both implementations together —
+    cancels out, so the verdict is hardware-independent.
+
+``--mode absolute``
+    Compare the optimised implementation's wall-clock median against the
+    baseline's.  More direct, but the verdict depends on the machine:
+    only meaningful when the fresh run executes on hardware (and load)
+    comparable to what produced the committed baseline — a dedicated CI
+    runner class, or a developer re-checking their own machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+    PYTHONPATH=src python benchmarks/check_regression.py --mode ratio
+    PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.10
+
+Intended as the CI tier-2 perf gate; pair it with ``-m bench`` pytest runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.perf.bench import SCHEMA, run_suite  # noqa: E402
+
+
+def compare(baseline: dict, fresh: dict, threshold: float, mode: str) -> list[str]:
+    """Return a list of human-readable regression failures (empty = pass)."""
+    failures: list[str] = []
+    if baseline.get("schema") != SCHEMA:
+        return [
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}; "
+            "regenerate the baseline with `python -m repro bench --suite micro`"
+        ]
+    for name, base_block in sorted(baseline.get("scenarios", {}).items()):
+        fresh_block = fresh["scenarios"].get(name)
+        if fresh_block is None:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        if mode == "absolute":
+            # Lower is better; regression = fresh median grew.
+            base_impl = base_block["impls"].get("optimised")
+            if base_impl is None:
+                failures.append(
+                    f"{name}: baseline lacks 'optimised' timings (generated "
+                    "with --impl?); regenerate with `python -m repro bench "
+                    "--suite micro`"
+                )
+                continue
+            base = base_impl["median_s"]
+            now = fresh_block["impls"]["optimised"]["median_s"]
+            ratio = now / base if base > 0 else float("inf")
+            detail = (
+                f"baseline {base * 1e3:8.2f}ms  now {now * 1e3:8.2f}ms  "
+                f"({ratio:5.2f}x)"
+            )
+        else:
+            # Higher is better; regression = seed/optimised speedup shrank.
+            base = base_block.get("speedup_median")
+            if base is None:
+                failures.append(
+                    f"{name}: baseline lacks 'speedup_median' (generated with "
+                    "--impl?); regenerate with `python -m repro bench --suite "
+                    "micro` (both implementations)"
+                )
+                continue
+            now = fresh_block["speedup_median"]
+            ratio = base / now if now > 0 else float("inf")
+            detail = f"baseline speedup {base:6.2f}x  now {now:6.2f}x"
+        verdict = "OK" if ratio <= 1.0 + threshold else "REGRESSION"
+        print(f"[perf] {name:>14}: {detail}  {verdict}")
+        if verdict != "OK":
+            failures.append(
+                f"{name}: {detail.strip()} "
+                f"({(ratio - 1) * 100:+.0f}%, threshold +{threshold * 100:.0f}%)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "BENCH_micro.json"),
+        help="committed baseline to compare against (default: repo root)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="maximum allowed median regression as a fraction (default 0.25)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=5,
+        help="timed repetitions per scenario for the fresh run (default 5)",
+    )
+    parser.add_argument(
+        "--mode", choices=("absolute", "ratio"), default="ratio",
+        help="ratio (default): seed/optimised speedup vs baseline "
+        "(hardware-independent); absolute: optimised medians vs baseline "
+        "(same-machine/same-load only)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = pathlib.Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"[perf] no baseline at {baseline_path}; nothing to compare", file=sys.stderr)
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+
+    impls = ("optimised",) if args.mode == "absolute" else ("seed", "optimised")
+    print(f"[perf] running fresh micro suite ({' + '.join(impls)}, mode={args.mode}) ...")
+    fresh = run_suite("micro", repeat=args.repeat, warmup=1, impls=impls)
+
+    failures = compare(baseline, fresh, args.threshold, args.mode)
+    if failures:
+        print("\n[perf] FAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("[perf] all scenarios within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,17 +16,23 @@ controlled comparison Figure 9 needs.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Iterable, KeysView
 
-from ..core.keyspace import in_interval_open_closed
 from ..dht.hashing import DEFAULT_BITS, hash_to_int
-from ..peers.peer import Peer
+from ..peers.peer import Peer, migrate_labels
 from ..peers.ring import Ring
 from ..util.sortedlist import SortedList
 
 
 class HashedMapping:
-    """Node→peer assignment by consistent hashing (locality-destroying)."""
+    """Node→peer assignment by consistent hashing (locality-destroying).
+
+    Mirrors the interval-batched migration of
+    :class:`repro.dlpt.mapping.LexicographicMapping`, but in *hash* space: a
+    sorted index of ``(hash, label)`` pairs turns a join's takeover interval
+    ``(pred_pos, pos]`` into two bisects and a slice instead of a scan over
+    the successor's whole node set.
+    """
 
     #: Identifier-space moves do not translate to hash-space moves, so MLT
     #: silently skips balancing instead of corrupting the mapping.
@@ -40,6 +46,8 @@ class HashedMapping:
         self._label_hash: Dict[str, int] = {}
         self._peer_positions: SortedList[int] = SortedList()
         self._peer_by_position: Dict[int, Peer] = {}
+        #: All mapped labels keyed by hash position — the migration index.
+        self._hash_index: SortedList[tuple[int, str]] = SortedList()
         self.migrations = 0
 
     # -- hashing ------------------------------------------------------------
@@ -58,21 +66,41 @@ class HashedMapping:
         pos = self._peer_positions.successor(h)
         return self._peer_by_position[pos]
 
+    def _labels_in_hash_interval(self, pred_pos: int, pos: int) -> list[str]:
+        """Labels whose hash lies in the circular interval ``(pred_pos, pos]``
+        — two bisects on the ``(hash, label)`` index.  Hash positions are
+        ints, so ``(h + 1, "")`` is the exact open/closed boundary tuple."""
+        idx = self._hash_index
+        lo = idx.index_left((pred_pos + 1, ""))
+        hi = idx.index_left((pos + 1, ""))
+        if pred_pos < pos:
+            pairs = idx.slice(lo, hi)
+        else:  # wrapped (or degenerate full-ring) interval
+            pairs = idx.slice(lo, len(idx)) + idx.slice(0, hi)
+        return [lbl for _, lbl in pairs]
+
     # -- queries ------------------------------------------------------------
 
     def host_of(self, label: str) -> Peer:
         return self.host[label]
 
+    def labels(self) -> KeysView[str]:
+        """Read-only view of every mapped label (no copy; do not mutate)."""
+        return self.host.keys()
+
     # -- tree change hooks -------------------------------------------------
 
     def on_node_created(self, label: str) -> None:
-        peer = self._owner_of_hash(self._hash(label))
+        h = self._hash(label)
+        peer = self._owner_of_hash(h)
         self.host[label] = peer
         peer.host_node(label)
+        self._hash_index.add((h, label))
 
     def on_node_removed(self, label: str) -> None:
         peer = self.host.pop(label)
         peer.drop_node(label)
+        self._hash_index.remove((self._hash(label), label))
         self._label_hash.pop(label, None)
 
     # -- membership change hooks ---------------------------------------------
@@ -91,14 +119,10 @@ class HashedMapping:
         succ_pos = self._peer_positions.strict_successor(pos)
         succ = self._peer_by_position[succ_pos]
         pred_pos = self._peer_positions.predecessor(pos)
-        moving = [
-            lbl
-            for lbl in succ.nodes
-            if in_interval_open_closed(self._hash(lbl), pred_pos, pos)
-        ]
-        for lbl in moving:
-            self._move(lbl, succ, peer)
-        return len(moving)
+        # Every label hashed into (pred_pos, pos] was hosted by succ
+        # (consistent-hashing invariant), so the index range IS the set.
+        moving = self._labels_in_hash_interval(pred_pos, pos)
+        return self._move_batch(moving, succ, peer)
 
     def on_peer_leaving(self, peer: Peer) -> int:
         pos = self._peer_position(peer)
@@ -110,12 +134,10 @@ class HashedMapping:
             return 0
         succ_pos = self._peer_positions.strict_successor(pos)
         succ = self._peer_by_position[succ_pos]
-        moving = list(peer.nodes)
-        for lbl in moving:
-            self._move(lbl, peer, succ)
+        moved = self._move_batch(list(peer.nodes), peer, succ)
         self._peer_positions.remove(pos)
         del self._peer_by_position[pos]
-        return len(moving)
+        return moved
 
     def reposition(self, peer: Peer, new_id: str) -> int:
         raise NotImplementedError(
@@ -125,11 +147,12 @@ class HashedMapping:
 
     # -- internals ----------------------------------------------------------
 
-    def _move(self, label: str, src: Peer, dst: Peer) -> None:
-        src.drop_node(label)
-        dst.host_node(label)
-        self.host[label] = dst
-        self.migrations += 1
+    def _move_batch(self, labels: Iterable[str], src: Peer, dst: Peer) -> int:
+        """Migrate ``labels`` from ``src`` to ``dst`` with bulk set/dict
+        operations; returns (and counts) the number of migrations."""
+        n = migrate_labels(labels, src, dst, self.host)
+        self.migrations += n
+        return n
 
     # -- invariants -----------------------------------------------------------
 
@@ -142,3 +165,6 @@ class HashedMapping:
             assert label in peer.nodes
         counted = sum(len(p.nodes) for p in self.ring)
         assert counted == len(self.host)
+        assert self._hash_index.as_list() == sorted(
+            (self._hash(lbl), lbl) for lbl in self.host
+        ), "hash index out of sync with the host map"

@@ -70,6 +70,30 @@ class ChordRing:
         self._fingers_fresh = False
         return node
 
+    def add_peers(self, peer_ids) -> list[ChordNode]:
+        """Bulk join: one sorted merge for the whole batch (and a single
+        deferred finger rebuild) instead of per-peer O(n) inserts — the
+        PHT/Table-2 harnesses bootstrap rings of 10³–10⁴ peers this way.
+
+        Atomic: every position is validated (against the ring and within
+        the batch) before any state changes, so a collision leaves the
+        ring untouched.
+        """
+        batch: list[tuple[int, str]] = []
+        seen: set[int] = set()
+        for peer_id in peer_ids:
+            pos = self.position_of(peer_id)
+            if pos in self._by_position or pos in seen:
+                raise ValueError(f"position collision for peer {peer_id!r}")
+            seen.add(pos)
+            batch.append((pos, peer_id))
+        self._positions.update(pos for pos, _ in batch)
+        nodes = [ChordNode(peer_id=pid, position=pos) for pos, pid in batch]
+        for node in nodes:
+            self._by_position[node.position] = node
+        self._fingers_fresh = False
+        return nodes
+
     def remove_peer(self, peer_id: str) -> ChordNode:
         pos = self.position_of(peer_id)
         node = self._by_position.pop(pos, None)

@@ -15,11 +15,12 @@ experiment runner can swap mappings.
 
 from __future__ import annotations
 
-from typing import Dict, Protocol, Set
+from typing import Dict, Iterable, KeysView, Protocol
 
 from ..core.keyspace import in_interval_open_closed
-from ..peers.peer import Peer
+from ..peers.peer import Peer, migrate_labels
 from ..peers.ring import Ring
+from ..util.sortedlist import SortedList
 
 
 class Mapping(Protocol):
@@ -52,6 +53,14 @@ class LexicographicMapping:
     * leave of ``P``: all of ``P``'s labels move to ``succ_P``;
     * reposition of ``P`` (MLT): labels between the old and new identifier
       move between ``P`` and ``succ_P``.
+
+    A sorted :attr:`label_index` of every mapped label makes each interval
+    two bisects plus a slice copy — O(log N + k) for k moved labels — where
+    the seed implementation scanned the successor's whole node set.  Moves
+    themselves are batched (set/dict bulk updates) instead of per-label
+    Python loops, which is what lets churn storms on 10⁴-peer rings run at
+    C speed.  :class:`repro.dlpt.system.DLPTSystem` aliases its entry-node
+    index to :attr:`label_index`, so the index is maintained once, not twice.
     """
 
     #: MLT can slide peers along this mapping's ring (see :meth:`reposition`).
@@ -60,6 +69,8 @@ class LexicographicMapping:
     def __init__(self, ring: Ring) -> None:
         self.ring = ring
         self.host: Dict[str, Peer] = {}
+        #: All mapped labels in lexicographic order — the migration index.
+        self.label_index: SortedList[str] = SortedList()
         self.migrations = 0  # lifetime node-migration counter (LB cost metric)
 
     # -- queries -----------------------------------------------------------
@@ -67,8 +78,9 @@ class LexicographicMapping:
     def host_of(self, label: str) -> Peer:
         return self.host[label]
 
-    def labels(self) -> Set[str]:
-        return set(self.host)
+    def labels(self) -> KeysView[str]:
+        """Read-only view of every mapped label (no copy; do not mutate)."""
+        return self.host.keys()
 
     # -- tree change hooks -------------------------------------------------
 
@@ -76,10 +88,12 @@ class LexicographicMapping:
         peer = self.ring.successor_of_key(label)
         self.host[label] = peer
         peer.host_node(label)
+        self.label_index.add(label)
 
     def on_node_removed(self, label: str) -> None:
         peer = self.host.pop(label)
         peer.drop_node(label)
+        self.label_index.remove(label)
 
     # -- membership change hooks ---------------------------------------------
 
@@ -90,14 +104,10 @@ class LexicographicMapping:
             return 0
         succ = self.ring.successor(peer.id)
         pred = self.ring.predecessor(peer.id)
-        moving = [
-            lbl
-            for lbl in succ.nodes
-            if in_interval_open_closed(lbl, pred.id, peer.id)
-        ]
-        for lbl in moving:
-            self._move(lbl, succ, peer)
-        return len(moving)
+        # Every label in (pred, P] was hosted by succ (mapping invariant),
+        # so the index range IS the migrating set — no per-label filtering.
+        moving = self.label_index.range_open_closed(pred.id, peer.id)
+        return self._move_batch(moving, succ, peer)
 
     def on_peer_leaving(self, peer: Peer) -> int:
         """``peer`` is still on the ring; hand all its nodes to its
@@ -107,10 +117,7 @@ class LexicographicMapping:
                 raise RuntimeError("cannot drain the last peer while nodes exist")
             return 0
         succ = self.ring.successor(peer.id)
-        moving = list(peer.nodes)
-        for lbl in moving:
-            self._move(lbl, peer, succ)
-        return len(moving)
+        return self._move_batch(list(peer.nodes), peer, succ)
 
     def reposition(self, peer: Peer, new_id: str) -> int:
         """MLT's ring move: change ``peer``'s identifier and migrate the
@@ -127,37 +134,27 @@ class LexicographicMapping:
         self.ring.reposition(peer, new_id)
         if in_interval_open_closed(new_id, old_id, succ.id):
             # Peer moved towards its successor: absorb (old_id, new_id].
-            moving = [
-                lbl
-                for lbl in succ.nodes
-                if in_interval_open_closed(lbl, old_id, new_id)
-            ]
-            for lbl in moving:
-                self._move(lbl, succ, peer)
-        else:
-            # Peer moved towards its predecessor: shed (new_id, old_id].
-            moving = [
-                lbl
-                for lbl in peer.nodes
-                if in_interval_open_closed(lbl, new_id, old_id)
-            ]
-            for lbl in moving:
-                self._move(lbl, peer, succ)
-        return len(moving)
+            moving = self.label_index.range_open_closed(old_id, new_id)
+            return self._move_batch(moving, succ, peer)
+        # Peer moved towards its predecessor: shed (new_id, old_id].
+        moving = self.label_index.range_open_closed(new_id, old_id)
+        return self._move_batch(moving, peer, succ)
 
     # -- internals ----------------------------------------------------------
 
-    def _move(self, label: str, src: Peer, dst: Peer) -> None:
-        src.drop_node(label)
-        dst.host_node(label)
-        self.host[label] = dst
-        self.migrations += 1
+    def _move_batch(self, labels: Iterable[str], src: Peer, dst: Peer) -> int:
+        """Migrate ``labels`` from ``src`` to ``dst`` with bulk set/dict
+        operations; returns (and counts) the number of migrations."""
+        n = migrate_labels(labels, src, dst, self.host)
+        self.migrations += n
+        return n
 
     # -- invariants -----------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Every node is hosted by the ceiling peer; peer node-sets agree
-        with the host index (property-tested under churn + MLT)."""
+        """Every node is hosted by the ceiling peer; peer node-sets and the
+        label index agree with the host map (property-tested under churn +
+        MLT)."""
         for label, peer in self.host.items():
             expected = self.ring.successor_of_key(label)
             assert peer is expected, (
@@ -168,4 +165,7 @@ class LexicographicMapping:
         counted = sum(len(p.nodes) for p in self.ring)
         assert counted == len(self.host), (
             f"peer node-sets hold {counted} labels, host index {len(self.host)}"
+        )
+        assert self.label_index.as_list() == sorted(self.host), (
+            "label index out of sync with the host map"
         )

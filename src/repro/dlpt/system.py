@@ -82,7 +82,16 @@ class DLPTSystem:
 
     def tree_on_create_chain(self) -> None:
         """Chain node-index maintenance onto the tree hooks (kept separate
-        so subclasses/baselines can re-wire mapping hooks cleanly)."""
+        so subclasses/baselines can re-wire mapping hooks cleanly).
+
+        When the mapping maintains its own sorted label index (the
+        lexicographic mapping's migration index), alias it instead of
+        paying a second O(n) sorted insert per node creation.
+        """
+        shared = getattr(self.mapping, "label_index", None)
+        if isinstance(shared, SortedList):
+            self.node_index = shared
+            return
         mapping_create = self.tree.on_create
         mapping_remove = self.tree.on_remove
 

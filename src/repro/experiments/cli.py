@@ -6,6 +6,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro fig8 --runs 2 --peers 80
     python -m repro table1 --runs 3 --workers 8
     python -m repro table2
+    python -m repro bench --suite micro
     python -m repro list
 
 Figures print an ASCII plot plus the per-unit series table; tables print
@@ -72,9 +73,16 @@ def _print_figure(fig, no_plot: bool) -> None:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "bench":
+        # The bench subcommand owns its options; delegate before the
+        # experiment parser rejects them.
+        from ..perf.bench import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
-        for name in _EXPERIMENTS:
+        for name in _EXPERIMENTS + ["bench"]:
             print(name)
         return 0
 

@@ -38,6 +38,13 @@ def _run_one(args: tuple[ExperimentConfig, int]):
     return run_single(config, index)
 
 
+def _chunksize(n_tasks: int, workers: int) -> int:
+    """Submission chunk for ``ProcessPoolExecutor.map``: ~4 chunks per
+    worker balances IPC overhead (one pickle round-trip per chunk) against
+    tail latency when run times vary."""
+    return max(1, n_tasks // (workers * 4))
+
+
 def run_many_parallel(
     config: ExperimentConfig,
     n_runs: int,
@@ -57,7 +64,13 @@ def run_many_parallel(
         runs = [run_single(config, i) for i in range(n_runs)]
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            runs = list(pool.map(_run_one, [(config, i) for i in range(n_runs)]))
+            runs = list(
+                pool.map(
+                    _run_one,
+                    [(config, i) for i in range(n_runs)],
+                    chunksize=_chunksize(n_runs, workers),
+                )
+            )
     return ExperimentSeries(label=label or config.lb.name, runs=runs)
 
 
@@ -77,8 +90,11 @@ def compare_balancers_parallel(
     if workers <= 1 or len(tasks) <= 1:
         results = [_run_one(t) for t in tasks]
     else:
-        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            results = list(pool.map(_run_one, tasks))
+        pool_workers = min(workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+            results = list(
+                pool.map(_run_one, tasks, chunksize=_chunksize(len(tasks), pool_workers))
+            )
     out: dict[str, ExperimentSeries] = {}
     for (cfg, _), run in zip(tasks, results):
         out.setdefault(cfg.lb.name, ExperimentSeries(label=cfg.lb.name, runs=[]))

@@ -89,26 +89,31 @@ def run_single(config: ExperimentConfig, run_index: int = 0) -> RunResult:
             peer_id = config.lb.choose_join_id(system, capacity, lb_rng)
             system.add_peer(lb_rng, peer_id=peer_id, capacity=capacity)
 
-        # (3) peer leaves — uniformly random victims.
+        # (3) peer leaves — uniformly random victims.  ``id_at`` draws the
+        # same victim as indexing a full ``ids()`` copy (both are the sorted
+        # id sequence) without the O(P) copy per leave.
         for _ in range(config.churn.leaves(len(system.ring), churn_rng)):
-            victims = system.ring.ids()
-            system.remove_peer(victims[churn_rng.randrange(len(victims))])
+            victim = system.ring.id_at(churn_rng.randrange(len(system.ring)))
+            system.remove_peer(victim)
 
         # (4) service registrations — the tree grows for growth_units units.
         if unit < len(batches):
+            register = system.register
+            append = available.append
             for key in batches[unit]:
-                system.register(key)
-                available.append(key)
+                register(key)
+                append(key)
 
         # (5) discovery requests under the per-unit capacity budget.
         capacity_total = system.ring.aggregate_capacity()
         n_requests = max(1, round(config.load_fraction * capacity_total))
         if available:
+            sample = config.schedule.sample
+            discover = system.discover
+            accounting = config.accounting
             for _ in range(n_requests):
-                key = config.schedule.sample(unit, req_rng, available)
-                outcome = system.discover(
-                    key, rng=entry_rng, accounting=config.accounting
-                )
+                key = sample(unit, req_rng, available)
+                outcome = discover(key, rng=entry_rng, accounting=accounting)
                 stats.issued += 1
                 if outcome.satisfied:
                     stats.satisfied += 1

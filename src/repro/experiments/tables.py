@@ -158,8 +158,7 @@ def _measure_dlpt(keys: List[str], n_peers: int, key_bits: int, rng) -> Table2Ro
 
 def _measure_pht(keys: List[str], n_peers: int, key_bits: int, rng) -> Table2Row:
     chord = ChordRing()
-    for i in range(n_peers):
-        chord.add_peer(f"peer-{i:05d}")
+    chord.add_peers(f"peer-{i:05d}" for i in range(n_peers))
     pht = PrefixHashTree(chord, key_bits=key_bits, leaf_capacity=4)
     for k in keys:
         pht.insert(k)

@@ -99,3 +99,24 @@ class Peer:
 
     def __eq__(self, other: object) -> bool:
         return self is other
+
+
+def migrate_labels(labels, src: Peer, dst: Peer, host: Dict[str, "Peer"]) -> int:
+    """Move ``labels`` from ``src`` to ``dst``, updating the caller's
+    ``host`` index; returns the number of labels moved.
+
+    The bulk equivalent of ``dst.host_node``/``src.drop_node`` per label —
+    set/dict batch operations keep interval migrations at C speed.  Shared
+    by every mapping implementation so the open-unit accounting rule
+    (``node_load`` does not follow a migrated node) lives in one place.
+    """
+    if not labels:
+        return 0
+    src.nodes.difference_update(labels)
+    dst.nodes.update(labels)
+    if src.node_load:
+        pop = src.node_load.pop
+        for lbl in labels:
+            pop(lbl, None)
+    host.update(dict.fromkeys(labels, dst))
+    return len(labels)

@@ -18,13 +18,41 @@ from typing import Iterator, Optional
 from ..util.sortedlist import SortedList
 from .peer import Peer
 
+#: Ceiling-cache entries are dropped wholesale past this size; membership
+#: changes clear the cache anyway, so the cap only guards degenerate
+#: workloads that query millions of distinct keys on a static ring.
+_SUCC_CACHE_MAX = 1 << 17
+
+
+class DuplicatePeerError(ValueError):
+    """A peer identifier that is already present on the ring.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught the
+    generic error keep working; carries the colliding id for diagnostics.
+    """
+
+    def __init__(self, peer_id: str) -> None:
+        super().__init__(f"peer id {peer_id!r} already on the ring")
+        self.peer_id = peer_id
+
 
 class Ring:
-    """Sorted peer membership with circular successor/predecessor queries."""
+    """Sorted peer membership with circular successor/predecessor queries.
+
+    The ring keeps a monotonically increasing :attr:`version` (bumped by
+    every membership or identifier change) and memoises
+    :meth:`successor_of_key` against it, so bursts of mapping queries
+    between membership events — registration storms, invariant sweeps,
+    KC candidate scoring — hit a dict instead of re-running the bisect.
+    """
 
     def __init__(self) -> None:
         self._ids: SortedList[str] = SortedList()
         self._by_id: dict[str, Peer] = {}
+        #: Bumped on every join/leave/reposition; consumers (caches) compare.
+        self.version = 0
+        self._succ_cache: dict[str, str] = {}
+        self._succ_cache_version = 0
 
     # -- membership --------------------------------------------------------
 
@@ -51,12 +79,32 @@ class Ring:
     def ids(self) -> list[str]:
         return self._ids.as_list()
 
+    def id_at(self, index: int) -> str:
+        """The ``index``-th identifier in sorted ring order, O(1).
+
+        Lets callers draw a uniformly random peer without materialising the
+        full id list (the seed's churn loop copied all P ids per leave).
+        """
+        return self._ids[index]
+
+    def peer_at(self, index: int) -> Peer:
+        """The ``index``-th peer in sorted ring order, O(1)."""
+        return self._by_id[self._ids[index]]
+
     def join(self, peer: Peer) -> None:
-        """Insert ``peer``; identifiers must be unique on the ring."""
+        """Insert ``peer``; identifiers must be unique on the ring.
+
+        Raises :class:`DuplicatePeerError` (a :class:`ValueError`) naming
+        the colliding identifier.
+        """
         if peer.id in self._by_id:
-            raise ValueError(f"peer id {peer.id!r} already on the ring")
-        self._ids.add(peer.id)
+            raise DuplicatePeerError(peer.id)
+        try:
+            self._ids.add(peer.id)
+        except ValueError as exc:  # desync guard: surface as the domain error
+            raise DuplicatePeerError(peer.id) from exc
         self._by_id[peer.id] = peer
+        self.version += 1
 
     def leave(self, peer_id: str) -> Peer:
         """Remove and return the peer with ``peer_id``."""
@@ -64,6 +112,7 @@ class Ring:
         if peer is None:
             raise KeyError(f"peer {peer_id!r} not on the ring")
         self._ids.remove(peer_id)
+        self.version += 1
         return peer
 
     # -- circular order ----------------------------------------------------
@@ -78,8 +127,22 @@ class Ring:
 
     def successor_of_key(self, key: str) -> Peer:
         """The peer hosting key/label ``key``: lowest peer id ``>= key``,
-        wrapping to ``P_min`` (the paper's mapping rule)."""
-        return self._by_id[self._ids.successor(key)]
+        wrapping to ``P_min`` (the paper's mapping rule).
+
+        Memoised per ring :attr:`version` — amortised O(1) for repeated
+        keys on a static ring, O(log P) on a cache miss.
+        """
+        cache = self._succ_cache
+        if self._succ_cache_version != self.version:
+            cache.clear()
+            self._succ_cache_version = self.version
+        pid = cache.get(key)
+        if pid is None:
+            pid = self._ids.successor(key)
+            if len(cache) >= _SUCC_CACHE_MAX:
+                cache.clear()
+            cache[key] = pid
+        return self._by_id[pid]
 
     def successor(self, peer_id: str) -> Peer:
         """``succ_P``: the next peer strictly after ``peer_id`` (circular).
@@ -101,7 +164,7 @@ class Ring:
         if new_id == peer.id:
             return
         if new_id in self._by_id:
-            raise ValueError(f"identifier {new_id!r} already taken")
+            raise DuplicatePeerError(new_id)
         if len(self._ids) > 1:
             pred = self.predecessor(peer.id)
             succ = self.successor(peer.id)
@@ -121,6 +184,7 @@ class Ring:
         peer.id = new_id
         self._ids.add(new_id)
         self._by_id[new_id] = peer
+        self.version += 1
 
     # -- diagnostics ------------------------------------------------------------
 

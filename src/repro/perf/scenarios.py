@@ -1,0 +1,268 @@
+"""Benchmark scenario registry: build, growth, churn-storm, request-flood.
+
+Every scenario is deterministic (seeded :class:`random.Random`) and comes in
+two parameter *suites*:
+
+* ``micro`` — seconds-scale, run by CI through
+  ``benchmarks/check_regression.py`` to catch performance regressions;
+* ``scale`` — the 10⁴-peer / 10⁵-key configurations behind the headline
+  numbers in ``BENCH_scale.json``.
+
+Each scenario separates untimed ``prepare`` (state construction, id/corpus
+generation) from the timed ``execute`` so the measurement covers only the
+system operations under study.  The ``impl`` axis selects the mapping
+implementation: ``"seed"`` (the per-label reference copy in
+:mod:`repro.perf.reference`) or ``"optimised"`` (the live interval-batched
+:class:`repro.dlpt.mapping.LexicographicMapping`).
+
+The ``churn_storm`` scenario is the headline: a flash-crowd region of the
+identifier space loses all its peers (their node intervals pile up on the
+survivor just above the region) and then regains them one by one (each
+join splits the pile).  The seed implementation scans the pile's whole
+node set per event; the indexed implementation does two bisects and a
+batched slice move.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..core.alphabet import PRINTABLE
+from ..dlpt.system import DLPTSystem
+from ..peers.capacity import FixedCapacity
+from .reference import SeedLexicographicMapping
+
+#: Fraction of peers whose identifiers align with the key namespace (the
+#: paper's premise that "some regions of the ring are more densely
+#: populated than others"); the rest draw uniform random identifiers.
+_ALIGNED_FRACTION = 0.8
+
+_FAMILY_DIGITS = string.ascii_lowercase
+
+
+def _mapping_factory(impl: str) -> Optional[Callable]:
+    if impl == "seed":
+        return SeedLexicographicMapping
+    if impl == "optimised":
+        return None  # DLPTSystem default: the live LexicographicMapping
+    raise ValueError(f"unknown impl {impl!r} (expected 'seed' or 'optimised')")
+
+
+def family_prefix(index: int) -> str:
+    """Deterministic two-letter service-family prefix: ``aa.``, ``ab.``, …"""
+    n = len(_FAMILY_DIGITS)
+    return _FAMILY_DIGITS[index // n] + _FAMILY_DIGITS[index % n] + "."
+
+
+def clustered_corpus(rng: random.Random, n_keys: int, families: int) -> list[str]:
+    """``n_keys`` distinct keys in ``families`` shared-prefix families —
+    the prefix-clustered namespace the PGCP tree is designed around."""
+    keys: set[str] = set()
+    per_family = [n_keys // families + (1 if f < n_keys % families else 0)
+                  for f in range(families)]
+    for f, quota in enumerate(per_family):
+        prefix = family_prefix(f)
+        have = 0
+        while have < quota:
+            key = prefix + PRINTABLE.random_identifier(rng, 8)
+            if key not in keys:
+                keys.add(key)
+                have += 1
+    return sorted(keys)
+
+
+def _peer_ids(rng: random.Random, n_peers: int, corpus: list[str]) -> list[str]:
+    """Peer identifiers partially aligned with the corpus families."""
+    ids: set[str] = set()
+    while len(ids) < n_peers:
+        if rng.random() < _ALIGNED_FRACTION:
+            pid = corpus[rng.randrange(len(corpus))][:3] + PRINTABLE.random_identifier(rng, 12)
+        else:
+            pid = PRINTABLE.random_identifier(rng, 24)
+        ids.add(pid)
+    return sorted(ids)
+
+
+def _build_system(params: Dict[str, Any], impl: str, rng: random.Random,
+                  register: bool = True) -> tuple[DLPTSystem, list[str]]:
+    corpus = clustered_corpus(rng, params["n_keys"], params["families"])
+    system = DLPTSystem(
+        alphabet=PRINTABLE,
+        capacity_model=FixedCapacity(params.get("capacity", 1_000_000)),
+        mapping_factory=_mapping_factory(impl),
+    )
+    for pid in _peer_ids(rng, params["n_peers"], corpus):
+        system.add_peer(rng, peer_id=pid)
+    if register:
+        for key in corpus:
+            system.register(key)
+    return system, corpus
+
+
+# -- scenario implementations ----------------------------------------------
+
+
+def _prepare_build(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
+    _mapping_factory(impl)  # validate the axis before the timed phase
+    rng = random.Random(params["seed"])
+    corpus = clustered_corpus(rng, params["n_keys"], params["families"])
+    return {
+        "params": params,
+        "impl": impl,
+        "corpus": corpus,
+        "peer_ids": _peer_ids(rng, params["n_peers"], corpus),
+        "rng": rng,
+    }
+
+
+def _execute_build(state: Dict[str, Any]) -> DLPTSystem:
+    params = state["params"]
+    system = DLPTSystem(
+        alphabet=PRINTABLE,
+        capacity_model=FixedCapacity(params.get("capacity", 1_000_000)),
+        mapping_factory=_mapping_factory(state["impl"]),
+    )
+    rng = state["rng"]
+    for pid in state["peer_ids"]:
+        system.add_peer(rng, peer_id=pid)
+    for key in state["corpus"]:
+        system.register(key)
+    return system
+
+
+def _prepare_growth(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
+    rng = random.Random(params["seed"])
+    system, corpus = _build_system(params, impl, rng, register=False)
+    return {"system": system, "corpus": corpus}
+
+
+def _execute_growth(state: Dict[str, Any]) -> None:
+    register = state["system"].register
+    for key in state["corpus"]:
+        register(key)
+
+
+def _prepare_churn_storm(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
+    rng = random.Random(params["seed"])
+    system, corpus = _build_system(params, impl, rng)
+    hot = family_prefix(0)
+    in_arc = [pid for pid in system.ring.ids() if pid.startswith(hot)]
+    # Leave highest-first so each victim's pile moves once, straight to the
+    # survivor above the arc; rejoin lowest-first so every label is pulled
+    # off the pile exactly once.  The work is linear in the arc's labels —
+    # the timing difference is pure per-event implementation cost.
+    victims = sorted(in_arc, reverse=True)[: params["storm"]]
+    rejoins: list[str] = []
+    taken = set(system.ring.ids())
+    while len(rejoins) < len(victims):
+        pid = hot + PRINTABLE.random_identifier(rng, 12)
+        if pid not in taken:
+            taken.add(pid)
+            rejoins.append(pid)
+    rejoins.sort()
+    return {"system": system, "victims": victims, "rejoins": rejoins, "rng": rng}
+
+
+def _execute_churn_storm(state: Dict[str, Any]) -> None:
+    system = state["system"]
+    rng = state["rng"]
+    for pid in state["victims"]:
+        system.remove_peer(pid)
+    for pid in state["rejoins"]:
+        system.add_peer(rng, peer_id=pid)
+
+
+def _prepare_request_flood(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
+    rng = random.Random(params["seed"])
+    system, corpus = _build_system(params, impl, rng)
+    requests = [corpus[rng.randrange(len(corpus))] for _ in range(params["n_requests"])]
+    return {"system": system, "requests": requests, "rng": rng}
+
+
+def _execute_request_flood(state: Dict[str, Any]) -> int:
+    system = state["system"]
+    rng = state["rng"]
+    discover = system.discover
+    satisfied = 0
+    for key in state["requests"]:
+        if discover(key, rng=rng).satisfied:
+            satisfied += 1
+    return satisfied
+
+
+# -- registry ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, parameterised benchmark workload."""
+
+    name: str
+    description: str
+    prepare: Callable[[Dict[str, Any], str], Any] = field(repr=False)
+    execute: Callable[[Any], Any] = field(repr=False)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "build",
+            "bootstrap a platform: join all peers, register all keys",
+            _prepare_build,
+            _execute_build,
+        ),
+        Scenario(
+            "growth",
+            "register the full corpus on an established ring",
+            _prepare_growth,
+            _execute_growth,
+        ),
+        Scenario(
+            "churn_storm",
+            "a hot region loses all its peers, then regains them",
+            _prepare_churn_storm,
+            _execute_churn_storm,
+        ),
+        Scenario(
+            "request_flood",
+            "a burst of discovery requests on a stable platform",
+            _prepare_request_flood,
+            _execute_request_flood,
+        ),
+    )
+}
+
+#: Per-suite scenario parameters.  ``micro`` is the CI regression suite
+#: (seconds in total); ``scale`` is the headline 10⁴-peer configuration.
+SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
+    "micro": {
+        "build": {"n_peers": 400, "n_keys": 3000, "families": 8, "seed": 1},
+        "growth": {"n_peers": 400, "n_keys": 3000, "families": 8, "seed": 2},
+        # Sized so the optimised median lands in single-digit milliseconds
+        # — large enough for a 25% regression threshold to measure code,
+        # not clock jitter, while keeping the whole suite CI-fast.
+        "churn_storm": {
+            "n_peers": 4000, "n_keys": 40_000, "families": 8, "storm": 400, "seed": 3,
+        },
+        "request_flood": {
+            "n_peers": 400, "n_keys": 3000, "families": 8,
+            "n_requests": 3000, "seed": 4,
+        },
+    },
+    "scale": {
+        "build": {"n_peers": 10_000, "n_keys": 50_000, "families": 16, "seed": 11},
+        "growth": {"n_peers": 10_000, "n_keys": 50_000, "families": 16, "seed": 12},
+        "churn_storm": {
+            "n_peers": 10_000, "n_keys": 100_000, "families": 16,
+            "storm": 400, "seed": 13,
+        },
+        "request_flood": {
+            "n_peers": 10_000, "n_keys": 50_000, "families": 16,
+            "n_requests": 20_000, "seed": 14,
+        },
+    },
+}

@@ -1,0 +1,98 @@
+"""Statistical wall-clock timing: warmup + median-of-k over fresh state.
+
+Micro-benchmarks of stateful systems have three classic traps: timing the
+first (cold) execution, re-running over state mutated by the previous
+repetition, and letting the cyclic garbage collector fire mid-measurement
+(a gen-2 pass over a 10⁴-peer system costs more than the workload under
+study).  :func:`measure` avoids all three — every repetition builds fresh
+state via ``prepare`` (untimed) and executes ``execute`` once (timed) with
+collection of ``prepare``'s garbage pulled in front of the clock and the
+collector paused inside the timed window; ``warmup`` discarded lead-in
+repetitions come first.  The median is the headline number (robust to
+scheduler noise); min/mean/max are kept for diagnosis.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary of one timed benchmark (seconds)."""
+
+    runs: int
+    warmup: int
+    median_s: float
+    mean_s: float
+    min_s: float
+    max_s: float
+    samples: tuple[float, ...]
+
+    def as_dict(self) -> dict:
+        """Stable JSON form (``samples`` included for re-analysis)."""
+        return {
+            "runs": self.runs,
+            "warmup": self.warmup,
+            "median_s": self.median_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "samples": list(self.samples),
+        }
+
+    @staticmethod
+    def from_samples(samples: Sequence[float], warmup: int) -> "TimingStats":
+        if not samples:
+            raise ValueError("need at least one timed sample")
+        return TimingStats(
+            runs=len(samples),
+            warmup=warmup,
+            median_s=statistics.median(samples),
+            mean_s=statistics.fmean(samples),
+            min_s=min(samples),
+            max_s=max(samples),
+            samples=tuple(samples),
+        )
+
+
+def time_once(prepare: Callable[[], Any], execute: Callable[[Any], Any]) -> float:
+    """One repetition: fresh state, garbage pre-collected, collector paused
+    during the timed window.  Returns elapsed seconds."""
+    state = prepare()
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        execute(state)
+        return time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def measure(
+    prepare: Callable[[], Any],
+    execute: Callable[[Any], Any],
+    repeat: int = 5,
+    warmup: int = 1,
+) -> TimingStats:
+    """Time ``execute(prepare())`` ``repeat`` times on fresh state each.
+
+    ``prepare`` builds the scenario state (untimed); ``execute`` runs the
+    measured workload once.  ``warmup`` full prepare+execute cycles run
+    first and are discarded (interpreter warm-up, allocator steady state).
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for _ in range(warmup):
+        execute(prepare())
+    samples = [time_once(prepare, execute) for _ in range(repeat)]
+    return TimingStats.from_samples(samples, warmup)

@@ -27,6 +27,7 @@ class _ScheduledEvent:
     time: float
     seq: int
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)  # executed or dequeued
     action: Callable[[], Any] = field(default=None, compare=False)
     label: str = field(default="", compare=False)
 
@@ -34,16 +35,19 @@ class _ScheduledEvent:
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> bool:
-        """Cancel the event if it has not fired; return whether it was live."""
-        if self._event.cancelled:
+        """Cancel the event if it has not fired; return whether it was live
+        (False when already cancelled *or* already executed)."""
+        if self._event.cancelled or self._event.fired:
             return False
         self._event.cancelled = True
+        self._sim._note_cancelled()
         return True
 
     @property
@@ -62,11 +66,29 @@ class Simulator:
     FIFO), which keeps runs reproducible bit-for-bit for a given seed.
     """
 
+    #: Compaction threshold: never bother below this queue size.
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._queue: list[_ScheduledEvent] = []
         self._counter = itertools.count()
         self._events_executed = 0
+        self._cancelled_pending = 0
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled; compact the heap once cancelled
+        tombstones outnumber live events (keeps long timer-heavy runs from
+        accumulating an O(cancelled) queue and paying log(dead) per pop)."""
+        self._cancelled_pending += 1
+        n = len(self._queue)
+        if n >= self._COMPACT_MIN and self._cancelled_pending * 2 > n:
+            for ev in self._queue:
+                if ev.cancelled:
+                    ev.fired = True
+            self._queue = [ev for ev in self._queue if not ev.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
 
     # -- clock -----------------------------------------------------------
 
@@ -102,7 +124,7 @@ class Simulator:
             label=label,
         )
         heapq.heappush(self._queue, ev)
-        return EventHandle(ev)
+        return EventHandle(ev, self)
 
     def schedule_at(self, time: float, action: Callable[[], Any], label: str = "") -> EventHandle:
         """Schedule ``action`` at absolute simulated ``time`` (>= now)."""
@@ -114,7 +136,9 @@ class Simulator:
         """Execute the next event; return False when the queue is empty."""
         while self._queue:
             ev = heapq.heappop(self._queue)
+            ev.fired = True
             if ev.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = ev.time
             self._events_executed += 1
@@ -130,6 +154,8 @@ class Simulator:
             ev = self._queue[0]
             if ev.cancelled:
                 heapq.heappop(self._queue)
+                ev.fired = True
+                self._cancelled_pending -= 1
                 continue
             if until is not None and ev.time > until:
                 self._now = until
@@ -137,6 +163,7 @@ class Simulator:
             if max_events is not None and executed >= max_events:
                 break
             heapq.heappop(self._queue)
+            ev.fired = True
             self._now = ev.time
             self._events_executed += 1
             executed += 1

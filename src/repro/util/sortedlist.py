@@ -77,6 +77,62 @@ class SortedList(Generic[T]):
     def clear(self) -> None:
         self._items.clear()
 
+    # -- bulk mutation -----------------------------------------------------
+
+    def update(self, items: Iterable[T]) -> None:
+        """Insert many items at once; raise :class:`ValueError` on any
+        duplicate (within ``items`` or against existing content), in which
+        case the list is left unchanged (atomic either way).
+
+        A node-interval migration moves a whole slice of labels between
+        peers; merging the batch in one pass is O(n + m log m) instead of
+        the O(n·m) of repeated single inserts.
+        """
+        batch = sorted(items)
+        if not batch:
+            return
+        for i in range(1, len(batch)):
+            if batch[i - 1] == batch[i]:
+                raise ValueError(f"duplicate item {batch[i]!r}")
+        if len(batch) <= 8:
+            # Tiny batch: a few bisect inserts beat a full O(n) merge.
+            # (Each insert shifts O(n) elements, so this only wins for
+            # genuinely small m.)  Validate against existing content
+            # first to stay atomic.
+            for item in batch:
+                if item in self:
+                    raise ValueError(f"duplicate item {item!r}")
+            for item in batch:
+                self.add(item)
+            return
+        merged = self._items + batch
+        merged.sort()  # timsort: two sorted runs merge in O(n + m)
+        for i in range(1, len(merged)):
+            if merged[i - 1] == merged[i]:
+                raise ValueError(f"duplicate item {merged[i]!r}")
+        self._items = merged
+
+    def remove_many(self, items: Iterable[T]) -> None:
+        """Remove many items at once; raise :class:`ValueError` if any is
+        absent, in which case the list is left unchanged (atomic either
+        way).  O(n + m) for large batches (single filtering pass)."""
+        batch = set(items)
+        if not batch:
+            return
+        if len(batch) <= 8:
+            # Tiny batch: per-item deletes beat the full filtering pass.
+            for item in batch:
+                if item not in self:
+                    raise ValueError(f"item {item!r} not present")
+            for item in batch:
+                self.remove(item)
+            return
+        kept = [x for x in self._items if x not in batch]
+        if len(kept) != len(self._items) - len(batch):
+            missing = batch.difference(self._items)
+            raise ValueError(f"items not present: {sorted(missing)[:5]!r}")
+        self._items = kept
+
     # -- order queries ---------------------------------------------------
 
     def index(self, item: T) -> int:
@@ -85,6 +141,33 @@ class SortedList(Generic[T]):
         if i < len(self._items) and self._items[i] == item:
             return i
         raise ValueError(f"item {item!r} not present")
+
+    def index_left(self, key) -> int:
+        """``bisect_left`` position of ``key`` (first index with item >= key)."""
+        return bisect.bisect_left(self._items, key)
+
+    def index_right(self, key) -> int:
+        """``bisect_right`` position of ``key`` (first index with item > key)."""
+        return bisect.bisect_right(self._items, key)
+
+    def slice(self, start: int, stop: int) -> list[T]:
+        """Copy of ``[start:stop)`` of the underlying sorted list."""
+        return self._items[start:stop]
+
+    def range_open_closed(self, a, b) -> list[T]:
+        """All items in the *circular* interval ``(a, b]``.
+
+        The interval wraps when ``a >= b`` (and ``(a, a]`` is the full ring —
+        the single-peer case), mirroring
+        :func:`repro.core.keyspace.in_interval_open_closed`.  Two bisects and
+        a slice instead of a full scan: this is the primitive behind
+        interval-batched node migration.
+        """
+        items = self._items
+        if a < b:
+            return items[bisect.bisect_right(items, a) : bisect.bisect_right(items, b)]
+        # wrapped (or degenerate full-ring) interval: (a, max] ∪ [min, b]
+        return items[bisect.bisect_right(items, a) :] + items[: bisect.bisect_right(items, b)]
 
     def min(self) -> T:
         if not self._items:

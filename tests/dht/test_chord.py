@@ -60,6 +60,27 @@ class TestMembership:
         with pytest.raises(ValueError):
             ring.add_peer("peer-0000")
 
+    def test_bulk_add_matches_individual(self):
+        ids = [f"peer-{i:04d}" for i in range(40)]
+        bulk = ChordRing()
+        bulk.add_peers(ids)
+        one_by_one = ChordRing()
+        for pid in ids:
+            one_by_one.add_peer(pid)
+        bulk.check_invariants()
+        assert [n.position for n in bulk.nodes()] == [
+            n.position for n in one_by_one.nodes()
+        ]
+        assert bulk.successor_peer("dgemm") == one_by_one.successor_peer("dgemm")
+
+    def test_bulk_add_rejects_collision_atomically(self):
+        ring = ring_with(3)
+        with pytest.raises(ValueError):
+            ring.add_peers(["peer-9000", "peer-0000"])
+        # The fresh id ahead of the collision must not have been admitted.
+        assert len(ring) == 3
+        ring.check_invariants()
+
 
 class TestConsistentHashing:
     def test_successor_peer_is_clockwise_owner(self):

@@ -9,7 +9,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.peers.peer import Peer
-from repro.peers.ring import Ring
+from repro.peers.ring import DuplicatePeerError, Ring
 
 
 def ring_of(*ids):
@@ -28,6 +28,23 @@ class TestMembership:
         r = ring_of("a")
         with pytest.raises(ValueError):
             r.join(Peer(id="a", capacity=1))
+
+    def test_duplicate_join_raises_domain_error_with_id(self):
+        r = ring_of("a")
+        with pytest.raises(DuplicatePeerError) as exc_info:
+            r.join(Peer(id="a", capacity=1))
+        assert exc_info.value.peer_id == "a"
+        assert "'a'" in str(exc_info.value)
+
+    def test_duplicate_reposition_raises_domain_error(self):
+        r = ring_of("b", "d")
+        with pytest.raises(DuplicatePeerError):
+            r.reposition(r.peer("d"), "b")
+
+    def test_id_at_and_peer_at(self):
+        r = ring_of("c", "a", "b")
+        assert [r.id_at(i) for i in range(3)] == ["a", "b", "c"]
+        assert r.peer_at(1).id == "b"
 
     def test_leave_returns_peer(self):
         r = ring_of("a", "b")
@@ -113,6 +130,34 @@ class TestReposition:
         r = ring_of("m")
         r.reposition(r.peer("m"), "q")
         assert "q" in r
+
+
+class TestVersionAndCache:
+    def test_version_bumps_on_membership_change(self):
+        r = Ring()
+        v0 = r.version
+        r.join(Peer(id="b", capacity=1))
+        r.join(Peer(id="d", capacity=1))
+        assert r.version == v0 + 2
+        r.reposition(r.peer("d"), "e")
+        assert r.version == v0 + 3
+        r.leave("e")
+        assert r.version == v0 + 4
+
+    def test_noop_reposition_keeps_version(self):
+        r = ring_of("b")
+        v = r.version
+        r.reposition(r.peer("b"), "b")
+        assert r.version == v
+
+    def test_successor_cache_invalidated_by_membership_change(self):
+        r = ring_of("b", "d")
+        assert r.successor_of_key("c").id == "d"
+        assert r.successor_of_key("c").id == "d"  # cached
+        r.join(Peer(id="c", capacity=1))
+        assert r.successor_of_key("c").id == "c"  # not the stale entry
+        r.leave("c")
+        assert r.successor_of_key("c").id == "d"
 
 
 class TestPropertyBased:

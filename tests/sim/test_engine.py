@@ -75,6 +75,39 @@ class TestCancellation:
         h = sim.schedule(2.5, lambda: None)
         assert h.time == 2.5 and not h.cancelled
 
+    def test_mass_cancellation_compacts_queue(self):
+        """Cancelled tombstones must not accumulate: once they outnumber
+        live events the heap is rebuilt without them."""
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(1000)]
+        keep = handles[::10]
+        for h in handles:
+            if h not in keep:
+                h.cancel()
+        assert sim.pending < 300  # 900 tombstones would remain uncompacted
+        fired = sim.run_until_idle()
+        assert fired == len(keep)
+
+    def test_execution_order_preserved_across_compaction(self):
+        sim = Simulator()
+        log = []
+        handles = [sim.schedule(i + 1, lambda i=i: log.append(i)) for i in range(200)]
+        for i, h in enumerate(handles):
+            if i % 2:
+                h.cancel()
+        sim.run_until_idle()
+        assert log == [i for i in range(200) if i % 2 == 0]
+
+    def test_cancel_after_fire_does_not_corrupt_counter(self):
+        sim = Simulator()
+        h = sim.schedule(1, lambda: None)
+        sim.run_until_idle()
+        assert not h.cancel()  # already executed: not live, nothing pre-empted
+        # More live schedule/cancel churn must still work.
+        for _ in range(100):
+            sim.schedule(1, lambda: None).cancel()
+        assert sim.run_until_idle() == 0
+
 
 class TestRunBounds:
     def test_run_until_time(self):

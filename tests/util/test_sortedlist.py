@@ -117,6 +117,87 @@ class TestCircularQueries:
                 getattr(SortedList(), method)("x")
 
 
+class TestBulkOps:
+    def test_update_merges_sorted(self):
+        s = SortedList(["b", "e"])
+        s.update(["d", "a", "c"])
+        assert list(s) == ["a", "b", "c", "d", "e"]
+
+    def test_update_empty_is_noop(self):
+        s = SortedList(["a"])
+        s.update([])
+        assert list(s) == ["a"]
+
+    def test_update_duplicate_raises_atomically(self):
+        s = SortedList(["a", "b"])
+        with pytest.raises(ValueError):
+            s.update(["0", "b"])  # "0" sorts first: would insert before the dup
+        assert list(s) == ["a", "b"]  # small-batch path left untouched
+
+    def test_update_internal_duplicate_raises(self):
+        s = SortedList(["a"])
+        with pytest.raises(ValueError):
+            s.update(["x", "x", "y", "z", "w", "v"])
+        assert list(s) == ["a"]
+
+    def test_update_large_batch_merge_path(self):
+        s = SortedList(range(0, 100, 2))
+        s.update(range(1, 100, 2))
+        assert list(s) == list(range(100))
+
+    def test_remove_many(self):
+        s = SortedList("abcdef")
+        s.remove_many(["b", "d", "f"])
+        assert list(s) == ["a", "c", "e"]
+
+    def test_remove_many_large_batch_filter_path(self):
+        s = SortedList(range(100))
+        s.remove_many(range(0, 100, 2))
+        assert list(s) == list(range(1, 100, 2))
+
+    def test_remove_many_missing_raises_atomically(self):
+        s = SortedList("abc")
+        with pytest.raises(ValueError):
+            s.remove_many(["a", "z"])
+        assert list(s) == ["a", "b", "c"]  # small-batch path left untouched
+
+    def test_remove_many_missing_raises_on_filter_path(self):
+        s = SortedList(range(20))
+        with pytest.raises(ValueError):
+            s.remove_many(list(range(15)) + [99])
+
+
+class TestIndexAndRanges:
+    @pytest.fixture
+    def s(self):
+        return SortedList(["b", "d", "d2", "f"])
+
+    def test_index_left_right(self, s):
+        assert s.index_left("d") == 1
+        assert s.index_right("d") == 2
+        assert s.index_left("a") == 0
+        assert s.index_right("z") == 4
+
+    def test_slice(self, s):
+        assert s.slice(1, 3) == ["d", "d2"]
+
+    def test_range_open_closed_plain(self, s):
+        assert s.range_open_closed("b", "d2") == ["d", "d2"]
+        assert s.range_open_closed("a", "z") == ["b", "d", "d2", "f"]
+
+    def test_range_open_closed_excludes_lower_includes_upper(self, s):
+        assert s.range_open_closed("d", "f") == ["d2", "f"]
+
+    def test_range_open_closed_wraps(self, s):
+        # (f, b]: the arc through the space origin.
+        assert s.range_open_closed("f", "b") == ["b"]
+        assert s.range_open_closed("e", "d") == ["f", "b", "d"]
+
+    def test_range_open_closed_degenerate_is_everything(self, s):
+        # (a, a] is the full ring — the single-peer interval.
+        assert s.range_open_closed("d", "d") == ["d2", "f", "b", "d"]
+
+
 class TestPropertyBased:
     @given(items=st.sets(st.integers(0, 1000), min_size=1, max_size=60),
            key=st.integers(-10, 1010))
@@ -131,6 +212,26 @@ class TestPropertyBased:
         s = SortedList(items)
         expected = max((i for i in items if i < key), default=max(items))
         assert s.predecessor(key) == expected
+
+    @given(items=st.sets(st.integers(0, 100), max_size=40),
+           batch=st.sets(st.integers(101, 300), max_size=40))
+    def test_update_equals_individual_adds(self, items, batch):
+        bulk = SortedList(items)
+        bulk.update(batch)
+        one_by_one = SortedList(items)
+        for v in sorted(batch):
+            one_by_one.add(v)
+        assert bulk == one_by_one
+
+    @given(items=st.sets(st.integers(0, 200), min_size=1, max_size=60),
+           a=st.integers(-10, 210), b=st.integers(-10, 210))
+    def test_range_open_closed_matches_predicate(self, items, a, b):
+        from repro.core.keyspace import in_interval_open_closed
+
+        s = SortedList(items)
+        got = s.range_open_closed(a, b)
+        expected = [x for x in sorted(items) if in_interval_open_closed(x, a, b)]
+        assert sorted(got) == expected
 
     @given(ops=st.lists(st.tuples(st.booleans(), st.integers(0, 50)), max_size=80))
     def test_mirrors_a_python_set(self, ops):
