@@ -1,8 +1,10 @@
 #!/usr/bin/env python
 """Fault tolerance: crash waves, successor replication, tree repair.
 
-The paper's protocol covers graceful departure (a leaving peer hands its
-nodes to its successor); real grids also crash.  This example deploys the
+Extends the paper's Section 3 protocol, which covers graceful departure (a
+leaving peer hands its nodes to its successor); real grids also crash — the
+"costly maintenance" concern Section 2 raises against trie-structured
+overlays.  This example deploys the
 full service corpus, then hits the platform with increasingly severe
 fail-stop crash waves and shows:
 

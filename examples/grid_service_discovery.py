@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Grid service discovery with multi-attribute queries.
 
-The paper motivates DLPT as the discovery layer of a fully decentralised
+Reproduces the service model of the paper's Sections 1–2: the paper
+motivates DLPT as the discovery layer of a fully decentralised
 grid middleware (the GRAAL/DIET context): clients look up computational
 services — linear-algebra routines offered by heterogeneous servers — by
 name, by partial name, by range, and by attribute constraints.

@@ -7,22 +7,28 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro table1 --runs 3 --workers 8
     python -m repro table2
     python -m repro bench --suite micro
+    python -m repro run --workload flash_crowd:S3L --units 120 --trace t.jsonl
+    python -m repro run --replay t.jsonl --lb kc:k=8
     python -m repro list
 
 Figures print an ASCII plot plus the per-unit series table; tables print
 the paper-layout text table.  ``--workers`` > 1 uses the process-parallel
-runner for the figure sweeps.
+runner for the figure sweeps.  ``run`` executes one configuration under
+any workload spec (see :mod:`repro.workloads.spec`), optionally recording
+the workload to a ``repro-trace/1`` JSONL file (``--trace``) or replaying
+one (``--replay``), and reports a per-phase breakdown.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from .ascii_plot import ascii_plot
 from .figures import ALL_FIGURES
-from .tables import paper_table2_text, table1, table2
+from .tables import paper_table2_text, phase_table, table1, table2
 
 _EXPERIMENTS = sorted(ALL_FIGURES) + ["table1", "table2"]
 
@@ -72,6 +78,132 @@ def _print_figure(fig, no_plot: bool) -> None:
     print(fig.as_table())
 
 
+def _run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description=(
+            "Run one simulation under any workload spec; optionally record "
+            "the workload to a repro-trace/1 JSONL file or replay one."
+        ),
+    )
+    parser.add_argument("--workload", default=None,
+                        help="workload spec, e.g. uniform, zipf:1.2, hotspot:S3L, "
+                        "figure8, flash_crowd:S3L:onset=40, "
+                        "diurnal:period=24:amplitude=0.5, adversarial:S3L")
+    parser.add_argument("--peers", type=int, default=100, help="platform size")
+    parser.add_argument("--units", type=int, default=None,
+                        help="time units (default 50; a replay runs the trace's length)")
+    parser.add_argument("--growth", type=int, default=None,
+                        help="units during which the tree grows (default 10; "
+                        "a replay registers what the trace recorded)")
+    parser.add_argument("--load", type=float, default=None,
+                        help="requests per unit / aggregate capacity (default 0.10)")
+    parser.add_argument("--lb", default="nolb",
+                        help="balancer spec: nolb, mlt[:fraction=..], kc[:k=..]")
+    parser.add_argument("--churn", choices=("stable", "dynamic", "frozen"),
+                        default=None, help="churn model (default stable)")
+    parser.add_argument("--accounting", choices=("destination", "transit"),
+                        default="destination")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed (default: the config's)")
+    parser.add_argument("--run-index", type=int, default=None,
+                        help="which common-random-numbers run to execute "
+                        "(default 0; a replay uses the trace's)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="record the workload to a repro-trace/1 JSONL file")
+    parser.add_argument("--replay", default=None, metavar="PATH",
+                        help="replay a recorded trace instead of generating traffic")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the run's metrics JSON (stable layout)")
+    return parser
+
+
+def _run_main(argv) -> int:
+    from ..lb import balancer_from_spec
+    from ..peers import churn as churn_mod
+    from ..workloads.spec import WorkloadSpecError
+    from ..workloads.traces import TraceError, WorkloadTrace
+    from .config import ExperimentConfig
+    from .metrics import phase_breakdown, run_metrics_dict
+    from .runner import record_single, run_single
+
+    parser = _run_parser()
+    args = parser.parse_args(argv)
+    if args.trace and args.replay:
+        parser.error("--trace records and --replay replays; pick one")
+    if args.replay:
+        # The trace records the workload side (requests, churn events,
+        # growth) and pins seed/run-index in its header; rejecting these
+        # flags beats silently running something other than what the user
+        # asked for.
+        for flag, value in (("--units", args.units), ("--growth", args.growth),
+                            ("--run-index", args.run_index),
+                            ("--workload", args.workload), ("--load", args.load),
+                            ("--churn", args.churn), ("--seed", args.seed)):
+            if value is not None:
+                parser.error(f"{flag} conflicts with --replay: the trace "
+                             "already fixes it")
+
+    churn = {"stable": churn_mod.STABLE, "dynamic": churn_mod.DYNAMIC,
+             "frozen": churn_mod.FROZEN}[args.churn or "stable"]
+    kwargs = dict(
+        n_peers=args.peers,
+        total_units=args.units if args.units is not None else 50,
+        growth_units=args.growth if args.growth is not None else 10,
+        load_fraction=args.load if args.load is not None else 0.10,
+        workload=args.workload,
+        churn=churn,
+        accounting=args.accounting,
+    )
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    try:
+        config = ExperimentConfig(lb=balancer_from_spec(args.lb), **kwargs)
+    except (WorkloadSpecError, ValueError) as exc:
+        parser.error(str(exc))
+
+    start = time.perf_counter()
+    if args.replay:
+        try:
+            trace = WorkloadTrace.load(args.replay)
+        except (OSError, TraceError) as exc:
+            parser.error(str(exc))
+        result = run_single(config, replay=trace)
+        windows = [(f"replay:{args.replay}", 0, trace.n_units)]
+        # Describe only the system side under test; workload, churn, length
+        # and seed all come from the trace, not the config.
+        print(f"# replay of {args.replay} ({trace.n_units} units, "
+              f"{trace.total_requests} requests, seed={trace.seed}) | "
+              f"lb={config.lb.name} | {config.n_peers} peers | "
+              f"accounting={config.accounting}")
+    else:
+        run_index = args.run_index if args.run_index is not None else 0
+        if args.trace:
+            result, trace = record_single(config, run_index)
+            path = trace.dump(args.trace)
+            print(f"[run] recorded trace -> {path}")
+        else:
+            result = run_single(config, run_index)
+        windows = config.schedule.phase_windows(config.total_units)
+        print(f"# {config.describe()}")
+    elapsed = time.perf_counter() - start
+
+    print()
+    print(phase_table(phase_breakdown(result, windows)))
+    pct = 100.0 * result.total_satisfied / result.total_issued if result.total_issued else 0.0
+    print(f"\ntotal: {result.total_satisfied}/{result.total_issued} "
+          f"satisfied ({pct:.1f}%) in {elapsed:.1f}s")
+    if args.metrics_out:
+        # Label with the system side only (balancer), never the workload
+        # source: a recorded run and its replay must serialise identically.
+        doc = run_metrics_dict(result, label=config.lb.name)
+        with open(args.metrics_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[run] wrote metrics -> {args.metrics_out}")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "bench":
@@ -80,9 +212,11 @@ def main(argv=None) -> int:
         from ..perf.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "run":
+        return _run_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
-        for name in _EXPERIMENTS + ["bench"]:
+        for name in _EXPERIMENTS + ["bench", "run"]:
             print(name)
         return 0
 

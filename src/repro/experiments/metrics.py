@@ -7,16 +7,59 @@ The paper's reported quantities:
   requests (Table 1);
 * **average hops per request** per time unit — logical, and physical under
   each mapping (Figure 9).
+
+Beyond the paper, each unit also carries a **load-imbalance factor**
+(hottest peer's received load over the mean) and the **per-request hop
+samples** behind tail-latency percentiles; :func:`phase_breakdown` slices
+both along a schedule's phase windows, and :func:`run_metrics_dict` renders
+a run as a stable JSON document (the byte-compared artefact of trace
+replays).
 """
 
 from __future__ import annotations
 
+import math
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from ..util.stats import SeriesSummary, summarize_series
+
+#: Schema tag of :func:`run_metrics_dict` documents.
+METRICS_SCHEMA = "repro-metrics/1"
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of raw samples (q in [0, 100]).
+
+    Nearest-rank (rather than interpolation) keeps the result an observed
+    sample, so tail hops are always attainable path lengths.  Thin wrapper
+    over :func:`percentile_from_counts` — one implementation, two input
+    shapes.
+    """
+    return percentile_from_counts(Counter(samples), q)
+
+
+def percentile_from_counts(counts: Dict[int, int], q: float) -> float:
+    """Nearest-rank percentile over a value→count histogram; 0.0 on empty
+    input.
+
+    Histograms are how the runner stores hop tails: hop counts are bounded
+    by tree depth, so per-unit tails cost O(depth) memory instead of
+    O(requests).
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * total))
+    cumulative = 0
+    for value in sorted(counts):
+        cumulative += counts[value]
+        if cumulative >= rank:
+            return float(value)
+    return float(max(counts))  # pragma: no cover - rank <= total always hits
 
 
 @dataclass
@@ -33,6 +76,13 @@ class UnitStats:
     peers: int = 0
     nodes: int = 0
     aggregate_capacity: int = 0
+    #: Hottest peer's received load over the mean received load (1.0 =
+    #: perfectly even; 0.0 when no request arrived this unit).
+    load_imbalance: float = 0.0
+    #: hops → number of satisfied requests that took that many logical hops
+    #: this unit: the (depth-bounded) distribution behind the tail
+    #: percentiles.
+    hop_histogram: Dict[int, int] = field(default_factory=dict)
 
     @property
     def satisfied_pct(self) -> float:
@@ -45,6 +95,14 @@ class UnitStats:
     @property
     def mean_physical_hops(self) -> float:
         return self.physical_hops / self.satisfied if self.satisfied else 0.0
+
+    @property
+    def p95_hops(self) -> float:
+        return percentile_from_counts(self.hop_histogram, 95.0)
+
+    @property
+    def p99_hops(self) -> float:
+        return percentile_from_counts(self.hop_histogram, 99.0)
 
 
 @dataclass
@@ -109,6 +167,127 @@ def gain_table_row(
     return {
         "MLT": 100.0 * (mlt.total_satisfied_mean() - base) / base,
         "KC": 100.0 * (kc.total_satisfied_mean() - base) / base,
+    }
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Aggregated metrics of one schedule phase (a ``[start, end)`` window).
+
+    ``satisfied_pct`` is computed over the phase's pooled requests;
+    ``p95_hops``/``p99_hops`` pool every satisfied request's hop count in
+    the window (a true tail, not a mean of per-unit tails);
+    ``mean_imbalance`` averages the per-unit load-imbalance factors.
+    """
+
+    name: str
+    start: int
+    end: int
+    issued: int
+    satisfied: int
+    dropped: int
+    not_found: int
+    satisfied_pct: float
+    mean_hops: float
+    p95_hops: float
+    p99_hops: float
+    mean_imbalance: float
+    migrations: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "issued": self.issued,
+            "satisfied": self.satisfied,
+            "dropped": self.dropped,
+            "not_found": self.not_found,
+            "satisfied_pct": self.satisfied_pct,
+            "mean_hops": self.mean_hops,
+            "p95_hops": self.p95_hops,
+            "p99_hops": self.p99_hops,
+            "mean_imbalance": self.mean_imbalance,
+            "migrations": self.migrations,
+        }
+
+
+def phase_breakdown(
+    result: RunResult, windows: Sequence[Tuple[str, int, int]]
+) -> List[PhaseStats]:
+    """Slice a run's per-unit series along schedule phase windows.
+
+    ``windows`` is what ``schedule.phase_windows(total_units)`` returns:
+    ``(name, start, end)`` triples.  Windows (or window parts) beyond the
+    run's length are clipped; empty clips are skipped.
+    """
+    phases: List[PhaseStats] = []
+    n = len(result.units)
+    for name, start, end in windows:
+        lo, hi = max(0, start), min(end, n)
+        if lo >= hi:
+            continue
+        units = result.units[lo:hi]
+        issued = sum(u.issued for u in units)
+        satisfied = sum(u.satisfied for u in units)
+        hop_total = sum(u.logical_hops for u in units)
+        pooled: Dict[int, int] = {}
+        for u in units:
+            for hops, count in u.hop_histogram.items():
+                pooled[hops] = pooled.get(hops, 0) + count
+        imbalances = [u.load_imbalance for u in units if u.issued]
+        phases.append(
+            PhaseStats(
+                name=name,
+                start=lo,
+                end=hi,
+                issued=issued,
+                satisfied=satisfied,
+                dropped=sum(u.dropped for u in units),
+                not_found=sum(u.not_found for u in units),
+                satisfied_pct=100.0 * satisfied / issued if issued else 0.0,
+                mean_hops=hop_total / satisfied if satisfied else 0.0,
+                p95_hops=percentile_from_counts(pooled, 95.0),
+                p99_hops=percentile_from_counts(pooled, 99.0),
+                mean_imbalance=(
+                    sum(imbalances) / len(imbalances) if imbalances else 0.0
+                ),
+                migrations=sum(u.migrations for u in units),
+            )
+        )
+    return phases
+
+
+def run_metrics_dict(result: RunResult, label: str = "") -> Dict[str, Any]:
+    """A run as a stable, JSON-serialisable document.
+
+    This is the artefact trace replays are byte-compared on: serialising
+    with ``json.dumps(..., sort_keys=True)`` yields identical bytes exactly
+    when two runs did identical work.
+    """
+    return {
+        "schema": METRICS_SCHEMA,
+        "label": label,
+        "total_issued": result.total_issued,
+        "total_satisfied": result.total_satisfied,
+        "units": [
+            {
+                "issued": u.issued,
+                "satisfied": u.satisfied,
+                "dropped": u.dropped,
+                "not_found": u.not_found,
+                "logical_hops": u.logical_hops,
+                "physical_hops": u.physical_hops,
+                "migrations": u.migrations,
+                "peers": u.peers,
+                "nodes": u.nodes,
+                "aggregate_capacity": u.aggregate_capacity,
+                "load_imbalance": u.load_imbalance,
+                "p95_hops": u.p95_hops,
+                "p99_hops": u.p99_hops,
+            }
+            for u in result.units
+        ],
     }
 
 

@@ -13,14 +13,23 @@ Common random numbers: every stochastic decision draws from a named stream
 derived from the config seed, so runs that differ only in the balancer see
 identical churn, identical capacities and identical request sequences —
 the paper's three curves are then directly comparable.
+
+Record/replay: :func:`run_single` optionally records the workload side of a
+run (churn arrivals, departures, registrations, requests) into a
+:class:`repro.workloads.traces.WorkloadTrace`, or replays one instead of
+drawing from the workload streams.  A trace replayed against its own
+configuration reproduces the run exactly (byte-identical metrics); replayed
+against a different balancer or mapping it holds the traffic fixed while
+the system under test varies.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..dlpt.system import DLPTSystem, corpus_peer_id_sampler
 from ..util.rng import RngStreams
+from ..workloads.traces import TraceRecorder, WorkloadTrace
 from .config import ExperimentConfig
 from .metrics import ExperimentSeries, RunResult, UnitStats
 
@@ -61,11 +70,50 @@ def growth_batches(config: ExperimentConfig, streams: RngStreams) -> List[List[s
     return batches
 
 
-def run_single(config: ExperimentConfig, run_index: int = 0) -> RunResult:
-    """Execute one full simulation run and return its per-unit series."""
-    streams = RngStreams(config.seed).spawn(run_index)
+def _load_imbalance(system: DLPTSystem) -> float:
+    """Hottest peer's received load over the mean received load this unit
+    (1.0 = perfectly even, 0.0 = no request arrived)."""
+    peak = 0
+    total = 0
+    count = 0
+    for peer in system.ring:
+        load = peer.load
+        total += load
+        count += 1
+        if load > peak:
+            peak = load
+    if total == 0 or count == 0:
+        return 0.0
+    return peak * count / total
+
+
+def run_single(
+    config: ExperimentConfig,
+    run_index: int = 0,
+    recorder: Optional[TraceRecorder] = None,
+    replay: Optional[WorkloadTrace] = None,
+) -> RunResult:
+    """Execute one full simulation run and return its per-unit series.
+
+    ``recorder`` (optional) captures the workload side of the run; pass a
+    fresh :class:`TraceRecorder` and collect ``recorder.trace()`` after the
+    call.  ``replay`` (optional, exclusive with ``recorder``) drives the
+    run from a recorded trace instead of the workload RNG streams: the
+    trace's joins, leaves, registrations and requests are re-issued
+    verbatim while the balancer and mapping under test react live.
+    """
+    if recorder is not None and replay is not None:
+        raise ValueError("cannot record and replay in the same run")
+    master_seed = config.seed
+    if replay is not None:
+        # The trace header pins the recording's seed and run index; the
+        # system-side streams (bootstrap, lb) must re-derive from them or
+        # the replay is a different run than the recording.
+        run_index = replay.run_index
+        master_seed = replay.seed
+    streams = RngStreams(master_seed).spawn(run_index)
     system = build_system(config, streams)
-    batches = growth_batches(config, streams)
+    batches = [] if replay is not None else growth_batches(config, streams)
 
     churn_rng = streams.stream("churn")
     cap_rng = streams.stream("capacity")
@@ -75,50 +123,100 @@ def run_single(config: ExperimentConfig, run_index: int = 0) -> RunResult:
 
     available: List[str] = []
     result = RunResult()
+    total_units = replay.n_units if replay is not None else config.total_units
+    schedule = config.schedule
+    accounting = config.accounting
+    discover = system.discover
 
-    for unit in range(config.total_units):
+    for unit in range(total_units):
         stats = UnitStats()
+        trace_unit = replay.units[unit] if replay is not None else None
+        if recorder is not None:
+            recorder.begin_unit()
 
         # (1) periodic load balancing (MLT) — uses last unit's history.
         if unit > 0:
             stats.migrations += config.lb.run_balancing(system, lb_rng)
 
-        # (2) peer joins — placement by the balancer (KC) or random.
-        for _ in range(config.churn.joins(len(system.ring), churn_rng)):
-            capacity = config.capacity_model.sample(cap_rng)
+        # (2) peer joins — capacity from the model (or the trace), placement
+        # by the balancer (KC) or random.
+        if trace_unit is not None:
+            join_capacities = trace_unit.joins
+        else:
+            join_capacities = [
+                config.capacity_model.sample(cap_rng)
+                for _ in range(config.churn.joins(len(system.ring), churn_rng))
+            ]
+        for capacity in join_capacities:
+            if recorder is not None:
+                recorder.join(capacity)
             peer_id = config.lb.choose_join_id(system, capacity, lb_rng)
             system.add_peer(lb_rng, peer_id=peer_id, capacity=capacity)
 
-        # (3) peer leaves — uniformly random victims.  ``id_at`` draws the
-        # same victim as indexing a full ``ids()`` copy (both are the sorted
-        # id sequence) without the O(P) copy per leave.
-        for _ in range(config.churn.leaves(len(system.ring), churn_rng)):
-            victim = system.ring.id_at(churn_rng.randrange(len(system.ring)))
+        # (3) peer leaves — uniformly random victims.  The workload-side
+        # randomness is the ring-position draw; replay re-applies it modulo
+        # the live ring size so the same trace drives any system.  ``id_at``
+        # draws the same victim as indexing a full ``ids()`` copy (both are
+        # the sorted id sequence) without the O(P) copy per leave.
+        if trace_unit is not None:
+            leave_indices = trace_unit.leaves
+        else:
+            leave_indices = [
+                churn_rng.randrange(len(system.ring) - k)
+                for k in range(config.churn.leaves(len(system.ring), churn_rng))
+            ]
+        for index in leave_indices:
+            if recorder is not None:
+                recorder.leave(index)
+            victim = system.ring.id_at(index % len(system.ring))
             system.remove_peer(victim)
 
         # (4) service registrations — the tree grows for growth_units units.
-        if unit < len(batches):
-            register = system.register
-            append = available.append
-            for key in batches[unit]:
-                register(key)
-                append(key)
+        if trace_unit is not None:
+            registrations = trace_unit.registrations
+        else:
+            registrations = batches[unit] if unit < len(batches) else []
+        for key in registrations:
+            if recorder is not None:
+                recorder.registration(key)
+            system.register(key)
+            available.append(key)
 
-        # (5) discovery requests under the per-unit capacity budget.
+        # (5) discovery requests under the per-unit capacity budget, scaled
+        # by the schedule's rate multiplier (diurnal cycles, crowd surges).
         capacity_total = system.ring.aggregate_capacity()
-        n_requests = max(1, round(config.load_fraction * capacity_total))
-        if available:
-            sample = config.schedule.sample
-            discover = system.discover
-            accounting = config.accounting
-            for _ in range(n_requests):
-                key = sample(unit, req_rng, available)
-                outcome = discover(key, rng=entry_rng, accounting=accounting)
+        if trace_unit is not None:
+            for key, entry in trace_unit.requests:
+                outcome = discover(key, entry_label=entry, accounting=accounting)
                 stats.issued += 1
                 if outcome.satisfied:
                     stats.satisfied += 1
                     stats.logical_hops += outcome.logical_hops
                     stats.physical_hops += outcome.physical_hops
+                    hist = stats.hop_histogram
+                    hist[outcome.logical_hops] = hist.get(outcome.logical_hops, 0) + 1
+                elif outcome.dropped:
+                    stats.dropped += 1
+                else:
+                    stats.not_found += 1
+        elif available:
+            rate = schedule.rate_multiplier(unit)
+            n_requests = max(1, round(config.load_fraction * capacity_total * rate))
+            sample = schedule.sample
+            entry_of = system.random_entry_label
+            for _ in range(n_requests):
+                key = sample(unit, req_rng, available)
+                entry = entry_of(entry_rng)
+                if recorder is not None:
+                    recorder.request(key, entry)
+                outcome = discover(key, entry_label=entry, accounting=accounting)
+                stats.issued += 1
+                if outcome.satisfied:
+                    stats.satisfied += 1
+                    stats.logical_hops += outcome.logical_hops
+                    stats.physical_hops += outcome.physical_hops
+                    hist = stats.hop_histogram
+                    hist[outcome.logical_hops] = hist.get(outcome.logical_hops, 0) + 1
                 elif outcome.dropped:
                     stats.dropped += 1
                 else:
@@ -127,10 +225,32 @@ def run_single(config: ExperimentConfig, run_index: int = 0) -> RunResult:
         stats.peers = system.n_peers
         stats.nodes = system.n_nodes
         stats.aggregate_capacity = capacity_total
+        stats.load_imbalance = _load_imbalance(system)
         system.end_time_unit()
         result.units.append(stats)
 
     return result
+
+
+def record_single(
+    config: ExperimentConfig,
+    run_index: int = 0,
+    meta: Optional[dict] = None,
+) -> Tuple[RunResult, WorkloadTrace]:
+    """Run once while recording; returns the run and its workload trace.
+
+    The recorded run is bit-identical to an unrecorded ``run_single`` with
+    the same arguments — recording only observes.
+    """
+    header = {"config": config.describe(), **(meta or {})}
+    recorder = TraceRecorder(seed=config.seed, run_index=run_index, meta=header)
+    result = run_single(config, run_index, recorder=recorder)
+    return result, recorder.trace()
+
+
+def replay_single(config: ExperimentConfig, trace: WorkloadTrace) -> RunResult:
+    """Replay a recorded trace against ``config``'s balancer and mapping."""
+    return run_single(config, replay=trace)
 
 
 def run_many(

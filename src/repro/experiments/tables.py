@@ -32,7 +32,7 @@ from ..peers.capacity import FixedCapacity
 from ..peers.churn import DYNAMIC, STABLE
 from ..workloads.keys import random_binary_keys
 from .config import ExperimentConfig
-from .metrics import gain_table_row
+from .metrics import PhaseStats, gain_table_row
 from .runner import compare_balancers
 
 #: The paper's Table 1 load column.
@@ -218,6 +218,32 @@ def table2(
         result.rows.append(_measure_pht(keys, n_peers, key_bits, random.Random(seed)))
         result.rows.append(_measure_dlpt(keys, n_peers, key_bits, random.Random(seed)))
     return result
+
+
+# ---------------------------------------------------------------------------
+# Per-phase workload breakdown (the `python -m repro run` report)
+# ---------------------------------------------------------------------------
+
+
+def phase_table(phases: Sequence[PhaseStats]) -> str:
+    """Render a per-phase breakdown: satisfaction, tail hops, imbalance.
+
+    One row per schedule phase window — the text twin of the workload
+    subsystem's metrics (:func:`repro.experiments.metrics.phase_breakdown`).
+    """
+    name_w = max([len("phase")] + [len(p.name) for p in phases])
+    header = (
+        f"{'phase':>{name_w}} {'units':>9} {'issued':>8} {'sat%':>6} "
+        f"{'hops':>6} {'p95':>5} {'p99':>5} {'imbal':>6} {'migr':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in phases:
+        lines.append(
+            f"{p.name:>{name_w}} {f'{p.start}-{p.end}':>9} {p.issued:>8} "
+            f"{p.satisfied_pct:>6.1f} {p.mean_hops:>6.2f} {p.p95_hops:>5.0f} "
+            f"{p.p99_hops:>5.0f} {p.mean_imbalance:>6.2f} {p.migrations:>6}"
+        )
+    return "\n".join(lines)
 
 
 def paper_table2_text() -> str:

@@ -1,8 +1,51 @@
-"""Load balancing heuristics: No-LB baseline, MLT, and KC (k-choices)."""
+"""Load balancing heuristics: No-LB baseline, MLT, and KC (k-choices).
 
+:func:`balancer_from_spec` builds a heuristic from a compact spec string —
+the ablation hook the CLI and bench harnesses use to sweep balancer
+parameters (``"mlt:fraction=0.5"``, ``"kc:k=8"``) without constructing
+objects in calling code.
+"""
+
+from __future__ import annotations
+
+from ..util.specs import parse_options, split_spec
 from .base import LoadBalancer
 from .kchoices import KChoices
 from .mlt import MLT, SplitDecision, best_split
 from .nolb import NoLB
 
-__all__ = ["LoadBalancer", "NoLB", "MLT", "KChoices", "best_split", "SplitDecision"]
+__all__ = [
+    "LoadBalancer", "NoLB", "MLT", "KChoices", "best_split", "SplitDecision",
+    "balancer_from_spec",
+]
+
+
+def balancer_from_spec(spec: str) -> LoadBalancer:
+    """Build a balancer from ``name[:key=value...]``.
+
+    Names (case-insensitive): ``nolb``, ``mlt``, ``kc`` (alias
+    ``kchoices``).  Options map to the constructors: ``mlt:fraction=0.5``,
+    ``mlt:allow_empty=1``, ``kc:k=8``.  Raises :class:`ValueError` naming
+    the spec on any unknown name or option.
+    """
+    name, rest = split_spec(spec)
+    options = parse_options(rest, spec, label="balancer spec")
+    lowered = name.lower()
+    try:
+        if lowered == "nolb":
+            return NoLB(**options)
+        if lowered == "mlt":
+            if "fraction" in options:
+                options["fraction"] = float(options["fraction"])
+            if "allow_empty" in options:
+                options["allow_empty"] = options["allow_empty"].lower() in ("1", "true", "yes")
+            return MLT(**options)
+        if lowered in ("kc", "kchoices"):
+            if "k" in options:
+                options["k"] = int(options["k"])
+            return KChoices(**options)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"balancer spec {spec!r}: {exc}") from exc
+    raise ValueError(
+        f"unknown balancer {name!r} in spec {spec!r} (known: nolb, mlt, kc)"
+    )

@@ -1,4 +1,5 @@
-"""Benchmark scenario registry: build, growth, churn-storm, request-flood.
+"""Benchmark scenario registry: build, growth, churn-storm, request-flood,
+flash-crowd, trace-replay.
 
 Every scenario is deterministic (seeded :class:`random.Random`) and comes in
 two parameter *suites*:
@@ -21,6 +22,12 @@ survivor just above the region) and then regains them one by one (each
 join splits the pile).  The seed implementation scans the pile's whole
 node set per event; the indexed implementation does two bisects and a
 batched slice move.
+
+``flash_crowd`` drives the workload subsystem's burst schedule through the
+discovery path (sampling + routing + capacity accounting over time units);
+``replay`` records a full MLT-under-churn experiment once (untimed) and
+times its deterministic re-execution from the ``repro-trace/1`` stream —
+the end-to-end simulation hot path under each mapping implementation.
 """
 
 from __future__ import annotations
@@ -193,6 +200,90 @@ def _execute_request_flood(state: Dict[str, Any]) -> int:
     return satisfied
 
 
+#: Recorded traces for the ``replay`` scenario, keyed by parameter set —
+#: recording is deterministic and impl-independent, so one recording serves
+#: every warmup/repeat/impl preparation of a bench run.
+_REPLAY_TRACES: Dict[tuple, Any] = {}
+
+
+def _prepare_flash_crowd(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
+    from ..workloads.dynamics import FlashCrowd
+
+    rng = random.Random(params["seed"])
+    system, corpus = _build_system(params, impl, rng)
+    units = params["units"]
+    schedule = FlashCrowd(
+        prefix=family_prefix(0),
+        onset=units // 4,
+        half_life=max(1.0, units / 8),
+        rate_surge=2.0,
+    )
+    return {
+        "system": system,
+        "corpus": corpus,
+        "schedule": schedule,
+        "units": units,
+        "req_per_unit": params["req_per_unit"],
+        "rng": rng,
+    }
+
+
+def _execute_flash_crowd(state: Dict[str, Any]) -> int:
+    system = state["system"]
+    schedule = state["schedule"]
+    corpus = state["corpus"]
+    rng = state["rng"]
+    discover = system.discover
+    sample = schedule.sample
+    base = state["req_per_unit"]
+    satisfied = 0
+    for unit in range(state["units"]):
+        n_requests = max(1, round(base * schedule.rate_multiplier(unit)))
+        for _ in range(n_requests):
+            key = sample(unit, rng, corpus)
+            if discover(key, rng=rng).satisfied:
+                satisfied += 1
+        system.end_time_unit()
+    return satisfied
+
+
+def _prepare_replay(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
+    from ..experiments.config import ExperimentConfig
+    from ..experiments.runner import record_single
+    from ..lb.mlt import MLT
+    from ..peers.churn import DYNAMIC
+
+    def config_for(which: str) -> "ExperimentConfig":
+        return ExperimentConfig(
+            n_peers=params["n_peers"],
+            total_units=params["units"],
+            growth_units=max(1, params["units"] // 5),
+            load_fraction=params.get("load", 0.5),
+            workload=f"flash_crowd:S3L:onset={params['units'] // 4}",
+            churn=DYNAMIC,
+            lb=MLT(),
+            mapping_factory=_mapping_factory(which),
+            seed=params["seed"],
+        )
+
+    # The trace depends only on the workload streams (impl-independent);
+    # record it once per parameter set, untimed, and reuse it across every
+    # warmup/repeat/impl preparation (prepare runs before each execute).
+    key = tuple(sorted(params.items()))
+    trace = _REPLAY_TRACES.get(key)
+    if trace is None:
+        _, trace = record_single(config_for("optimised"))
+        _REPLAY_TRACES[key] = trace
+    return {"config": config_for(impl), "trace": trace}
+
+
+def _execute_replay(state: Dict[str, Any]) -> int:
+    from ..experiments.runner import run_single
+
+    result = run_single(state["config"], replay=state["trace"])
+    return result.total_satisfied
+
+
 # -- registry ---------------------------------------------------------------
 
 
@@ -233,6 +324,18 @@ SCENARIOS: Dict[str, Scenario] = {
             _prepare_request_flood,
             _execute_request_flood,
         ),
+        Scenario(
+            "flash_crowd",
+            "a Zipf-concentrated burst relaxes back over time units",
+            _prepare_flash_crowd,
+            _execute_flash_crowd,
+        ),
+        Scenario(
+            "replay",
+            "re-execute a recorded MLT-under-churn run from its trace",
+            _prepare_replay,
+            _execute_replay,
+        ),
     )
 }
 
@@ -252,6 +355,11 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "n_peers": 400, "n_keys": 3000, "families": 8,
             "n_requests": 3000, "seed": 4,
         },
+        "flash_crowd": {
+            "n_peers": 400, "n_keys": 3000, "families": 8,
+            "units": 24, "req_per_unit": 120, "seed": 5,
+        },
+        "replay": {"n_peers": 120, "units": 25, "load": 0.4, "seed": 6},
     },
     "scale": {
         "build": {"n_peers": 10_000, "n_keys": 50_000, "families": 16, "seed": 11},
@@ -264,5 +372,10 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "n_peers": 10_000, "n_keys": 50_000, "families": 16,
             "n_requests": 20_000, "seed": 14,
         },
+        "flash_crowd": {
+            "n_peers": 10_000, "n_keys": 50_000, "families": 16,
+            "units": 60, "req_per_unit": 300, "seed": 15,
+        },
+        "replay": {"n_peers": 500, "units": 50, "load": 0.5, "seed": 16},
     },
 }

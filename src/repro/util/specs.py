@@ -1,0 +1,35 @@
+"""``name:key=value:...`` spec tokenisation.
+
+One tokenizer behind both compact-spec surfaces — workload specs
+(:mod:`repro.workloads.spec`) and balancer specs
+(:func:`repro.lb.balancer_from_spec`) — so the syntax and its error
+messages cannot drift apart.  Values are returned as strings; each caller
+owns its own coercion (numbers, booleans) and error type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+def split_spec(spec: str) -> Tuple[str, List[str]]:
+    """Split ``"name:tok1:tok2"`` into ``("name", ["tok1", "tok2"])``."""
+    name, *rest = spec.split(":")
+    return name, rest
+
+
+def parse_options(tokens: List[str], spec: str, label: str = "spec") -> Dict[str, str]:
+    """Parse ``key=value`` tokens into a string→string dict.
+
+    Raises :class:`ValueError` naming the offending token and the full
+    ``spec`` (prefixed with ``label`` for context).
+    """
+    options: Dict[str, str] = {}
+    for token in tokens:
+        key, sep, value = token.partition("=")
+        if not sep:
+            raise ValueError(
+                f"{label} {spec!r}: expected key=value, got {token!r}"
+            )
+        options[key] = value
+    return options

@@ -1,5 +1,15 @@
-"""Workloads: grid service-name corpora and request generators."""
+"""Workloads: service-key corpora, request generators, time-varying
+dynamics, spec parsing, and trace record/replay."""
 
+from .dynamics import (
+    AdversarialPrefixStacking,
+    DiurnalSchedule,
+    FlashCrowd,
+    MixedSchedule,
+    SchedulePhase,
+    SteadySchedule,
+    as_schedule,
+)
 from .keys import (
     blas_routines,
     grid_service_corpus,
@@ -13,15 +23,32 @@ from .requests import (
     HotSpotRequests,
     Phase,
     PhasedSchedule,
+    RequestGenerator,
     UniformRequests,
+    WorkloadSchedule,
     ZipfRequests,
     figure8_schedule,
+    generator_name,
+)
+from .spec import WORKLOAD_KINDS, WorkloadSpecError, parse_workload
+from .traces import (
+    TRACE_SCHEMA,
+    TraceError,
+    TraceRecorder,
+    TraceUnit,
+    WorkloadTrace,
 )
 
 __all__ = [
     "grid_service_corpus", "blas_routines", "lapack_routines",
     "scalapack_routines", "s3l_routines", "paper_figure1_binary_keys",
     "random_binary_keys",
+    "RequestGenerator", "WorkloadSchedule", "generator_name",
     "UniformRequests", "HotSpotRequests", "ZipfRequests",
     "Phase", "PhasedSchedule", "figure8_schedule",
+    "FlashCrowd", "DiurnalSchedule", "AdversarialPrefixStacking",
+    "MixedSchedule", "SchedulePhase", "SteadySchedule", "as_schedule",
+    "WORKLOAD_KINDS", "WorkloadSpecError", "parse_workload",
+    "TRACE_SCHEMA", "TraceError", "TraceRecorder", "TraceUnit",
+    "WorkloadTrace",
 ]

@@ -18,16 +18,54 @@ from __future__ import annotations
 import bisect
 import itertools
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
 
 from .keys import keys_with_prefix
 
 
+@runtime_checkable
 class RequestGenerator(Protocol):
-    """Draws the key of the next discovery request."""
+    """Draws the key of the next discovery request.
 
-    def sample(self, rng, available_keys: Sequence[str]) -> str:  # pragma: no cover
-        ...
+    A structural protocol: any object with a ``sample(rng, available_keys)``
+    method qualifies.  ``@runtime_checkable`` lets the config layer validate
+    user-supplied generators with ``isinstance`` at parse time instead of
+    failing deep inside the simulation loop.
+    """
+
+    def sample(self, rng, available_keys: Sequence[str]) -> str:
+        """Return the key of the next request drawn from ``available_keys``."""
+        raise NotImplementedError
+
+
+@runtime_checkable
+class WorkloadSchedule(Protocol):
+    """A time-varying workload: what the experiment runner consumes.
+
+    Distinguished from a plain :class:`RequestGenerator` by the extra
+    ``unit`` argument and by ``generator_at`` — the per-unit slice used by
+    schedule composition (:class:`repro.workloads.dynamics.MixedSchedule`)
+    and by tests.  ``rate_multiplier`` scales the number of requests issued
+    in a unit (1.0 = the config's nominal load).
+    """
+
+    def sample(self, unit: int, rng, available_keys: Sequence[str]) -> str:
+        """Return the key requested at time ``unit``."""
+        raise NotImplementedError
+
+    def generator_at(self, unit: int) -> RequestGenerator:
+        """The generator in force at time ``unit``."""
+        raise NotImplementedError
+
+    def rate_multiplier(self, unit: int) -> float:
+        """Scale factor on the nominal request rate at time ``unit``."""
+        raise NotImplementedError
+
+    def phase_windows(self, total_units: int) -> "List[Tuple[str, int, int]]":
+        """Named ``(name, start, end)`` windows covering ``[0, total_units)``
+        — the axis of per-phase metric breakdowns."""
+        raise NotImplementedError
 
 
 class UniformRequests:
@@ -119,6 +157,36 @@ class Phase:
             raise ValueError(f"bad phase window [{self.start}, {self.end})")
 
 
+def sort_and_check_phases(phases):
+    """Order phase-like objects (``.start``/``.end``) by start and reject
+    overlaps — shared by :class:`PhasedSchedule` and
+    :class:`repro.workloads.dynamics.MixedSchedule`."""
+    ordered = sorted(phases, key=lambda p: p.start)
+    for a, b in zip(ordered, ordered[1:]):
+        if a.end > b.start:
+            raise ValueError(f"overlapping phases at unit {b.start}")
+    return ordered
+
+
+def splice_windows(
+    spans: Sequence[Tuple[str, int, int]], fallback_name: str, total_units: int
+) -> List[Tuple[str, int, int]]:
+    """Clip ordered ``(name, start, end)`` spans to ``[0, total_units)`` and
+    fill the gaps between them with ``fallback_name`` windows."""
+    windows: List[Tuple[str, int, int]] = []
+    cursor = 0
+    for name, start, end in spans:
+        if start >= total_units:
+            break
+        if start > cursor:
+            windows.append((fallback_name, cursor, start))
+        windows.append((name, start, min(end, total_units)))
+        cursor = min(end, total_units)
+    if cursor < total_units:
+        windows.append((fallback_name, cursor, total_units))
+    return windows
+
+
 class PhasedSchedule:
     """Time-varying workload: the generator in force depends on the unit.
 
@@ -126,11 +194,11 @@ class PhasedSchedule:
     """
 
     def __init__(self, phases: Sequence[Phase]) -> None:
-        self.phases = sorted(phases, key=lambda p: p.start)
-        for a, b in zip(self.phases, self.phases[1:]):
-            if a.end > b.start:
-                raise ValueError(f"overlapping phases at unit {b.start}")
+        self.phases = sort_and_check_phases(phases)
         self._fallback = UniformRequests()
+        self.name = "phased[" + ",".join(
+            generator_name(p.generator) for p in self.phases
+        ) + "]"
 
     def generator_at(self, unit: int) -> RequestGenerator:
         for phase in self.phases:
@@ -138,8 +206,27 @@ class PhasedSchedule:
                 return phase.generator
         return self._fallback
 
+    def rate_multiplier(self, unit: int) -> float:
+        """Phased schedules modulate *what* is requested, not how much."""
+        return 1.0
+
     def sample(self, unit: int, rng, available_keys: Sequence[str]) -> str:
         return self.generator_at(unit).sample(rng, available_keys)
+
+    def phase_windows(self, total_units: int) -> List[Tuple[str, int, int]]:
+        """Named ``(name, start, end)`` windows covering ``[0, total_units)``
+        — the breakdown axis of :func:`repro.experiments.metrics.phase_breakdown`.
+        Gaps between declared phases surface as ``uniform`` windows."""
+        return splice_windows(
+            [(generator_name(p.generator), p.start, p.end) for p in self.phases],
+            generator_name(self._fallback),
+            total_units,
+        )
+
+
+def generator_name(generator: object) -> str:
+    """Display name of a generator or schedule (legends, phase tables)."""
+    return getattr(generator, "name", type(generator).__name__)
 
 
 def figure8_schedule(intensity: float = 0.8) -> PhasedSchedule:

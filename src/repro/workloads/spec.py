@@ -1,0 +1,184 @@
+"""Workload specs: build any schedule from a string or dict.
+
+``ExperimentConfig(workload=...)`` and the ``python -m repro run --workload``
+CLI flag accept a compact spec instead of constructed objects, so every
+scenario is reachable from a shell or a config file:
+
+* ``"uniform"`` — uniform over the available keys;
+* ``"zipf"`` / ``"zipf:1.2"`` — Zipf popularity, optional exponent;
+* ``"hotspot:S3L"`` / ``"hotspot:S3L:0.8"`` — prefix hot spot, optional
+  intensity;
+* ``"figure8"`` / ``"figure8:0.8"`` — the paper's Figure 8 timeline;
+* ``"flash_crowd:S3L:onset=40:peak=0.95:half_life=8:rate_surge=2"`` —
+  a relaxing burst (:class:`repro.workloads.dynamics.FlashCrowd`);
+* ``"diurnal:period=24:amplitude=0.5"`` — sinusoidal rate modulation;
+* ``"adversarial:S3L"`` / ``"adversarial:S3L:s=1.5"`` — prefix stacking;
+* a dict composes: ``{"kind": "mixed", "phases": [{"start": 0, "end": 40,
+  "workload": "uniform"}, {"start": 40, "end": 80, "workload":
+  "flash_crowd:S3L", "rate": 1.5}]}`` — and ``{"kind": "diurnal",
+  "inner": <spec>, ...}`` nests any inner spec;
+* an already-built generator or schedule object passes through (validated
+  against the runtime-checkable protocols).
+
+Every failure raises :class:`WorkloadSpecError` naming the offending spec —
+validation happens when the config is parsed, not mid-simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..util.specs import parse_options, split_spec
+from .dynamics import (
+    AdversarialPrefixStacking,
+    DiurnalSchedule,
+    FlashCrowd,
+    MixedSchedule,
+    SchedulePhase,
+    as_schedule,
+)
+from .requests import (
+    HotSpotRequests,
+    UniformRequests,
+    WorkloadSchedule,
+    ZipfRequests,
+    figure8_schedule,
+)
+
+#: Spec kinds accepted by :func:`parse_workload` (string and dict forms).
+WORKLOAD_KINDS = (
+    "uniform", "zipf", "hotspot", "figure8",
+    "flash_crowd", "diurnal", "adversarial", "mixed",
+)
+
+
+class WorkloadSpecError(ValueError):
+    """A workload spec that cannot be parsed or validated."""
+
+
+def _number(token: str, spec: str) -> float:
+    try:
+        return int(token) if token.lstrip("+-").isdigit() else float(token)
+    except ValueError:
+        raise WorkloadSpecError(
+            f"workload spec {spec!r}: {token!r} is not a number"
+        ) from None
+
+
+def _options(tokens: List[str], spec: str) -> Dict[str, float]:
+    try:
+        raw = parse_options(tokens, spec, label="workload spec")
+    except ValueError as exc:
+        raise WorkloadSpecError(str(exc)) from exc
+    return {key: _number(value, spec) for key, value in raw.items()}
+
+
+def _apply(factory, kwargs: Dict[str, Any], spec: str):
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise WorkloadSpecError(f"workload spec {spec!r}: {exc}") from exc
+    except ValueError as exc:
+        raise WorkloadSpecError(f"workload spec {spec!r}: {exc}") from exc
+
+
+def _parse_string(spec: str) -> object:
+    kind, rest = split_spec(spec)
+    if kind == "uniform":
+        return UniformRequests()
+    if kind == "zipf":
+        s = _number(rest[0], spec) if rest else 1.0
+        return _apply(ZipfRequests, {"s": s}, spec)
+    if kind == "hotspot":
+        if not rest:
+            raise WorkloadSpecError(f"workload spec {spec!r}: hotspot needs a prefix")
+        kwargs: Dict[str, Any] = {"prefix": rest[0]}
+        if len(rest) > 1:
+            kwargs["intensity"] = _number(rest[1], spec)
+        return _apply(HotSpotRequests, kwargs, spec)
+    if kind == "figure8":
+        intensity = _number(rest[0], spec) if rest else 0.8
+        return _apply(figure8_schedule, {"intensity": intensity}, spec)
+    if kind == "flash_crowd":
+        if not rest:
+            raise WorkloadSpecError(f"workload spec {spec!r}: flash_crowd needs a prefix")
+        kwargs = {"prefix": rest[0], **_options(rest[1:], spec)}
+        return _apply(FlashCrowd, kwargs, spec)
+    if kind == "diurnal":
+        return _apply(DiurnalSchedule, dict(_options(rest, spec)), spec)
+    if kind == "adversarial":
+        if not rest:
+            raise WorkloadSpecError(f"workload spec {spec!r}: adversarial needs a prefix")
+        kwargs = {"prefix": rest[0], **_options(rest[1:], spec)}
+        return _apply(AdversarialPrefixStacking, kwargs, spec)
+    raise WorkloadSpecError(
+        f"unknown workload kind {kind!r} in spec {spec!r} "
+        f"(known kinds: {', '.join(WORKLOAD_KINDS)})"
+    )
+
+
+def _parse_dict(spec: Dict[str, Any]) -> object:
+    kind = spec.get("kind")
+    if kind == "mixed":
+        raw_phases = spec.get("phases")
+        if not raw_phases:
+            raise WorkloadSpecError(f"mixed workload spec needs non-empty 'phases': {spec!r}")
+        phases: List[SchedulePhase] = []
+        for raw in raw_phases:
+            try:
+                phases.append(
+                    SchedulePhase(
+                        start=int(raw["start"]),
+                        end=int(raw["end"]),
+                        source=parse_workload(raw["workload"]),
+                        rate=float(raw.get("rate", 1.0)),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise WorkloadSpecError(f"bad mixed phase {raw!r}: {exc}") from exc
+        fallback = (
+            parse_workload(spec["fallback"]) if "fallback" in spec else None
+        )
+        return _apply(MixedSchedule, {"phases": phases, "fallback": fallback}, str(spec))
+    if kind == "diurnal":
+        kwargs = {k: v for k, v in spec.items() if k not in ("kind", "inner")}
+        if "inner" in spec:
+            kwargs["inner"] = parse_workload(spec["inner"])
+        return _apply(DiurnalSchedule, kwargs, str(spec))
+    if kind in WORKLOAD_KINDS:
+        # Generic form: {"kind": "flash_crowd", "prefix": "S3L", "onset": 40}
+        factories = {
+            "uniform": UniformRequests,
+            "zipf": ZipfRequests,
+            "hotspot": HotSpotRequests,
+            "figure8": figure8_schedule,
+            "flash_crowd": FlashCrowd,
+            "adversarial": AdversarialPrefixStacking,
+        }
+        kwargs = {k: v for k, v in spec.items() if k != "kind"}
+        return _apply(factories[kind], kwargs, str(spec))
+    raise WorkloadSpecError(
+        f"unknown workload kind {kind!r} in spec {spec!r} "
+        f"(known kinds: {', '.join(WORKLOAD_KINDS)})"
+    )
+
+
+def parse_workload(spec: object) -> WorkloadSchedule:
+    """Build and validate a :class:`WorkloadSchedule` from any spec form.
+
+    Accepts a spec string, a composing dict, a ready schedule, or a bare
+    generator (wrapped into a steady schedule).  Raises
+    :class:`WorkloadSpecError` with the offending spec on any problem.
+    """
+    if spec is None:
+        built: object = UniformRequests()
+    elif isinstance(spec, str):
+        built = _parse_string(spec)
+    elif isinstance(spec, dict):
+        built = _parse_dict(spec)
+    else:
+        built = spec
+    try:
+        return as_schedule(built)
+    except TypeError as exc:
+        raise WorkloadSpecError(str(exc)) from exc

@@ -1,0 +1,206 @@
+"""Trace-driven workload replay — the ``repro-trace/1`` JSONL schema.
+
+A trace captures the *workload side* of one simulation run so it can be
+replayed deterministically — against the same configuration (byte-identical
+metrics; the regression harness), or against a different balancer or mapping
+(a controlled comparison on literally identical traffic).  Per time unit it
+records:
+
+* ``joins`` — the capacity of each joining peer.  *Placement* is not
+  recorded: choosing the identifier is the load balancer's job, so a trace
+  replayed under KC and under NoLB sees the same arrivals but different
+  placements — exactly the paper's comparison, on frozen traffic.
+* ``leaves`` — the ring-position draw of each departure (an index into the
+  sorted ring; replay reduces it modulo the current ring size, so the same
+  trace drives churn even when the ring sizes diverge between systems).
+* ``registrations`` — service keys entering the tree this unit.
+* ``requests`` — ``(key, entry_label)`` pairs: what was asked for and the
+  tree node where the request entered.  Entry labels are tree-structural
+  (the PGCP tree depends only on the registered keys, never on peers), so
+  they remain valid under any balancer or mapping.
+
+The on-disk format is JSON Lines: a header object followed by one object
+per unit, all serialised with sorted keys and no whitespace so a trace is
+byte-stable across writes.  See ``docs/benchmarks.md`` for the schema
+reference.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Tuple
+
+TRACE_SCHEMA = "repro-trace/1"
+
+_DUMP_KWARGS = dict(sort_keys=True, separators=(",", ":"))
+
+
+class TraceError(ValueError):
+    """A malformed or incompatible trace document."""
+
+
+@dataclass
+class TraceUnit:
+    """The workload events of one time unit."""
+
+    joins: List[int] = field(default_factory=list)
+    leaves: List[int] = field(default_factory=list)
+    registrations: List[str] = field(default_factory=list)
+    requests: List[Tuple[str, str]] = field(default_factory=list)
+
+    def as_record(self, unit: int) -> Dict[str, Any]:
+        return {
+            "u": unit,
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "reg": self.registrations,
+            "req": [list(r) for r in self.requests],
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "TraceUnit":
+        try:
+            return cls(
+                joins=[int(c) for c in record["joins"]],
+                leaves=[int(i) for i in record["leaves"]],
+                registrations=[str(k) for k in record["reg"]],
+                requests=[(str(k), str(e)) for k, e in record["req"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"malformed trace unit record: {exc}") from exc
+
+
+@dataclass
+class WorkloadTrace:
+    """A recorded workload: header metadata plus the per-unit event lists."""
+
+    seed: int
+    run_index: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+    units: List[TraceUnit] = field(default_factory=list)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(u.requests) for u in self.units)
+
+    # -- serialisation ------------------------------------------------------
+
+    def dumps(self) -> str:
+        """The JSONL document (header line + one line per unit)."""
+        header = {
+            "schema": TRACE_SCHEMA,
+            "seed": self.seed,
+            "run_index": self.run_index,
+            "meta": self.meta,
+        }
+        lines = [json.dumps(header, **_DUMP_KWARGS)]
+        lines.extend(
+            json.dumps(u.as_record(i), **_DUMP_KWARGS) for i, u in enumerate(self.units)
+        )
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.write_text(self.dumps())
+        return path
+
+    @classmethod
+    def loads(cls, text: str) -> "WorkloadTrace":
+        lines = [ln for ln in text.splitlines() if ln.strip()]
+        if not lines:
+            raise TraceError("empty trace document")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"trace header is not JSON: {exc}") from exc
+        schema = header.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise TraceError(
+                f"trace schema {schema!r} is not {TRACE_SCHEMA!r}; "
+                "re-record the trace with this version"
+            )
+        units: List[TraceUnit] = []
+        for n, line in enumerate(lines[1:]):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"trace line {n + 2} is not JSON: {exc}") from exc
+            if record.get("u") != n:
+                raise TraceError(
+                    f"trace line {n + 2}: expected unit {n}, got {record.get('u')!r}"
+                )
+            units.append(TraceUnit.from_record(record))
+        return cls(
+            seed=int(header.get("seed", 0)),
+            run_index=int(header.get("run_index", 0)),
+            meta=dict(header.get("meta", {})),
+            units=units,
+        )
+
+    @classmethod
+    def load(cls, path) -> "WorkloadTrace":
+        return cls.loads(pathlib.Path(path).read_text())
+
+
+class TraceRecorder:
+    """Collects workload events as the experiment runner emits them.
+
+    The runner calls :meth:`begin_unit` once per time unit and the event
+    methods as the corresponding decisions are made; :meth:`trace` freezes
+    the result.  Recording is append-only and adds O(1) work per event, so
+    a recording run's simulation results are identical to an unrecorded
+    run with the same configuration.
+    """
+
+    def __init__(self, seed: int, run_index: int = 0, meta: Dict[str, Any] | None = None) -> None:
+        self.seed = seed
+        self.run_index = run_index
+        self.meta = dict(meta or {})
+        self._units: List[TraceUnit] = []
+
+    def begin_unit(self) -> None:
+        self._units.append(TraceUnit())
+
+    @property
+    def _current(self) -> TraceUnit:
+        if not self._units:
+            raise TraceError("begin_unit() must be called before recording events")
+        return self._units[-1]
+
+    def join(self, capacity: int) -> None:
+        self._current.joins.append(capacity)
+
+    def leave(self, ring_index: int) -> None:
+        self._current.leaves.append(ring_index)
+
+    def registration(self, key: str) -> None:
+        self._current.registrations.append(key)
+
+    def request(self, key: str, entry_label: str) -> None:
+        self._current.requests.append((key, entry_label))
+
+    def trace(self) -> WorkloadTrace:
+        return WorkloadTrace(
+            seed=self.seed,
+            run_index=self.run_index,
+            meta=self.meta,
+            units=list(self._units),
+        )
+
+
+def merge_request_streams(traces: Iterable[WorkloadTrace]) -> List[List[Tuple[str, str]]]:
+    """Unit-aligned union of several traces' request streams (analysis
+    helper: compare what distinct recordings asked for, unit by unit)."""
+    merged: List[List[Tuple[str, str]]] = []
+    for trace in traces:
+        for i, unit in enumerate(trace.units):
+            while len(merged) <= i:
+                merged.append([])
+            merged[i].extend(unit.requests)
+    return merged

@@ -1,0 +1,107 @@
+"""Documentation consistency gate (tier-1).
+
+Keeps the repository discoverable as it grows: every module under
+``src/repro/`` carries a docstring, the README's architecture map names
+every package, every example states the paper figure/section it animates,
+and the README's code blocks actually run (``doctest``).
+"""
+
+from __future__ import annotations
+
+import ast
+import doctest
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+README = REPO_ROOT / "README.md"
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def repro_modules() -> list[pathlib.Path]:
+    return sorted(SRC.rglob("*.py"))
+
+
+def repro_packages() -> list[str]:
+    return sorted(
+        p.name for p in SRC.iterdir() if p.is_dir() and (p / "__init__.py").exists()
+    )
+
+
+class TestModuleDocstrings:
+    @pytest.mark.parametrize(
+        "path", repro_modules(), ids=lambda p: str(p.relative_to(SRC))
+    )
+    def test_every_module_has_a_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), (
+            f"{path.relative_to(REPO_ROOT)} lacks a module docstring; "
+            "state what the module implements (and where in the paper it "
+            "comes from, if anywhere)"
+        )
+
+
+class TestReadme:
+    def test_readme_exists(self):
+        assert README.exists(), "the repository must have a root README.md"
+
+    @pytest.mark.parametrize("package", repro_packages())
+    def test_architecture_map_names_every_package(self, package):
+        text = README.read_text()
+        assert f"repro.{package}" in text, (
+            f"README.md's architecture map omits the repro.{package} package; "
+            "add a row describing it"
+        )
+
+    def test_readme_points_at_project_state(self):
+        text = README.read_text()
+        for pointer in ("ROADMAP.md", "CHANGES.md", "BENCH_micro.json",
+                        "docs/benchmarks.md"):
+            assert pointer in text, f"README.md should point at {pointer}"
+
+    def test_readme_code_blocks_run(self):
+        failures, tests = doctest.testfile(
+            str(README), module_relative=False, verbose=False
+        )
+        assert tests > 0, "README.md should contain runnable doctest examples"
+        assert failures == 0, f"{failures} README.md doctest example(s) failed"
+
+
+class TestBenchmarksDoc:
+    def test_schemas_are_documented(self):
+        doc = (REPO_ROOT / "docs" / "benchmarks.md").read_text()
+        for needle in ("repro-bench/1", "repro-trace/1", "repro-metrics/1",
+                       "--mode ratio", "--mode absolute"):
+            assert needle in doc, f"docs/benchmarks.md must document {needle}"
+
+    def test_documented_schema_tags_match_the_code(self):
+        from repro.experiments.metrics import METRICS_SCHEMA
+        from repro.perf.bench import SCHEMA
+        from repro.workloads.traces import TRACE_SCHEMA
+
+        doc = (REPO_ROOT / "docs" / "benchmarks.md").read_text()
+        for tag in (SCHEMA, TRACE_SCHEMA, METRICS_SCHEMA):
+            assert tag in doc
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "path", sorted(EXAMPLES.glob("*.py")), ids=lambda p: p.name
+    )
+    def test_example_docstring_states_its_paper_anchor(self, path):
+        doc = ast.get_docstring(ast.parse(path.read_text())) or ""
+        anchors = ("Figure", "Section", "Table", "Algorithm")
+        assert any(a in doc for a in anchors), (
+            f"examples/{path.name} must state which paper figure/section/"
+            "table/algorithm it reproduces"
+        )
+
+    @pytest.mark.parametrize(
+        "path", sorted(EXAMPLES.glob("*.py")), ids=lambda p: p.name
+    )
+    def test_example_is_listed_in_readme(self, path):
+        assert path.name in README.read_text(), (
+            f"README.md's examples section omits examples/{path.name}"
+        )

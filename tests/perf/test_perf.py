@@ -25,6 +25,11 @@ TINY = {
     "request_flood": {
         "n_peers": 12, "n_keys": 60, "families": 4, "n_requests": 40, "seed": 4,
     },
+    "flash_crowd": {
+        "n_peers": 12, "n_keys": 60, "families": 4,
+        "units": 6, "req_per_unit": 8, "seed": 5,
+    },
+    "replay": {"n_peers": 10, "units": 6, "load": 0.3, "seed": 6},
 }
 
 

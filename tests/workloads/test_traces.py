@@ -1,0 +1,183 @@
+"""Trace record/replay: the repro-trace/1 schema and its determinism
+guarantees (record -> replay reproduces a run's metrics byte-for-byte)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import run_metrics_dict
+from repro.experiments.runner import record_single, replay_single, run_single
+from repro.lb.kchoices import KChoices
+from repro.lb.mlt import MLT
+from repro.lb.nolb import NoLB
+from repro.peers.churn import DYNAMIC
+from repro.workloads.traces import (
+    TRACE_SCHEMA,
+    TraceError,
+    TraceRecorder,
+    TraceUnit,
+    WorkloadTrace,
+)
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        n_peers=30,
+        total_units=12,
+        growth_units=4,
+        load_fraction=0.3,
+        churn=DYNAMIC,
+        workload="flash_crowd:S3L:onset=5:half_life=3",
+        lb=MLT(),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def metrics_bytes(result) -> str:
+    return json.dumps(run_metrics_dict(result), sort_keys=True)
+
+
+class TestSchema:
+    def _trace(self) -> WorkloadTrace:
+        rec = TraceRecorder(seed=7, run_index=2, meta={"note": "test"})
+        rec.begin_unit()
+        rec.join(12)
+        rec.leave(3)
+        rec.registration("dgemm")
+        rec.request("dgemm", "dg")
+        rec.begin_unit()
+        rec.request("S3L_fft", "S3L_")
+        return rec.trace()
+
+    def test_round_trip_preserves_everything(self):
+        trace = self._trace()
+        again = WorkloadTrace.loads(trace.dumps())
+        assert again.seed == 7 and again.run_index == 2
+        assert again.meta == {"note": "test"}
+        assert again.units == trace.units
+        assert again.total_requests == 2
+
+    def test_serialisation_is_byte_stable(self):
+        trace = self._trace()
+        assert trace.dumps() == WorkloadTrace.loads(trace.dumps()).dumps()
+
+    def test_header_carries_schema_tag(self):
+        header = json.loads(self._trace().dumps().splitlines()[0])
+        assert header["schema"] == TRACE_SCHEMA
+
+    def test_dump_load_file(self, tmp_path):
+        path = self._trace().dump(tmp_path / "t.jsonl")
+        assert WorkloadTrace.load(path).units == self._trace().units
+
+    def test_rejects_unknown_schema(self):
+        text = json.dumps({"schema": "repro-trace/99", "seed": 1}) + "\n"
+        with pytest.raises(TraceError, match="repro-trace/99"):
+            WorkloadTrace.loads(text)
+
+    def test_rejects_empty_and_garbled(self):
+        with pytest.raises(TraceError):
+            WorkloadTrace.loads("")
+        with pytest.raises(TraceError, match="not JSON"):
+            WorkloadTrace.loads("{nope")
+
+    def test_rejects_out_of_order_units(self):
+        trace = self._trace()
+        lines = trace.dumps().splitlines()
+        with pytest.raises(TraceError, match="expected unit"):
+            WorkloadTrace.loads("\n".join([lines[0], lines[2]]))
+
+    def test_rejects_malformed_unit(self):
+        header = json.dumps({"schema": TRACE_SCHEMA, "seed": 1})
+        with pytest.raises(TraceError, match="malformed"):
+            WorkloadTrace.loads(header + '\n{"u":0,"joins":[]}')
+
+    def test_recorder_requires_open_unit(self):
+        with pytest.raises(TraceError):
+            TraceRecorder(seed=1).request("k", "e")
+
+
+class TestRecordReplay:
+    def test_recording_does_not_perturb_the_run(self):
+        cfg = small_config()
+        plain = run_single(cfg, 0)
+        recorded, _ = record_single(cfg, 0)
+        assert metrics_bytes(plain) == metrics_bytes(recorded)
+
+    def test_replay_reproduces_metrics_byte_identically(self):
+        cfg = small_config()
+        result, trace = record_single(cfg, 0)
+        replayed = replay_single(cfg, WorkloadTrace.loads(trace.dumps()))
+        assert metrics_bytes(replayed) == metrics_bytes(result)
+
+    def test_replay_is_deterministic_across_runs(self):
+        cfg = small_config()
+        _, trace = record_single(cfg, 0)
+        a = replay_single(cfg, trace)
+        b = replay_single(cfg, trace)
+        assert metrics_bytes(a) == metrics_bytes(b)
+
+    def test_replay_reissues_identical_request_sequences(self):
+        cfg = small_config()
+        _, trace = record_single(cfg, 0)
+        _, again = record_single(cfg, 0)
+        assert trace.dumps() == again.dumps()
+        per_unit = [len(u.requests) for u in trace.units]
+        replayed = replay_single(cfg, trace)
+        assert [u.issued for u in replayed.units] == per_unit
+
+    def test_replay_uses_the_trace_seed_not_the_configs(self):
+        cfg = small_config(seed=99)
+        result, trace = record_single(cfg, 0)
+        assert trace.seed == 99
+        # A replaying config with a different (default) seed must still
+        # reproduce the recording: the trace header pins the seed.
+        other = small_config()
+        assert other.seed != 99
+        assert metrics_bytes(replay_single(other, trace)) == metrics_bytes(result)
+
+    def test_run_index_round_trips_through_the_trace(self):
+        cfg = small_config()
+        result, trace = record_single(cfg, run_index=3)
+        assert trace.run_index == 3
+        assert metrics_bytes(replay_single(cfg, trace)) == metrics_bytes(result)
+
+    def test_replay_under_other_balancers_keeps_traffic_fixed(self):
+        cfg = small_config()
+        _, trace = record_single(cfg, 0)
+        by_lb = {
+            lb.name: replay_single(cfg.with_lb(lb), trace)
+            for lb in (MLT(), KChoices(k=4), NoLB())
+        }
+        issued = {r.total_issued for r in by_lb.values()}
+        assert issued == {trace.total_requests}
+        satisfied = {name: r.total_satisfied for name, r in by_lb.items()}
+        assert len(set(satisfied.values())) > 1  # the system under test varies
+
+    def test_cannot_record_and_replay_at_once(self):
+        cfg = small_config()
+        _, trace = record_single(cfg, 0)
+        with pytest.raises(ValueError):
+            run_single(cfg, recorder=TraceRecorder(seed=1), replay=trace)
+
+
+class TestNewUnitMetrics:
+    def test_imbalance_and_tail_hops_populate(self):
+        result = run_single(small_config(), 0)
+        busy = [u for u in result.units if u.issued]
+        assert busy
+        for u in busy:
+            assert u.load_imbalance >= 1.0
+            assert sum(u.hop_histogram.values()) == u.satisfied
+            assert u.p95_hops <= u.p99_hops <= max(u.hop_histogram, default=0)
+
+    def test_unit_trace_shape(self):
+        _, trace = record_single(small_config(), 0)
+        unit0 = trace.units[0]
+        assert isinstance(unit0, TraceUnit)
+        assert all(isinstance(c, int) for c in unit0.joins)
+        assert all(isinstance(i, int) for i in unit0.leaves)
+        assert unit0.registrations  # growth happens in unit 0
