@@ -7,16 +7,21 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro table1 --runs 3 --workers 8
     python -m repro table2
     python -m repro bench --suite micro
+    python -m repro paper --out out/paper
+    python -m repro sweep --shard 0/4 --store /mnt/shared/repro-results
     python -m repro run --workload flash_crowd:S3L --units 120 --trace t.jsonl
     python -m repro run --replay t.jsonl --lb kc:k=8
     python -m repro list
 
 Figures print an ASCII plot plus the per-unit series table; tables print
 the paper-layout text table.  ``--workers`` > 1 uses the process-parallel
-runner for the figure sweeps.  ``run`` executes one configuration under
+runner for the figure sweeps (default: the ``REPRO_WORKERS`` environment
+variable if set, else 1).  ``run`` executes one configuration under
 any workload spec (see :mod:`repro.workloads.spec`), optionally recording
 the workload to a ``repro-trace/1`` JSONL file (``--trace``) or replaying
-one (``--replay``), and reports a per-phase breakdown.
+one (``--replay``), and reports a per-phase breakdown.  ``paper`` and
+``sweep`` are the one-command reproduction pipeline (result store,
+sharding, manifest — see :mod:`repro.sweeps` and ``docs/reproduction.md``).
 """
 
 from __future__ import annotations
@@ -26,7 +31,6 @@ import json
 import sys
 import time
 
-from .ascii_plot import ascii_plot
 from .figures import ALL_FIGURES
 from .tables import paper_table2_text, phase_table, table1, table2
 
@@ -51,31 +55,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="repetitions per configuration (default: paper values)")
     parser.add_argument("--peers", type=int, default=100,
                         help="platform size (default 100, the paper's)")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="process-pool size for figure sweeps (default 1)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for figure sweeps (default: "
+                        "the REPRO_WORKERS env var if set, else 1)")
     parser.add_argument("--no-plot", action="store_true",
                         help="skip the ASCII plot, print series table only")
     return parser
 
 
 def _print_figure(fig, no_plot: bool) -> None:
-    print(f"# {fig.figure_id}: {fig.title}  (runs={fig.n_runs})")
-    if not no_plot:
-        is_pct = "hops" not in fig.title.lower() and "gain" not in fig.title.lower()
-        print(
-            ascii_plot(
-                {k: list(v) for k, v in fig.series.items()},
-                width=78,
-                height=20,
-                y_min=0 if is_pct else None,
-                y_max=100 if is_pct else None,
-                x_label="time unit",
-                y_label="% satisfied" if is_pct else "hops/request",
-                title="",
-            )
-        )
-    print()
-    print(fig.as_table())
+    from .figures import render_figure_text
+
+    print(render_figure_text(fig, no_plot=no_plot))
 
 
 def _run_parser() -> argparse.ArgumentParser:
@@ -214,46 +205,58 @@ def main(argv=None) -> int:
         return bench_main(argv[1:])
     if argv and argv[0] == "run":
         return _run_main(argv[1:])
+    if argv and argv[0] == "paper":
+        from ..sweeps.cli import paper_main
+
+        return paper_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from ..sweeps.cli import sweep_main
+
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
-        for name in _EXPERIMENTS + ["bench", "run"]:
+        for name in _EXPERIMENTS + ["bench", "paper", "run", "sweep"]:
             print(name)
         return 0
 
-    if args.workers > 1:
-        # The figure harnesses call the sequential compare_balancers; route
-        # them through the pool-backed variant instead.
-        import repro.experiments.figures as figures_mod
-        from .parallel import compare_balancers_parallel, run_many_parallel
+    if args.workers is None:
+        from .parallel import env_workers
 
-        figures_mod.compare_balancers = (
-            lambda cfg, lbs, n: compare_balancers_parallel(
-                cfg, lbs, n, workers=args.workers
-            )
-        )
-        figures_mod.run_many = (
-            lambda cfg, n, label=None: run_many_parallel(
-                cfg, n, label=label, workers=args.workers
-            )
-        )
+        try:
+            args.workers = env_workers(default=1)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    run_series = None
+    if args.workers > 1:
+        # Every harness accepts a SeriesRunner; hand it a pool-backed one
+        # whose process pool persists across the whole sweep.
+        from .parallel import PooledSeriesRunner
+
+        run_series = PooledSeriesRunner(args.workers)
 
     start = time.perf_counter()
-    if args.experiment in ALL_FIGURES:
-        kwargs = dict(n_peers=args.peers)
-        if args.runs is not None:
-            kwargs["n_runs"] = args.runs
-        fig = ALL_FIGURES[args.experiment](**kwargs)
-        _print_figure(fig, args.no_plot)
-    elif args.experiment == "table1":
-        res = table1(n_runs=args.runs or 5, n_peers=args.peers)
-        print(f"# Table 1: gains of KC and MLT over no-LB  (runs={res.n_runs})")
-        print(res.as_text())
-    else:  # table2
-        res = table2()
-        print("# Table 2: complexities of close trie-structured approaches")
-        print(res.as_text())
-        print("\npaper (analytic):")
-        print(paper_table2_text())
+    try:
+        if args.experiment in ALL_FIGURES:
+            kwargs = dict(n_peers=args.peers)
+            if args.runs is not None:
+                kwargs["n_runs"] = args.runs
+            fig = ALL_FIGURES[args.experiment](run_series=run_series, **kwargs)
+            _print_figure(fig, args.no_plot)
+        elif args.experiment == "table1":
+            res = table1(n_runs=args.runs or 5, n_peers=args.peers,
+                         run_series=run_series)
+            print(f"# Table 1: gains of KC and MLT over no-LB  (runs={res.n_runs})")
+            print(res.as_text())
+        else:  # table2
+            res = table2()
+            print("# Table 2: complexities of close trie-structured approaches")
+            print(res.as_text())
+            print("\npaper (analytic):")
+            print(paper_table2_text())
+    finally:
+        if run_series is not None:
+            run_series.close()
     elapsed = time.perf_counter() - start
     print(f"\n[{args.experiment} regenerated in {elapsed:.1f}s]")
     return 0

@@ -10,6 +10,8 @@ left column).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
@@ -19,7 +21,7 @@ from ..peers.capacity import UniformCapacity
 from ..peers.churn import STABLE, ChurnModel
 from ..workloads.keys import grid_service_corpus
 from ..workloads.requests import PhasedSchedule, Phase, UniformRequests, generator_name
-from ..workloads.spec import parse_workload
+from ..workloads.spec import parse_workload, workload_signature
 
 
 def default_schedule() -> PhasedSchedule:
@@ -93,6 +95,72 @@ class ExperimentConfig:
         """The same experiment under a different balancer — the controlled
         comparison every figure makes (common seed, common workload)."""
         return replace(self, lb=lb)
+
+    def signature(self) -> dict:
+        """Canonical, JSON-serialisable description of every semantic field.
+
+        Two configs that would simulate identically produce equal
+        signatures; changing any parameter that affects the simulation —
+        platform size, workload, balancer options, seed — changes it.  The
+        corpus is content-hashed (it can run to thousands of keys) and the
+        balancer/capacity models contribute their public constructor state,
+        so presentation details (labels, reprs) never enter.  This is the
+        identity the sweep result store (:mod:`repro.sweeps`) keys cells on.
+
+        Caveat: ``mapping_factory`` is identified by its qualified name —
+        distinct *named* factories (classes, functions) are distinguished,
+        but two anonymous callables defined at the same spot (lambdas,
+        ``functools.partial`` over different arguments) are not; give custom
+        factories distinct names before caching sweeps over them.
+        """
+        model = self.capacity_model
+        if dataclasses.is_dataclass(model):
+            capacity: dict = dataclasses.asdict(model)
+        else:  # duck-typed models: public attributes only
+            capacity = {k: v for k, v in vars(model).items() if not k.startswith("_")}
+        capacity["kind"] = type(model).__name__
+        corpus_blob = "\n".join(self.corpus).encode()
+        return {
+            "n_peers": self.n_peers,
+            "growth_units": self.growth_units,
+            "total_units": self.total_units,
+            "load_fraction": self.load_fraction,
+            "accounting": self.accounting,
+            "peer_ids": self.peer_ids,
+            "seed": self.seed,
+            "alphabet": {
+                "name": self.alphabet.name,
+                "digits": "".join(self.alphabet.digits),
+            },
+            "mapping": (
+                "lexicographic"
+                if self.mapping_factory is None
+                else "{}.{}".format(
+                    getattr(self.mapping_factory, "__module__", "?"),
+                    getattr(
+                        self.mapping_factory,
+                        "__qualname__",
+                        type(self.mapping_factory).__name__,
+                    ),
+                )
+            ),
+            "capacity_model": capacity,
+            "churn": {
+                "join_fraction": self.churn.join_fraction,
+                "leave_fraction": self.churn.leave_fraction,
+            },
+            "lb": {
+                "kind": type(self.lb).__name__,
+                "params": {
+                    k: v for k, v in vars(self.lb).items() if not k.startswith("_")
+                },
+            },
+            "corpus": {
+                "n_keys": len(self.corpus),
+                "sha256": hashlib.sha256(corpus_blob).hexdigest(),
+            },
+            "workload": workload_signature(self.schedule),
+        }
 
     def describe(self) -> str:
         # The paper's "stable network" still trickles 2% churn per unit;

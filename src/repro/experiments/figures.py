@@ -24,7 +24,7 @@ from ..peers.churn import DYNAMIC, STABLE
 from ..workloads.requests import figure8_schedule
 from .config import ExperimentConfig
 from .metrics import series_table
-from .runner import compare_balancers, run_many
+from .runner import SeriesRunner, compare_balancers, run_labeled_series
 
 #: Load fractions used for the figures.  "No overload" (10% of aggregate
 #: capacity) leaves the platform under-subscribed, so drops come only from
@@ -50,14 +50,65 @@ class FigureResult:
         return series_table(self.x, {k: list(v) for k, v in self.series.items()})
 
 
+def render_figure_text(
+    fig: FigureResult, no_plot: bool = False, include_params: bool = False
+) -> str:
+    """A figure as deterministic text: header, optional resolved params,
+    ASCII plot, per-unit series table.  The single renderer behind both the
+    CLI's figure output and the ``repro paper`` artifacts, so the two can
+    never drift."""
+    import json
+
+    from .ascii_plot import ascii_plot
+
+    # Satisfaction figures plot percentages on a fixed 0–100 axis; hop/gain
+    # figures autoscale.
+    is_pct = "hops" not in fig.title.lower() and "gain" not in fig.title.lower()
+    lines = [f"# {fig.figure_id}: {fig.title}  (runs={fig.n_runs})"]
+    if include_params:
+        lines.append(
+            "params: "
+            + json.dumps(
+                {k: repr(v) for k, v in sorted(fig.params.items())},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    if not no_plot:
+        lines.append(
+            ascii_plot(
+                {k: list(v) for k, v in fig.series.items()},
+                width=78,
+                height=20,
+                y_min=0 if is_pct else None,
+                y_max=100 if is_pct else None,
+                x_label="time unit",
+                y_label="% satisfied" if is_pct else "hops/request",
+                title="",
+            )
+        )
+    lines.append("")
+    lines.append(fig.as_table())
+    return "\n".join(lines)
+
+
+def three_curve_balancers() -> list:
+    """The balancer panel of Figures 4–8: MLT, KC (k=4), and the no-LB
+    baseline.  A factory (fresh instances) because MLT keeps no state but
+    future heuristics might."""
+    return [MLT(), KChoices(k=4), NoLB()]
+
+
 def _three_curve_figure(
     figure_id: str,
     title: str,
     config: ExperimentConfig,
     n_runs: int,
+    run_series: SeriesRunner = None,
 ) -> FigureResult:
-    balancers = [MLT(), KChoices(k=4), NoLB()]
-    results = compare_balancers(config, balancers, n_runs)
+    results = compare_balancers(
+        config, three_curve_balancers(), n_runs, run_series
+    )
     series = {
         f"{name} enabled" if name != "NoLB" else "No LB": res.mean_curve("satisfied_pct")
         for name, res in results.items()
@@ -77,56 +128,124 @@ def _three_curve_figure(
     )
 
 
-def figure4(n_runs: int = 30, **overrides) -> FigureResult:
-    """Stable network, low load: % satisfied requests over 50 units."""
-    config = ExperimentConfig(churn=STABLE, load_fraction=LOW_LOAD, **overrides)
-    return _three_curve_figure(
-        "fig4", "Load balancing - stable network - no overload", config, n_runs
-    )
+def figure4_config(**overrides) -> ExperimentConfig:
+    """Figure 4's configuration: stable network, low load."""
+    return ExperimentConfig(churn=STABLE, load_fraction=LOW_LOAD, **overrides)
 
 
-def figure5(n_runs: int = 30, **overrides) -> FigureResult:
-    """Stable network, high load (stress): satisfaction globally lower."""
-    config = ExperimentConfig(churn=STABLE, load_fraction=HIGH_LOAD, **overrides)
-    return _three_curve_figure(
-        "fig5", "Load balancing - stable network - overload", config, n_runs
-    )
+def figure5_config(**overrides) -> ExperimentConfig:
+    """Figure 5's configuration: stable network, high (stress) load."""
+    return ExperimentConfig(churn=STABLE, load_fraction=HIGH_LOAD, **overrides)
 
 
-def figure6(n_runs: int = 30, **overrides) -> FigureResult:
-    """Dynamic network (10% churn/unit), low load."""
-    config = ExperimentConfig(churn=DYNAMIC, load_fraction=LOW_LOAD, **overrides)
-    return _three_curve_figure(
-        "fig6", "Comparing LB algorithms - dynamic network - no overload", config, n_runs
-    )
+def figure6_config(**overrides) -> ExperimentConfig:
+    """Figure 6's configuration: dynamic network (10% churn/unit), low load."""
+    return ExperimentConfig(churn=DYNAMIC, load_fraction=LOW_LOAD, **overrides)
 
 
-def figure7(n_runs: int = 30, **overrides) -> FigureResult:
-    """Dynamic network, high load."""
-    config = ExperimentConfig(churn=DYNAMIC, load_fraction=HIGH_LOAD, **overrides)
-    return _three_curve_figure(
-        "fig7", "Comparing LB algorithms - dynamic network - overload", config, n_runs
-    )
+def figure7_config(**overrides) -> ExperimentConfig:
+    """Figure 7's configuration: dynamic network, high load."""
+    return ExperimentConfig(churn=DYNAMIC, load_fraction=HIGH_LOAD, **overrides)
 
 
-def figure8(n_runs: int = 50, intensity: float = 0.8, **overrides) -> FigureResult:
-    """Hot spots over 160 units: uniform → S3L burst → ScaLAPACK 'P' burst
-    → uniform.  The network is dynamic, as in the paper."""
-    config = ExperimentConfig(
+def figure8_config(intensity: float = 0.8, **overrides) -> ExperimentConfig:
+    """Figure 8's configuration: 160 units of dynamic network under the
+    uniform → S3L burst → ScaLAPACK 'P' burst → uniform timeline."""
+    return ExperimentConfig(
         churn=DYNAMIC,
         load_fraction=HIGH_LOAD,
         total_units=160,
         schedule=figure8_schedule(intensity=intensity),
         **overrides,
     )
+
+
+def figure9_configs(intensity: float = 0.8, **overrides) -> Dict[str, ExperimentConfig]:
+    """Figure 9's two configurations, keyed by series label: the
+    lexicographic mapping with MLT, and the original DLPT's random (hashed)
+    mapping with no balancing.  Both run the Figure 8 timeline at low load."""
+    base = dict(
+        churn=DYNAMIC,
+        load_fraction=LOW_LOAD,
+        total_units=160,
+        schedule=figure8_schedule(intensity=intensity),
+    )
+    base.update(overrides)
+    return {
+        "lexicographic+MLT": ExperimentConfig(lb=MLT(), **base),
+        "random-mapping": ExperimentConfig(
+            lb=NoLB(), mapping_factory=HashedMapping, **base
+        ),
+    }
+
+
+#: Config factory per three-curve figure — the sweep planner enumerates
+#: cells from these so the orchestrator and the figure harnesses can never
+#: disagree about what a figure runs.
+FIGURE_CONFIGS = {
+    "fig4": figure4_config,
+    "fig5": figure5_config,
+    "fig6": figure6_config,
+    "fig7": figure7_config,
+    "fig8": figure8_config,
+}
+
+
+def figure4(n_runs: int = 30, run_series: SeriesRunner = None, **overrides) -> FigureResult:
+    """Stable network, low load: % satisfied requests over 50 units."""
+    return _three_curve_figure(
+        "fig4", "Load balancing - stable network - no overload",
+        figure4_config(**overrides), n_runs, run_series,
+    )
+
+
+def figure5(n_runs: int = 30, run_series: SeriesRunner = None, **overrides) -> FigureResult:
+    """Stable network, high load (stress): satisfaction globally lower."""
+    return _three_curve_figure(
+        "fig5", "Load balancing - stable network - overload",
+        figure5_config(**overrides), n_runs, run_series,
+    )
+
+
+def figure6(n_runs: int = 30, run_series: SeriesRunner = None, **overrides) -> FigureResult:
+    """Dynamic network (10% churn/unit), low load."""
+    return _three_curve_figure(
+        "fig6", "Comparing LB algorithms - dynamic network - no overload",
+        figure6_config(**overrides), n_runs, run_series,
+    )
+
+
+def figure7(n_runs: int = 30, run_series: SeriesRunner = None, **overrides) -> FigureResult:
+    """Dynamic network, high load."""
+    return _three_curve_figure(
+        "fig7", "Comparing LB algorithms - dynamic network - overload",
+        figure7_config(**overrides), n_runs, run_series,
+    )
+
+
+def figure8(
+    n_runs: int = 50,
+    intensity: float = 0.8,
+    run_series: SeriesRunner = None,
+    **overrides,
+) -> FigureResult:
+    """Hot spots over 160 units: uniform → S3L burst → ScaLAPACK 'P' burst
+    → uniform.  The network is dynamic, as in the paper."""
+    config = figure8_config(intensity=intensity, **overrides)
     result = _three_curve_figure(
-        "fig8", "Load balancing - dynamic network - hot spots", config, n_runs
+        "fig8", "Load balancing - dynamic network - hot spots",
+        config, n_runs, run_series,
     )
     result.params["hot_spots"] = [(40, 80, "S3L"), (80, 120, "P")]
     return result
 
 
-def figure9(n_runs: int = 100, intensity: float = 0.8, **overrides) -> FigureResult:
+def figure9(
+    n_runs: int = 100,
+    intensity: float = 0.8,
+    run_series: SeriesRunner = None,
+    **overrides,
+) -> FigureResult:
     """Communication gain of the lexicographic mapping.
 
     Three curves over the Figure 8 timeline:
@@ -136,25 +255,12 @@ def figure9(n_runs: int = 100, intensity: float = 0.8, **overrides) -> FigureRes
       DLPT [5] — locality destroyed, nearly every logical hop crosses peers;
     * physical hops under the lexicographic mapping with MLT enabled.
     """
-    base = dict(
-        churn=DYNAMIC,
-        load_fraction=LOW_LOAD,
-        total_units=160,
-        schedule=figure8_schedule(intensity=intensity),
+    configs = figure9_configs(intensity=intensity, **overrides)
+    series = run_labeled_series(
+        run_series, [(cfg, label) for label, cfg in configs.items()], n_runs
     )
-    base.update(overrides)
-
-    lex = run_many(
-        ExperimentConfig(lb=MLT(), **base), n_runs, label="lexicographic+MLT"
-    )
-    rnd = run_many(
-        ExperimentConfig(
-            lb=NoLB(), mapping_factory=HashedMapping, **base
-        ),
-        n_runs,
-        label="random-mapping",
-    )
-    total = base["total_units"]
+    lex, rnd = series["lexicographic+MLT"], series["random-mapping"]
+    total = configs["lexicographic+MLT"].total_units
     return FigureResult(
         figure_id="fig9",
         title="Communication gain",
@@ -167,7 +273,10 @@ def figure9(n_runs: int = 100, intensity: float = 0.8, **overrides) -> FigureRes
             ),
         },
         n_runs=n_runs,
-        params={"load_fraction": base["load_fraction"], "total_units": total},
+        params={
+            "load_fraction": configs["lexicographic+MLT"].load_fraction,
+            "total_units": total,
+        },
     )
 
 

@@ -291,6 +291,62 @@ def run_metrics_dict(result: RunResult, label: str = "") -> Dict[str, Any]:
     }
 
 
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Full-fidelity JSON form of a run: every :class:`UnitStats` field,
+    including the hop histogram (JSON object keys are strings; the loader
+    converts them back).  Unlike :func:`run_metrics_dict` — a *reporting*
+    document that serialises derived percentiles — this round-trips exactly,
+    which is what the sweep result store needs for byte-identical cache
+    hits."""
+    return {
+        "units": [
+            {
+                "issued": u.issued,
+                "satisfied": u.satisfied,
+                "dropped": u.dropped,
+                "not_found": u.not_found,
+                "logical_hops": u.logical_hops,
+                "physical_hops": u.physical_hops,
+                "migrations": u.migrations,
+                "peers": u.peers,
+                "nodes": u.nodes,
+                "aggregate_capacity": u.aggregate_capacity,
+                "load_imbalance": u.load_imbalance,
+                "hop_histogram": {str(k): v for k, v in sorted(u.hop_histogram.items())},
+            }
+            for u in result.units
+        ],
+    }
+
+
+def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
+    """Inverse of :func:`run_result_to_dict`."""
+    units = []
+    for u in doc["units"]:
+        fields = dict(u)
+        fields["hop_histogram"] = {
+            int(k): v for k, v in fields.get("hop_histogram", {}).items()
+        }
+        units.append(UnitStats(**fields))
+    return RunResult(units=units)
+
+
+def series_to_dict(series: ExperimentSeries) -> Dict[str, Any]:
+    """An :class:`ExperimentSeries` as a JSON-serialisable document."""
+    return {
+        "label": series.label,
+        "runs": [run_result_to_dict(r) for r in series.runs],
+    }
+
+
+def series_from_dict(doc: Dict[str, Any]) -> ExperimentSeries:
+    """Inverse of :func:`series_to_dict`."""
+    return ExperimentSeries(
+        label=doc["label"],
+        runs=[run_result_from_dict(r) for r in doc["runs"]],
+    )
+
+
 def series_table(
     x: Sequence[int], columns: Dict[str, Sequence[float]], x_name: str = "time"
 ) -> str:

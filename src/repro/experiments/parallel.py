@@ -25,11 +25,40 @@ from .metrics import ExperimentSeries
 from .runner import run_single
 
 
+def env_workers(default: Optional[int] = None) -> Optional[int]:
+    """The ``REPRO_WORKERS`` override, or ``default`` when unset/empty.
+
+    ``REPRO_WORKERS`` must be a positive integer; anything else raises a
+    ``ValueError`` naming the variable (a typo'd override should fail
+    loudly, not silently fall back to one worker or crash deep inside a
+    pool start-up).
+    """
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if not env:
+        return default
+    try:
+        workers = int(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS={env!r} is not an integer; set a positive "
+            "worker count or unset the variable"
+        ) from None
+    if workers < 1:
+        raise ValueError(
+            f"REPRO_WORKERS={env!r} must be >= 1 (use 1 to force "
+            "sequential execution)"
+        )
+    return workers
+
+
 def default_workers() -> int:
-    """Worker count: ``REPRO_WORKERS`` env var, else CPU count (capped)."""
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        return max(1, int(env))
+    """Worker count when none is requested explicitly: the
+    ``REPRO_WORKERS`` environment variable if set (validated, >= 1, *not*
+    capped — an explicit override wins), else the CPU count capped at 16
+    (per-task IPC overhead swamps the gain beyond that on one machine)."""
+    workers = env_workers()
+    if workers is not None:
+        return workers
     return min(os.cpu_count() or 1, 16)
 
 
@@ -45,6 +74,28 @@ def _chunksize(n_tasks: int, workers: int) -> int:
     return max(1, n_tasks // (workers * 4))
 
 
+def run_many_configs(
+    tasks: Sequence[tuple[ExperimentConfig, int]],
+    workers: Optional[int] = None,
+) -> list:
+    """Execute heterogeneous ``(config, run_index)`` tasks over one shared
+    pool, preserving order.
+
+    This is the saturation primitive every multi-configuration sweep builds
+    on: submitting *all* tasks to a single pool keeps every worker busy even
+    when individual configurations repeat fewer times than there are
+    workers.  Falls back to in-process execution for a single task/worker.
+    """
+    workers = workers if workers is not None else default_workers()
+    if workers <= 1 or len(tasks) <= 1:
+        return [_run_one(t) for t in tasks]
+    pool_workers = min(workers, len(tasks))
+    with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+        return list(
+            pool.map(_run_one, list(tasks), chunksize=_chunksize(len(tasks), pool_workers))
+        )
+
+
 def run_many_parallel(
     config: ExperimentConfig,
     n_runs: int,
@@ -58,20 +109,64 @@ def run_many_parallel(
     """
     if n_runs < 1:
         raise ValueError("n_runs must be >= 1")
-    workers = workers if workers is not None else default_workers()
-    workers = min(workers, n_runs)
-    if workers <= 1:
-        runs = [run_single(config, i) for i in range(n_runs)]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            runs = list(
-                pool.map(
-                    _run_one,
-                    [(config, i) for i in range(n_runs)],
-                    chunksize=_chunksize(n_runs, workers),
-                )
-            )
+    runs = run_many_configs([(config, i) for i in range(n_runs)], workers=workers)
     return ExperimentSeries(label=label or config.lb.name, runs=runs)
+
+
+class PooledSeriesRunner:
+    """A :data:`~repro.experiments.runner.SeriesRunner` that keeps one
+    process pool alive across calls.
+
+    Pool start-up is paid once per runner instead of once per series, and
+    consumers that hold several configurations at once (the three-balancer
+    comparison behind every figure) call :meth:`run_batch` to fan *all*
+    their runs over the pool together — full saturation even when a single
+    series repeats fewer times than there are workers.  Use as a context
+    manager (the CLI's ``--workers`` path does).
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool = ProcessPoolExecutor(max_workers=workers)
+
+    def __call__(
+        self, config: ExperimentConfig, n_runs: int, label: str
+    ) -> ExperimentSeries:
+        return self.run_batch([(config, label)], n_runs)[label]
+
+    def run_batch(
+        self,
+        configs: Sequence[tuple[ExperimentConfig, str]],
+        n_runs: int,
+    ) -> dict[str, ExperimentSeries]:
+        """Run several ``(config, label)`` series at once on the shared
+        pool; returns label → series.  The optional fast path
+        :func:`~repro.experiments.runner.compare_balancers` probes for."""
+        tasks = [(config, i) for config, _ in configs for i in range(n_runs)]
+        runs = list(
+            self._pool.map(
+                _run_one, tasks, chunksize=_chunksize(len(tasks), self.workers)
+            )
+        )
+        out: dict[str, ExperimentSeries] = {}
+        cursor = 0
+        for _, label in configs:
+            out[label] = ExperimentSeries(
+                label=label, runs=runs[cursor : cursor + n_runs]
+            )
+            cursor += n_runs
+        return out
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+    def __enter__(self) -> "PooledSeriesRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def compare_balancers_parallel(
@@ -83,18 +178,10 @@ def compare_balancers_parallel(
     """Parallel counterpart of
     :func:`repro.experiments.runner.compare_balancers`: all
     (balancer, run) tasks share one pool so the sweep saturates it."""
-    workers = workers if workers is not None else default_workers()
     tasks = [
         (config.with_lb(lb), i) for lb in balancers for i in range(n_runs)
     ]
-    if workers <= 1 or len(tasks) <= 1:
-        results = [_run_one(t) for t in tasks]
-    else:
-        pool_workers = min(workers, len(tasks))
-        with ProcessPoolExecutor(max_workers=pool_workers) as pool:
-            results = list(
-                pool.map(_run_one, tasks, chunksize=_chunksize(len(tasks), pool_workers))
-            )
+    results = run_many_configs(tasks, workers=workers)
     out: dict[str, ExperimentSeries] = {}
     for (cfg, _), run in zip(tasks, results):
         out.setdefault(cfg.lb.name, ExperimentSeries(label=cfg.lb.name, runs=[]))

@@ -25,7 +25,7 @@ the system under test varies.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..dlpt.system import DLPTSystem, corpus_peer_id_sampler
 from ..util.rng import RngStreams
@@ -265,14 +265,49 @@ def run_many(
     return ExperimentSeries(label=label or config.lb.name, runs=runs)
 
 
+#: Anything that produces the repeated-run series of one configuration:
+#: ``run_series(config, n_runs, label) -> ExperimentSeries``.  The default
+#: is sequential :func:`run_many`; the CLI swaps in the process-parallel
+#: runner and :mod:`repro.sweeps` a store-cached one.  A runner may
+#: additionally expose ``run_batch(configs, n_runs) -> {label: series}``
+#: (e.g. :class:`~repro.experiments.parallel.PooledSeriesRunner`) to
+#: receive several series' runs at once — :func:`run_labeled_series`
+#: probes for it.
+SeriesRunner = Callable[[ExperimentConfig, int, str], ExperimentSeries]
+
+
+def run_labeled_series(
+    run_series: Optional[SeriesRunner],
+    labeled_configs,
+    n_runs: int,
+) -> dict[str, ExperimentSeries]:
+    """Produce one series per ``(config, label)`` pair via ``run_series``.
+
+    The single dispatch point for every multi-series harness: defaults to
+    sequential :func:`run_many`, and hands the whole batch to the runner's
+    ``run_batch`` when it has one so a shared pool stays saturated even
+    when ``n_runs`` is below the worker count.
+    """
+    if run_series is None:
+        run_series = lambda cfg, n, label: run_many(cfg, n, label=label)  # noqa: E731
+    run_batch = getattr(run_series, "run_batch", None)
+    if run_batch is not None:
+        return run_batch(list(labeled_configs), n_runs)
+    return {
+        label: run_series(config, n_runs, label)
+        for config, label in labeled_configs
+    }
+
+
 def compare_balancers(
     config: ExperimentConfig,
     balancers,
     n_runs: int,
+    run_series: Optional[SeriesRunner] = None,
 ) -> dict[str, ExperimentSeries]:
     """Run the same experiment under each balancer (common random numbers);
-    the figures' three-curve layout."""
-    return {
-        lb.name: run_many(config.with_lb(lb), n_runs, label=lb.name)
-        for lb in balancers
-    }
+    the figures' three-curve layout.  ``run_series`` overrides how each
+    per-balancer series is produced (parallel pool, result-store cache)."""
+    return run_labeled_series(
+        run_series, [(config.with_lb(lb), lb.name) for lb in balancers], n_runs
+    )

@@ -25,15 +25,12 @@ from ..baselines.pht import PrefixHashTree
 from ..core.alphabet import BINARY
 from ..dht.chord import ChordRing
 from ..dlpt.system import DLPTSystem
-from ..lb.kchoices import KChoices
-from ..lb.mlt import MLT
-from ..lb.nolb import NoLB
 from ..peers.capacity import FixedCapacity
 from ..peers.churn import DYNAMIC, STABLE
 from ..workloads.keys import random_binary_keys
 from .config import ExperimentConfig
 from .metrics import PhaseStats, gain_table_row
-from .runner import compare_balancers
+from .runner import SeriesRunner, compare_balancers
 
 #: The paper's Table 1 load column.
 TABLE1_LOADS = (0.05, 0.10, 0.16, 0.24, 0.40, 0.80)
@@ -68,18 +65,32 @@ class Table1Result:
         return "\n".join(lines)
 
 
+#: Table 1's network axis: the paper's stable and dynamic regimes.
+TABLE1_NETWORKS = (("stable", STABLE), ("dynamic", DYNAMIC))
+
+
+def table1_config(churn, load: float, **overrides) -> ExperimentConfig:
+    """One Table 1 sweep point: the default platform under ``churn`` at
+    ``load`` — shared by :func:`table1` and the sweep planner so cached
+    cells and live runs key identically."""
+    return ExperimentConfig(churn=churn, load_fraction=load, **overrides)
+
+
 def table1(
     n_runs: int = 30,
     loads: Sequence[float] = TABLE1_LOADS,
+    run_series: SeriesRunner = None,
     **overrides,
 ) -> Table1Result:
     """Regenerate Table 1: gain of each heuristic vs no-LB per load level."""
-    balancers = [MLT(), KChoices(k=4), NoLB()]
+    from .figures import three_curve_balancers
+
+    balancers = three_curve_balancers()  # the sweep planner's exact panel
     gains: Dict[str, Dict[float, Dict[str, float]]] = {"stable": {}, "dynamic": {}}
-    for net_name, churn in (("stable", STABLE), ("dynamic", DYNAMIC)):
+    for net_name, churn in TABLE1_NETWORKS:
         for load in loads:
-            config = ExperimentConfig(churn=churn, load_fraction=load, **overrides)
-            results = compare_balancers(config, balancers, n_runs)
+            config = table1_config(churn, load, **overrides)
+            results = compare_balancers(config, balancers, n_runs, run_series)
             gains[net_name][load] = gain_table_row(
                 results["MLT"], results["KC"], results["NoLB"]
             )

@@ -1,5 +1,5 @@
 """Benchmark scenario registry: build, growth, churn-storm, request-flood,
-flash-crowd, trace-replay.
+flash-crowd, trace-replay, cached-sweep.
 
 Every scenario is deterministic (seeded :class:`random.Random`) and comes in
 two parameter *suites*:
@@ -28,6 +28,13 @@ discovery path (sampling + routing + capacity accounting over time units);
 ``replay`` records a full MLT-under-churn experiment once (untimed) and
 times its deterministic re-execution from the ``repro-trace/1`` stream —
 the end-to-end simulation hot path under each mapping implementation.
+
+``sweep_cached`` repurposes the ``impl`` axis for the sweep result store
+(:mod:`repro.sweeps`): ``"seed"`` executes a small sweep plan against a
+cold (empty) store, ``"optimised"`` against a warm one where every cell is
+a cache hit — its ``speedup_median`` is therefore the warm-cache speedup,
+gated to stay ≥ 10× by ``benchmarks/check_regression.py`` and the tier-2
+bench test.
 """
 
 from __future__ import annotations
@@ -247,6 +254,73 @@ def _execute_flash_crowd(state: Dict[str, Any]) -> int:
     return satisfied
 
 
+def _sweep_plan(params: Dict[str, Any]):
+    from ..experiments.config import ExperimentConfig
+    from ..experiments.figures import three_curve_balancers
+    from ..sweeps.plan import SweepCell, plan_from_cells
+
+    cells = []
+    for load in params["loads"]:
+        config = ExperimentConfig(
+            n_peers=params["n_peers"],
+            total_units=params["units"],
+            growth_units=max(1, params["units"] // 5),
+            load_fraction=load,
+            seed=params["seed"],
+        )
+        cells.extend(
+            SweepCell(config=config.with_lb(lb), n_runs=params["runs"], label=lb.name)
+            for lb in three_curve_balancers()
+        )
+    return plan_from_cells("bench-sweep", cells)
+
+
+#: Warm stores for the ``sweep_cached`` scenario, keyed by parameter set —
+#: filled once (untimed) and reused across repetitions, mirroring
+#: ``_REPLAY_TRACES``.  TemporaryDirectory objects clean themselves up at
+#: interpreter exit.
+_SWEEP_WARM_STORES: Dict[str, Any] = {}
+
+
+def _prepare_sweep_cached(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
+    """``impl`` maps onto the cache axis: ``"seed"`` = cold store (every
+    cell computed), ``"optimised"`` = warm store (every cell a cache hit) —
+    so ``speedup_median`` *is* the warm/cold ratio the ≥10× caching claim
+    rests on."""
+    import tempfile
+
+    from ..sweeps.orchestrator import run_sweep
+    from ..sweeps.store import ResultStore
+
+    if impl not in ("seed", "optimised"):
+        raise ValueError(f"unknown impl {impl!r} (expected 'seed' or 'optimised')")
+    plan = _sweep_plan(params)
+    if impl == "seed":
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-sweep-")
+        store = ResultStore(tmpdir.name)
+    else:
+        import json
+
+        key = json.dumps(params, sort_keys=True)  # params hold lists: hash by JSON
+        tmpdir = _SWEEP_WARM_STORES.get(key)
+        if tmpdir is None:
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro-bench-sweep-warm-")
+            _SWEEP_WARM_STORES[key] = tmpdir
+            run_sweep(plan, ResultStore(tmpdir.name), workers=1)  # fill once, untimed
+        store = ResultStore(tmpdir.name)
+    # Keep the TemporaryDirectory alive through the timed execute.
+    return {"plan": plan, "store": store, "_tmpdir": tmpdir}
+
+
+def _execute_sweep_cached(state: Dict[str, Any]) -> int:
+    from ..sweeps.orchestrator import run_sweep
+
+    # workers=1: the cold side must time the simulations, not
+    # machine-dependent process-pool startup (REPRO_WORKERS / CPU count).
+    report = run_sweep(state["plan"], state["store"], workers=1)
+    return len(report.outcomes)
+
+
 def _prepare_replay(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
     from ..experiments.config import ExperimentConfig
     from ..experiments.runner import record_single
@@ -336,6 +410,12 @@ SCENARIOS: Dict[str, Scenario] = {
             _prepare_replay,
             _execute_replay,
         ),
+        Scenario(
+            "sweep_cached",
+            "run a sweep plan cold (seed impl) vs from a warm result store",
+            _prepare_sweep_cached,
+            _execute_sweep_cached,
+        ),
     )
 }
 
@@ -360,6 +440,12 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "units": 24, "req_per_unit": 120, "seed": 5,
         },
         "replay": {"n_peers": 120, "units": 25, "load": 0.4, "seed": 6},
+        # Six cells, two runs each: enough simulation work that the cold
+        # side measures computation (not store IO), small enough to stay
+        # CI-fast.  The warm side re-reads the same cells from disk.
+        "sweep_cached": {
+            "n_peers": 60, "units": 30, "runs": 2, "loads": [0.1, 0.5], "seed": 21,
+        },
     },
     "scale": {
         "build": {"n_peers": 10_000, "n_keys": 50_000, "families": 16, "seed": 11},
@@ -377,5 +463,8 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "units": 60, "req_per_unit": 300, "seed": 15,
         },
         "replay": {"n_peers": 500, "units": 50, "load": 0.5, "seed": 16},
+        "sweep_cached": {
+            "n_peers": 200, "units": 50, "runs": 3, "loads": [0.1, 0.5], "seed": 22,
+        },
     },
 }

@@ -1,0 +1,131 @@
+"""Reproduction manifests (``repro-manifest/1``).
+
+``python -m repro paper`` writes one manifest next to its artifacts
+(``out/paper/manifest.json``) recording, per artifact: the output file,
+its SHA-256, the paper anchor it reproduces, the wall time spent
+assembling it, and the hashes of every result-store cell it consumed
+(split into cache hits and fresh computations).  The header pins the
+sweep profile, the store location, and the git revision the artifacts
+were generated from.
+
+Two reproductions are *equivalent* exactly when their per-artifact
+``sha256`` values match — wall times and the git revision may differ (a
+doc-only commit does not change the simulation), which is why those live
+beside the hashes instead of inside the hashed artifacts.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import pathlib
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Schema tag of the manifest document.
+MANIFEST_SCHEMA = "repro-manifest/1"
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The commit hash of the checkout *this code* lives in, or
+    ``"unknown"`` outside one (an installed package, a tarball) —
+    reproduction must not require git.
+
+    Resolved relative to this file, never the invocation directory: a
+    ``repro paper`` run from inside some unrelated repository must not
+    certify its artifacts against that repository's HEAD.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd if cwd is not None else pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip()
+
+
+def file_sha256(path: pathlib.Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass
+class ArtifactRecord:
+    """One regenerated figure/table in the manifest."""
+
+    name: str
+    path: str  # relative to the manifest's directory
+    sha256: str
+    anchor: str  # the paper figure/table it reproduces
+    elapsed_s: float
+    cells: List[str] = field(default_factory=list)  # store keys consumed
+    #: Subset of ``cells`` computed during *this* invocation (sweep phase
+    #: or assembly) rather than served from a pre-existing store.
+    computed_cells: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "sha256": self.sha256,
+            "anchor": self.anchor,
+            "elapsed_s": self.elapsed_s,
+            "cells": list(self.cells),
+            "computed_cells": list(self.computed_cells),
+        }
+
+
+def build_manifest(
+    profile: str,
+    store_root: str,
+    artifacts: List[ArtifactRecord],
+    elapsed_s: float,
+    git_rev: Optional[str] = None,
+    sweep: Optional[Dict[str, int]] = None,
+    assembly_computed: Optional[List[str]] = None,
+) -> Dict[str, Any]:
+    """Assemble the manifest document for one ``repro paper`` invocation.
+
+    ``sweep`` summarises the store-filling phase (computed/cached/stolen
+    cell counts); ``assembly_computed`` lists cells the assembly phase had
+    to compute itself — always empty unless the sweep plan has drifted
+    from what the artifact builders request (a tier-1 test failure).
+    """
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "profile": profile,
+        "store": store_root,
+        "git_rev": git_rev if git_rev is not None else git_revision(),
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "elapsed_s": elapsed_s,
+        "sweep": dict(sweep or {}),
+        "assembly_computed": list(assembly_computed or []),
+        "artifacts": {record.name: record.as_dict() for record in artifacts},
+    }
+
+
+def write_manifest(path: pathlib.Path, doc: Dict[str, Any]) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(path: pathlib.Path) -> Dict[str, Any]:
+    doc = json.loads(pathlib.Path(path).read_text())
+    if doc.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"manifest {path} has schema {doc.get('schema')!r}, "
+            f"expected {MANIFEST_SCHEMA!r}"
+        )
+    return doc

@@ -1,0 +1,234 @@
+"""Sharded sweep execution with resume and cross-shard work stealing.
+
+The orchestrator walks a :class:`~repro.sweeps.plan.SweepPlan` against a
+shared :class:`~repro.sweeps.store.ResultStore`:
+
+* **Resume** — a cell already in the store is skipped (``--force``
+  recomputes this shard's own cells), so an interrupted sweep restarted
+  with the same plan completes exactly the missing cells.
+* **Sharding** — ``shard=(i, n)`` restricts primary work to the cells
+  whose hash lands in shard ``i`` (``SweepCell.shard_of``), letting ``n``
+  machines split one sweep with no coordinator beyond a shared store
+  directory (NFS mount, synced volume).
+* **Work stealing** — after finishing its own slice, a shard sweeps the
+  *other* shards' cells and computes any still missing, re-checking the
+  store immediately before each steal so a cell another machine just
+  published is not recomputed.  A straggler shard can therefore never
+  hold the sweep hostage; the SCOOP-style rule "idle workers take from
+  whoever is behind" falls out of the store's atomic publishes.
+
+Execution fans *across* cells, not just within them: both passes proceed
+in waves of ``workers`` cells, and every ``(cell, run_index)`` task of a
+wave goes to one shared process pool
+(:func:`repro.experiments.parallel.run_many_configs`, sized by
+``workers``/``REPRO_WORKERS``) — a 1-run-per-cell smoke sweep still
+saturates the machine, while publishes land at wave granularity so an
+interrupted sweep loses at most one wave and concurrent shards see each
+other's progress.  Results are identical to sequential execution because
+every run derives its RNG streams from ``(seed, run_index)``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.metrics import ExperimentSeries
+from ..experiments.parallel import (
+    default_workers,
+    run_many_configs,
+    run_many_parallel,
+)
+from ..experiments.runner import SeriesRunner
+from .plan import SweepCell, SweepPlan
+from .store import ResultStore
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What happened to one cell during a sweep pass."""
+
+    key: str
+    label: str
+    action: str  # "computed" | "cached"
+    source: str  # "own" | "stolen"
+    elapsed_s: float
+
+
+@dataclass
+class SweepReport:
+    """The orchestrator's account of one sweep invocation."""
+
+    plan_name: str
+    shard: int
+    n_shards: int
+    outcomes: List[CellOutcome] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def computed(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.action == "computed"]
+
+    @property
+    def cached(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.action == "cached"]
+
+    @property
+    def stolen(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.source == "stolen" and o.action == "computed"]
+
+    def summary(self) -> str:
+        return (
+            f"[sweep] {self.plan_name} shard {self.shard}/{self.n_shards}: "
+            f"{len(self.computed)} computed ({len(self.stolen)} stolen), "
+            f"{len(self.cached)} cache hits, {self.elapsed_s:.1f}s"
+        )
+
+
+def compute_cell(
+    cell: SweepCell,
+    store: ResultStore,
+    workers: Optional[int] = None,
+) -> Tuple[ExperimentSeries, float]:
+    """Run one cell's repetitions and publish the result; returns the
+    series and the compute wall time."""
+    start = time.perf_counter()
+    series = run_many_parallel(
+        cell.config, cell.n_runs, label=cell.label, workers=workers
+    )
+    elapsed = time.perf_counter() - start
+    store.put(cell.key(), series, cell.signature(), elapsed)
+    return series, elapsed
+
+
+def _compute_batch(
+    cells: List[SweepCell],
+    store: ResultStore,
+    workers: Optional[int],
+    source: str,
+    report: SweepReport,
+    emit: Callable[[str], None],
+) -> None:
+    """Compute a batch of cells by fanning every ``(cell, run_index)`` task
+    over one shared pool, then publish each cell.  Per-cell ``elapsed_s``
+    is the batch wall time apportioned by run count (individual timings
+    are not observable inside a shared pool)."""
+    if not cells:
+        return
+    tasks = [(cell.config, i) for cell in cells for i in range(cell.n_runs)]
+    for cell in cells:
+        emit(f"[sweep] computing {cell.label} ({cell.key()[:12]}…, {cell.n_runs} runs)")
+    start = time.perf_counter()
+    runs = run_many_configs(tasks, workers=workers)
+    elapsed = time.perf_counter() - start
+    cursor = 0
+    for cell in cells:
+        cell_runs = runs[cursor : cursor + cell.n_runs]
+        cursor += cell.n_runs
+        share = elapsed * cell.n_runs / len(tasks)
+        series = ExperimentSeries(label=cell.label, runs=cell_runs)
+        store.put(cell.key(), series, cell.signature(), share)
+        report.outcomes.append(
+            CellOutcome(cell.key(), cell.label, "computed", source, share)
+        )
+
+
+def run_sweep(
+    plan: SweepPlan,
+    store: ResultStore,
+    shard: Tuple[int, int] = (0, 1),
+    workers: Optional[int] = None,
+    force: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Execute ``plan`` against ``store``; see the module docstring for the
+    resume / shard / steal semantics.  ``force`` recomputes this shard's
+    own cells (never stolen ones — a forced n-machine sweep would
+    otherwise do every cell n times over)."""
+    shard_index, n_shards = shard
+    own, foreign = plan.shard_split(shard_index, n_shards)
+    emit = log or (lambda message: None)
+    report = SweepReport(plan_name=plan.name, shard=shard_index, n_shards=n_shards)
+    start = time.perf_counter()
+
+    # Both passes run in waves of ~workers cells: large enough that every
+    # (cell, run) task of a wave saturates the shared pool, small enough
+    # that publishes land incrementally — an interrupted sweep loses at
+    # most one wave (resume), and other shards see progress as it happens
+    # instead of only when a slice completes (work stealing).
+    wave_size = max(1, workers if workers is not None else default_workers())
+
+    remaining = list(own)
+    while remaining:
+        wave, remaining = remaining[:wave_size], remaining[wave_size:]
+        to_compute: List[SweepCell] = []
+        for cell in wave:
+            if not force and cell.key() in store:
+                report.outcomes.append(
+                    CellOutcome(cell.key(), cell.label, "cached", "own", 0.0)
+                )
+            else:
+                to_compute.append(cell)
+        _compute_batch(to_compute, store, workers, "own", report, emit)
+
+    # Steal pass: re-check the store at each wave boundary (the owning
+    # shard may publish cells while this one computes).  Each shard walks
+    # the foreign list in its own deterministic shuffled order —
+    # concurrently launched shards then start stealing from *different*
+    # cells instead of colliding head-on and duplicating the slowest
+    # shard's whole in-flight slice.
+    remaining = list(foreign)
+    random.Random(shard_index).shuffle(remaining)
+    while remaining:
+        wave, remaining = remaining[:wave_size], remaining[wave_size:]
+        to_steal: List[SweepCell] = []
+        for cell in wave:
+            if cell.key() in store:
+                report.outcomes.append(
+                    CellOutcome(cell.key(), cell.label, "cached", "stolen", 0.0)
+                )
+            else:
+                to_steal.append(cell)
+        _compute_batch(to_steal, store, workers, "stolen", report, emit)
+
+    report.elapsed_s = time.perf_counter() - start
+    emit(report.summary())
+    return report
+
+
+def cached_series_runner(
+    store: ResultStore,
+    workers: Optional[int] = None,
+    force: bool = False,
+    on_cell: Optional[Callable[[SweepCell, str, str], None]] = None,
+) -> SeriesRunner:
+    """A :data:`~repro.experiments.runner.SeriesRunner` backed by the store.
+
+    Figure/table harnesses called with this runner transparently reuse
+    every cell a sweep already computed and publish whatever they compute
+    fresh — so assembly after a sharded sweep is all cache hits, and
+    assembly *without* a prior sweep still works, just cold.  ``on_cell``
+    observes every request (cell, key, "cached"/"computed") — the hook the
+    manifest uses to record an artifact's inputs.
+    """
+
+    def run_series(config: ExperimentConfig, n_runs: int, label: str) -> ExperimentSeries:
+        cell = SweepCell(config=config, n_runs=n_runs, label=label)
+        key = cell.key()
+        series = None if force else store.get(key)
+        if series is None:
+            series, _ = compute_cell(cell, store, workers)
+            action = "computed"
+        else:
+            # Labels are presentation, excluded from the key; serve the
+            # caller's label, not whichever consumer stored the cell first.
+            series.label = label
+            action = "cached"
+        if on_cell is not None:
+            on_cell(cell, key, action)
+        return series
+
+    return run_series

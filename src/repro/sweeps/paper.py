@@ -1,0 +1,330 @@
+"""One-command paper reproduction: profiles, artifact registry, assembly.
+
+This module is the bridge between the declarative sweep machinery and the
+paper's figures/tables: it knows which cells each artifact needs (via the
+config factories the figure/table harnesses themselves export, so the two
+can never disagree), builds the full :class:`~repro.sweeps.plan.SweepPlan`,
+and renders each artifact to a deterministic text file.
+
+``python -m repro paper`` (see :mod:`repro.sweeps.cli`) drives
+:func:`reproduce_paper`: sweep the plan into the result store (resumable,
+shardable), then assemble every artifact from the warm store and write a
+``repro-manifest/1`` manifest.  Artifacts are plain text (ASCII plot +
+series table — the repository's figure format throughout) and are
+byte-stable: re-assembling from the same store yields identical files, so
+equal manifest hashes certify an exact reproduction.
+
+Profiles scale repetition counts: ``paper`` is full fidelity (the 30/50/100
+repetitions of conf_ipps_CaronDT08 Section 4), ``quick`` is the
+minutes-scale default, ``smoke`` the seconds-scale CI grade.  The per-cell
+seed is the profile's; within one figure every balancer variant shares it —
+the paper's common-random-numbers comparison — while run indices fan out
+the per-run streams.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..experiments.figures import (
+    ALL_FIGURES,
+    FIGURE_CONFIGS,
+    figure9_configs,
+    render_figure_text,
+    three_curve_balancers,
+)
+from ..experiments.runner import SeriesRunner
+from ..experiments.tables import (
+    TABLE1_LOADS,
+    TABLE1_NETWORKS,
+    paper_table2_text,
+    table1,
+    table1_config,
+    table2,
+)
+from .plan import SweepCell, SweepPlan, plan_from_cells
+
+
+@dataclass(frozen=True)
+class SweepProfile:
+    """How hard to push a reproduction: platform size and repetitions."""
+
+    name: str
+    description: str
+    n_peers: int
+    seed: int
+    runs: Mapping[str, int]  # artifact name -> repetitions per cell
+
+
+PROFILES: Dict[str, SweepProfile] = {
+    "smoke": SweepProfile(
+        name="smoke",
+        description="seconds-scale CI grade: 20 peers, 1 run per cell",
+        n_peers=20,
+        seed=20080617,
+        runs={"fig4": 1, "fig5": 1, "fig6": 1, "fig7": 1, "fig8": 1,
+              "fig9": 1, "table1": 1},
+    ),
+    "quick": SweepProfile(
+        name="quick",
+        description="minutes-scale default: the paper's platform, few runs",
+        n_peers=100,
+        seed=20080617,
+        runs={"fig4": 3, "fig5": 3, "fig6": 3, "fig7": 3, "fig8": 3,
+              "fig9": 3, "table1": 2},
+    ),
+    "paper": SweepProfile(
+        name="paper",
+        description="full fidelity: the paper's 30/50/100 repetitions",
+        n_peers=100,
+        seed=20080617,
+        runs={"fig4": 30, "fig5": 30, "fig6": 30, "fig7": 30, "fig8": 50,
+              "fig9": 100, "table1": 30},
+    ),
+}
+
+#: The default profile of ``python -m repro paper``.
+DEFAULT_PROFILE = "quick"
+
+
+@dataclass(frozen=True)
+class PaperArtifact:
+    """One regenerable output: its paper anchor, sweep cells, and renderer."""
+
+    name: str
+    title: str
+    #: Where in the paper the artifact comes from — the gallery key that
+    #: ``docs/reproduction.md`` must document (enforced by the tier-1
+    #: doc-consistency gate).
+    anchor: str
+    cells: Callable[[SweepProfile], List[SweepCell]]
+    build: Callable[[SweepProfile, Optional[SeriesRunner]], str]
+
+
+def _three_curve_cells(fig_id: str) -> Callable[[SweepProfile], List[SweepCell]]:
+    def cells(profile: SweepProfile) -> List[SweepCell]:
+        config = FIGURE_CONFIGS[fig_id](n_peers=profile.n_peers, seed=profile.seed)
+        return [
+            SweepCell(config=config.with_lb(lb), n_runs=profile.runs[fig_id], label=lb.name)
+            for lb in three_curve_balancers()
+        ]
+    return cells
+
+
+def _figure_build(fig_id: str) -> Callable[[SweepProfile, Optional[SeriesRunner]], str]:
+    def build(profile: SweepProfile, run_series: Optional[SeriesRunner]) -> str:
+        fig = ALL_FIGURES[fig_id](
+            n_runs=profile.runs[fig_id],
+            n_peers=profile.n_peers,
+            seed=profile.seed,
+            run_series=run_series,
+        )
+        return render_figure_text(fig, include_params=True) + "\n"
+    return build
+
+
+def _figure9_cells(profile: SweepProfile) -> List[SweepCell]:
+    return [
+        SweepCell(config=config, n_runs=profile.runs["fig9"], label=label)
+        for label, config in figure9_configs(
+            n_peers=profile.n_peers, seed=profile.seed
+        ).items()
+    ]
+
+
+def _table1_cells(profile: SweepProfile) -> List[SweepCell]:
+    cells: List[SweepCell] = []
+    for _, churn in TABLE1_NETWORKS:
+        for load in TABLE1_LOADS:
+            config = table1_config(
+                churn, load, n_peers=profile.n_peers, seed=profile.seed
+            )
+            cells.extend(
+                SweepCell(
+                    config=config.with_lb(lb),
+                    n_runs=profile.runs["table1"],
+                    label=lb.name,
+                )
+                for lb in three_curve_balancers()
+            )
+    return cells
+
+
+def _table1_build(profile: SweepProfile, run_series: Optional[SeriesRunner]) -> str:
+    result = table1(
+        n_runs=profile.runs["table1"],
+        n_peers=profile.n_peers,
+        seed=profile.seed,
+        run_series=run_series,
+    )
+    return (
+        f"# table1: gains of KC and MLT over no-LB  (runs={result.n_runs})\n\n"
+        f"{result.as_text()}\n"
+    )
+
+
+def _table2_build(profile: SweepProfile, run_series: Optional[SeriesRunner]) -> str:
+    # Table 2 measures live P-Grid/PHT/DLPT instances — deterministic,
+    # sub-second, and not an ExperimentSeries, so it bypasses the store.
+    result = table2()
+    return (
+        "# table2: complexities of close trie-structured approaches (measured)\n\n"
+        f"{result.as_text()}\n\npaper (analytic):\n{paper_table2_text()}\n"
+    )
+
+
+ARTIFACTS: Dict[str, PaperArtifact] = {
+    artifact.name: artifact
+    for artifact in (
+        PaperArtifact(
+            "fig4", "Load balancing - stable network - no overload",
+            "Figure 4, Section 4 (stable network, no overload)",
+            _three_curve_cells("fig4"), _figure_build("fig4"),
+        ),
+        PaperArtifact(
+            "fig5", "Load balancing - stable network - overload",
+            "Figure 5, Section 4 (stable network, overload)",
+            _three_curve_cells("fig5"), _figure_build("fig5"),
+        ),
+        PaperArtifact(
+            "fig6", "Comparing LB algorithms - dynamic network - no overload",
+            "Figure 6, Section 4 (dynamic network, no overload)",
+            _three_curve_cells("fig6"), _figure_build("fig6"),
+        ),
+        PaperArtifact(
+            "fig7", "Comparing LB algorithms - dynamic network - overload",
+            "Figure 7, Section 4 (dynamic network, overload)",
+            _three_curve_cells("fig7"), _figure_build("fig7"),
+        ),
+        PaperArtifact(
+            "fig8", "Load balancing - dynamic network - hot spots",
+            "Figure 8, Section 4 (hot spots)",
+            _three_curve_cells("fig8"), _figure_build("fig8"),
+        ),
+        PaperArtifact(
+            "fig9", "Communication gain",
+            "Figure 9, Section 4 (communication gain of the mapping)",
+            _figure9_cells, _figure_build("fig9"),
+        ),
+        PaperArtifact(
+            "table1", "Gains of KC and MLT over no-LB",
+            "Table 1, Section 4 (gain per load level)",
+            _table1_cells, _table1_build,
+        ),
+        PaperArtifact(
+            "table2", "Complexities of close trie-structured approaches",
+            "Table 2, Section 2 (P-Grid / PHT / DLPT complexities)",
+            lambda profile: [], _table2_build,
+        ),
+    )
+}
+
+
+def paper_plan(
+    profile: SweepProfile, only: Optional[Sequence[str]] = None
+) -> SweepPlan:
+    """The full (de-duplicated) cell grid behind the selected artifacts."""
+    names = list(only) if only else list(ARTIFACTS)
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        raise ValueError(
+            f"unknown artifact(s) {unknown!r} (known: {', '.join(ARTIFACTS)})"
+        )
+    cells: List[SweepCell] = []
+    for name in names:
+        cells.extend(ARTIFACTS[name].cells(profile))
+    return plan_from_cells(f"paper-{profile.name}", cells)
+
+
+def reproduce_paper(
+    out_dir: str | pathlib.Path,
+    store: "ResultStore",
+    profile: SweepProfile,
+    workers: Optional[int] = None,
+    force: bool = False,
+    only: Optional[Sequence[str]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Tuple[Dict[str, object], pathlib.Path]:
+    """Regenerate every selected artifact into ``out_dir``; returns the
+    manifest document and its path.
+
+    Two phases: first the plan is swept into the store (so an interrupted
+    reproduction resumes, and a prior ``repro sweep`` — sharded across
+    machines or not — turns this into pure assembly), then each artifact
+    is assembled via the store-cached runner and written with its SHA-256
+    recorded in the manifest.  ``force`` recomputes the sweep's cells once,
+    not once per consuming artifact.
+    """
+    from .manifest import (
+        ArtifactRecord,
+        build_manifest,
+        file_sha256,
+        write_manifest,
+    )
+    from .orchestrator import cached_series_runner, run_sweep
+
+    emit = log or (lambda message: None)
+    names = list(only) if only else list(ARTIFACTS)
+    plan = paper_plan(profile, names)  # validates names
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    start = time.perf_counter()
+
+    report = run_sweep(plan, store, workers=workers, force=force, log=log)
+    swept = {outcome.key for outcome in report.computed}
+
+    records: List[ArtifactRecord] = []
+    assembly_computed: List[str] = []
+    for name in names:
+        artifact = ARTIFACTS[name]
+        consumed: List[Tuple[str, str]] = []
+        runner = cached_series_runner(
+            store,
+            workers=workers,
+            on_cell=lambda cell, key, action, sink=consumed: sink.append((key, action)),
+        )
+        t0 = time.perf_counter()
+        text = artifact.build(profile, runner)
+        elapsed = time.perf_counter() - t0
+        path = out / f"{name}.txt"
+        path.write_text(text)
+        assembly_computed.extend(
+            key for key, action in consumed if action == "computed"
+        )
+        records.append(
+            ArtifactRecord(
+                name=name,
+                path=path.name,
+                sha256=file_sha256(path),
+                anchor=artifact.anchor,
+                elapsed_s=elapsed,
+                cells=[key for key, _ in consumed],
+                # "Fresh" means computed during this invocation — normally
+                # in the sweep phase; assembly computes only on plan drift.
+                computed_cells=[
+                    key
+                    for key, action in consumed
+                    if action == "computed" or key in swept
+                ],
+            )
+        )
+        emit(f"[paper] wrote {path} ({artifact.anchor}, {elapsed:.1f}s)")
+
+    doc = build_manifest(
+        profile=profile.name,
+        store_root=str(store.root),
+        artifacts=records,
+        elapsed_s=time.perf_counter() - start,
+        sweep={
+            "computed": len(report.computed),
+            "cached": len(report.cached),
+            "stolen": len(report.stolen),
+        },
+        assembly_computed=assembly_computed,
+    )
+    manifest_path = write_manifest(out / "manifest.json", doc)
+    emit(f"[paper] wrote {manifest_path}")
+    return doc, manifest_path

@@ -1,0 +1,156 @@
+"""Content-addressed on-disk result store (``repro-result/1``).
+
+One completed sweep cell = one JSON file under the store root, addressed
+by the cell hash (SHA-256 of the resolved config signature + run count,
+:mod:`repro.sweeps.plan`).  Files are laid out two-level
+(``<hash[:2]>/<hash>.json``) so 10⁵-cell stores stay listable, and written
+atomically (temp file + ``os.replace``) so concurrent shards sharing a
+filesystem can never observe a half-written cell — the property the
+orchestrator's resume and work-stealing semantics rest on.
+
+Document layout::
+
+    {
+      "schema": "repro-result/1",
+      "key": "<cell hash>",
+      "signature": {"config": {...}, "n_runs": 30},   # resolved identity
+      "label": "MLT",                                  # presentation only
+      "elapsed_s": 12.34,                              # compute wall time
+      "created": "2026-07-28T12:00:00+00:00",
+      "series": {"label": "MLT", "runs": [{"units": [...]}, ...]}
+    }
+
+``series`` is the *full-fidelity* serialisation
+(:func:`repro.experiments.metrics.series_to_dict`, hop histograms
+included), so a cache hit reconstructs an
+:class:`~repro.experiments.metrics.ExperimentSeries` that is
+byte-identical to a fresh computation under re-serialisation.  ``get``
+verifies that the stored signature re-hashes to the requested key before
+trusting a file; corrupted or hand-edited cells raise
+:class:`ResultStoreError` instead of silently serving wrong data.  The
+``schema`` tag is bumped on any breaking layout change.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, Iterator, Optional
+
+from ..experiments.metrics import ExperimentSeries, series_from_dict, series_to_dict
+from .plan import signature_hash
+
+#: Schema tag of every stored cell document.
+RESULT_SCHEMA = "repro-result/1"
+
+
+class ResultStoreError(ValueError):
+    """A stored cell that cannot be trusted: wrong schema, key mismatch,
+    or a signature that no longer hashes to its address."""
+
+
+class ResultStore:
+    """A directory of completed sweep cells, addressed by cell hash."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    # -- read ---------------------------------------------------------------
+
+    def get_doc(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw stored document for ``key``, validated; None on miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ResultStoreError(f"unreadable result cell {path}: {exc}") from exc
+        if doc.get("schema") != RESULT_SCHEMA:
+            raise ResultStoreError(
+                f"result cell {path} has schema {doc.get('schema')!r}, "
+                f"expected {RESULT_SCHEMA!r}; delete or regenerate the store"
+            )
+        if doc.get("key") != key or signature_hash(doc.get("signature", {})) != key:
+            raise ResultStoreError(
+                f"result cell {path} does not hash to its address; the file "
+                "was corrupted or edited — delete it and re-run the sweep"
+            )
+        return doc
+
+    def get(self, key: str) -> Optional[ExperimentSeries]:
+        """The cached series for ``key``, or None when the cell is missing.
+
+        The reconstruction is exact (hop histograms and all), so consumers
+        cannot tell a hit from a fresh computation.
+        """
+        doc = self.get_doc(key)
+        if doc is None:
+            return None
+        return series_from_dict(doc["series"])
+
+    # -- write --------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        series: ExperimentSeries,
+        signature: Dict[str, Any],
+        elapsed_s: float,
+    ) -> pathlib.Path:
+        """Store a completed cell atomically; returns the cell's path.
+
+        ``key`` must be the hash of ``signature`` — storing under any other
+        address would poison every future lookup, so it is rejected here.
+        """
+        if signature_hash(signature) != key:
+            raise ResultStoreError(
+                "refusing to store a cell whose signature does not hash to "
+                f"its key {key[:12]}…"
+            )
+        doc = {
+            "schema": RESULT_SCHEMA,
+            "key": key,
+            "signature": signature,
+            "label": series.label,
+            "elapsed_s": elapsed_s,
+            "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            "series": series_to_dict(series),
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: a concurrent reader (another shard) either sees
+        # the complete file or no file, never a torn write.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:12]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+                fh.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path

@@ -30,7 +30,12 @@ from .requests import (
     figure8_schedule,
     generator_name,
 )
-from .spec import WORKLOAD_KINDS, WorkloadSpecError, parse_workload
+from .spec import (
+    WORKLOAD_KINDS,
+    WorkloadSpecError,
+    parse_workload,
+    workload_signature,
+)
 from .traces import (
     TRACE_SCHEMA,
     TraceError,
@@ -49,6 +54,7 @@ __all__ = [
     "FlashCrowd", "DiurnalSchedule", "AdversarialPrefixStacking",
     "MixedSchedule", "SchedulePhase", "SteadySchedule", "as_schedule",
     "WORKLOAD_KINDS", "WorkloadSpecError", "parse_workload",
+    "workload_signature",
     "TRACE_SCHEMA", "TraceError", "TraceRecorder", "TraceUnit",
     "WorkloadTrace",
 ]

@@ -16,7 +16,9 @@ used by ablation benches.
 from __future__ import annotations
 
 import bisect
+import hashlib
 import itertools
+import weakref
 from dataclasses import dataclass
 from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
@@ -107,6 +109,14 @@ class HotSpotRequests:
         return available_keys[rng.randrange(len(available_keys))]
 
 
+#: How many generators have already captured each live seed RNG.  Two
+#: generators *sharing* one ``Random`` object behave differently at run
+#: time (the first's permutation draw advances the second's stream), so
+#: the share index enters the seed fingerprint; two *independent*
+#: equal-seed RNGs (share index 0 each) still fingerprint identically.
+_SEED_RNG_SHARES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
 class ZipfRequests:
     """Zipf(s) popularity over a fixed key ranking (rank 1 = hottest).
 
@@ -123,6 +133,23 @@ class ZipfRequests:
         self._cdf: list[float] = []
         self._n = 0
         self._seed_rng = seed_rng
+        # Pristine-state fingerprint, captured before any draw mutates the
+        # RNG: the semantic identity of the ranking permutation this
+        # generator will produce (consumed by workload_signature — a live
+        # getstate() there would change across the generator's lifetime).
+        # The share index distinguishes generators aliasing one RNG object,
+        # whose pristine states are equal but whose runtime streams differ.
+        if seed_rng is None:
+            self._seed_fingerprint: Optional[str] = None
+        else:
+            try:
+                share_index = _SEED_RNG_SHARES.get(seed_rng, 0)
+                _SEED_RNG_SHARES[seed_rng] = share_index + 1
+            except TypeError:  # non-weakrefable RNG stand-in
+                share_index = 0
+            self._seed_fingerprint = hashlib.sha256(
+                repr((share_index, seed_rng.getstate())).encode()
+            ).hexdigest()
 
     def _prepare(self, n: int, rng) -> None:
         if self._n == n:

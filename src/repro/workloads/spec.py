@@ -35,14 +35,17 @@ from .dynamics import (
     FlashCrowd,
     MixedSchedule,
     SchedulePhase,
+    SteadySchedule,
     as_schedule,
 )
 from .requests import (
     HotSpotRequests,
+    PhasedSchedule,
     UniformRequests,
     WorkloadSchedule,
     ZipfRequests,
     figure8_schedule,
+    generator_name,
 )
 
 #: Spec kinds accepted by :func:`parse_workload` (string and dict forms).
@@ -182,3 +185,90 @@ def parse_workload(spec: object) -> WorkloadSchedule:
         return as_schedule(built)
     except TypeError as exc:
         raise WorkloadSpecError(str(exc)) from exc
+
+
+def workload_signature(obj: object) -> object:
+    """Canonical, JSON-serialisable structure of a workload or schedule.
+
+    Two workloads that draw the same request sequences produce equal
+    signatures regardless of how they were built (spec string, dict, or
+    constructed objects); any semantic parameter change — a prefix, an
+    exponent, a phase boundary — changes the signature.  This is the
+    workload component of the sweep result store's cell hash
+    (:mod:`repro.sweeps`), so the structure must stay stable: extend it for
+    new workload classes, never reorder or rename existing fields.
+
+    Unknown generator types degrade to ``{"kind": "opaque", ...}`` keyed on
+    their display name — correct only as far as the name encodes the
+    parameters, which is why custom generators used in cached sweeps should
+    carry a distinctive ``name``.
+    """
+    if isinstance(obj, UniformRequests):
+        return {"kind": "uniform"}
+    if isinstance(obj, ZipfRequests):
+        # A custom seed_rng pins the hot-key ranking permutation, so it is
+        # semantic: use the pristine-state fingerprint captured at
+        # construction (live getstate() mutates with every draw, which
+        # would shift a cell's hash mid-run) rather than collapsing
+        # differently-seeded generators into one identity.
+        return {"kind": "zipf", "s": obj.s, "seed_state": obj._seed_fingerprint}
+    if isinstance(obj, HotSpotRequests):
+        return {"kind": "hotspot", "prefix": obj.prefix, "intensity": obj.intensity}
+    if isinstance(obj, AdversarialPrefixStacking):
+        return {"kind": "adversarial", "prefix": obj.prefix, "s": obj.s}
+    if isinstance(obj, SteadySchedule):
+        return {"kind": "steady", "generator": workload_signature(obj.generator)}
+    if isinstance(obj, PhasedSchedule):
+        return {
+            "kind": "phased",
+            "phases": [
+                {
+                    "start": p.start,
+                    "end": p.end,
+                    "generator": workload_signature(p.generator),
+                }
+                for p in obj.phases
+            ],
+        }
+    if isinstance(obj, FlashCrowd):
+        return {
+            "kind": "flash_crowd",
+            "prefix": obj.prefix,
+            "onset": obj.onset,
+            "peak": obj.peak,
+            "half_life": obj.half_life,
+            "rate_surge": obj.rate_surge,
+            "zipf_s": obj._zipf.s,
+            "base": workload_signature(obj.base),
+        }
+    if isinstance(obj, DiurnalSchedule):
+        return {
+            "kind": "diurnal",
+            "period": obj.period,
+            "amplitude": obj.amplitude,
+            "peak_unit": obj.peak_unit,
+            "inner": workload_signature(obj.inner),
+        }
+    if isinstance(obj, MixedSchedule):
+        # Sign the as_schedule-normalised sources (what the runtime draws
+        # from), not the raw ones: a phase built from a bare generator and
+        # one built from its SteadySchedule wrapping behave identically
+        # and must share a signature.
+        return {
+            "kind": "mixed",
+            "phases": [
+                {
+                    "start": p.start,
+                    "end": p.end,
+                    "rate": p.rate,
+                    "source": workload_signature(schedule),
+                }
+                for p, schedule in zip(obj.phases, obj._schedules)
+            ],
+            "fallback": workload_signature(obj._fallback),
+        }
+    return {
+        "kind": "opaque",
+        "type": type(obj).__name__,
+        "name": generator_name(obj),
+    }

@@ -58,7 +58,7 @@ class TestReadme:
     def test_readme_points_at_project_state(self):
         text = README.read_text()
         for pointer in ("ROADMAP.md", "CHANGES.md", "BENCH_micro.json",
-                        "docs/benchmarks.md"):
+                        "docs/benchmarks.md", "docs/reproduction.md"):
             assert pointer in text, f"README.md should point at {pointer}"
 
     def test_readme_code_blocks_run(self):
@@ -84,6 +84,59 @@ class TestBenchmarksDoc:
         doc = (REPO_ROOT / "docs" / "benchmarks.md").read_text()
         for tag in (SCHEMA, TRACE_SCHEMA, METRICS_SCHEMA):
             assert tag in doc
+
+
+class TestReproductionDoc:
+    """docs/reproduction.md: the one-command reproduction guide and the
+    figure gallery must track the artifact registry in code."""
+
+    DOC = REPO_ROOT / "docs" / "reproduction.md"
+
+    def test_guide_exists(self):
+        assert self.DOC.exists(), (
+            "docs/reproduction.md must document the checkout-to-figures "
+            "pipeline (python -m repro paper)"
+        )
+
+    def test_schemas_and_semantics_are_documented(self):
+        doc = self.DOC.read_text()
+        for needle in ("repro-result/1", "repro-manifest/1", "REPRO_WORKERS",
+                       "--shard", "--force", "python -m repro paper",
+                       "sweep_cached"):
+            assert needle in doc, f"docs/reproduction.md must document {needle}"
+
+    def test_documented_schema_tags_match_the_code(self):
+        from repro.sweeps import MANIFEST_SCHEMA, RESULT_SCHEMA
+
+        doc = self.DOC.read_text()
+        for tag in (RESULT_SCHEMA, MANIFEST_SCHEMA):
+            assert tag in doc
+
+    def test_every_paper_artifact_has_a_gallery_entry(self):
+        """`repro paper` may not grow an artifact without the gallery
+        growing a matching section (### <name>) carrying its paper anchor."""
+        from repro.sweeps import ARTIFACTS
+
+        doc = self.DOC.read_text()
+        for name, artifact in ARTIFACTS.items():
+            assert f"### {name}" in doc, (
+                f"docs/reproduction.md's figure gallery lacks a section for "
+                f"the {name} artifact; add '### {name} — ...'"
+            )
+            assert artifact.anchor in doc, (
+                f"docs/reproduction.md must state {name}'s paper anchor "
+                f"({artifact.anchor!r})"
+            )
+
+    def test_benchmarks_doc_links_the_guide(self):
+        assert "reproduction.md" in (REPO_ROOT / "docs" / "benchmarks.md").read_text(), (
+            "docs/benchmarks.md should cross-link docs/reproduction.md"
+        )
+
+    def test_readme_documents_repro_workers(self):
+        assert "REPRO_WORKERS" in README.read_text(), (
+            "README.md must document the REPRO_WORKERS override"
+        )
 
 
 class TestExamples:

@@ -9,6 +9,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import (
     compare_balancers_parallel,
     default_workers,
+    env_workers,
     run_many_parallel,
 )
 from repro.experiments.runner import run_many
@@ -57,6 +58,30 @@ class TestParallelRunner:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestEnvWorkers:
+    """REPRO_WORKERS: the documented override for every pool size."""
+
+    def test_unset_returns_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert env_workers() is None
+        assert env_workers(default=3) == 3
+
+    def test_set_overrides_and_is_not_capped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "24")
+        assert env_workers() == 24
+        assert default_workers() == 24  # explicit override beats the CPU cap
+
+    def test_blank_treated_as_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert env_workers(default=2) == 2
+
+    @pytest.mark.parametrize("bad", ["abc", "0", "-3", "2.5"])
+    def test_invalid_values_raise_naming_the_variable(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            env_workers()
 
 
 class TestCLI:

@@ -30,6 +30,7 @@ TINY = {
         "units": 6, "req_per_unit": 8, "seed": 5,
     },
     "replay": {"n_peers": 10, "units": 6, "load": 0.3, "seed": 6},
+    "sweep_cached": {"n_peers": 10, "units": 5, "runs": 1, "loads": [0.2], "seed": 7},
 }
 
 

@@ -1,0 +1,32 @@
+"""Tier-2 benchmark: the result store's warm-cache speedup contract.
+
+Run with ``PYTHONPATH=src python -m pytest -m bench -q``; excluded from
+tier-1 by ``pytest.ini``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.bench import run_scenario
+from repro.perf.scenarios import SUITES
+
+#: The store's contract (ISSUE 3 acceptance): warm re-runs of a sweep are
+#: at least this much faster than cold recomputation.  Measured medians sit
+#: around three orders of magnitude (JSON reads vs simulation), so 10× has
+#: a wide margin against CI noise.
+MIN_CACHE_SPEEDUP = 10.0
+
+
+@pytest.mark.bench
+def test_warm_sweep_is_at_least_10x_faster_than_cold():
+    block = run_scenario(
+        "sweep_cached", SUITES["micro"]["sweep_cached"], repeat=3, warmup=1
+    )
+    cold = block["impls"]["seed"]["median_s"]
+    warm = block["impls"]["optimised"]["median_s"]
+    assert block["speedup_median"] >= MIN_CACHE_SPEEDUP, (
+        f"warm sweep only {block['speedup_median']:.1f}x faster than cold "
+        f"(cold {cold:.3f}s, warm {warm:.3f}s); the result store's caching "
+        f"contract is >= {MIN_CACHE_SPEEDUP:.0f}x"
+    )
