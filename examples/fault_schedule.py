@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Declarative fault schedules: crash storms swept over replication degrees.
+
+The paper's Section 3 protocol handles graceful departure only, and the
+conclusion (Section 5) defers fault handling to future work on a real
+grid.  This example drives the fault axis end to end through the
+experiment runner — the same path ``python -m repro run --faults`` and the
+``fault_availability`` / ``fault_repair`` artifacts of ``repro paper``
+use:
+
+  * a ``crash_storm:0.05`` schedule (5% of peers fail-stop per unit) is
+    swept over successor-replication degrees r = 0, 1, 2, showing key
+    availability and repair cost per unit of protection;
+  * the same storm is recorded into a ``repro-trace/1`` trace and replayed
+    under a *weaker* policy — identical crashes, different survival — the
+    controlled comparison the trace schema exists for.
+
+Run:  PYTHONPATH=src python examples/fault_schedule.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import record_single, replay_single, run_single
+
+
+def storm_config(r: int, seed: int = 1) -> ExperimentConfig:
+    return ExperimentConfig(
+        n_peers=60,
+        total_units=40,
+        faults=f"crash_storm:0.05:start=10:r={r}",
+        seed=seed,
+    )
+
+
+def summarise(result) -> dict:
+    units = result.units
+    crashes = sum(u.crashes for u in units)
+    return {
+        "crashes": crashes,
+        "lost": sum(u.keys_lost for u in units),
+        "recovered": sum(u.keys_recovered for u in units),
+        "unrecoverable": sum(u.keys_unrecoverable for u in units),
+        "repair_per_crash": sum(u.repair_cost for u in units) / crashes if crashes else 0.0,
+        "availability": units[-1].key_availability_pct,
+    }
+
+
+def main() -> None:
+    print("crash_storm:0.05 over 40 units, replication degree swept:\n")
+    print(f"{'r':>3} {'crashes':>8} {'lost':>6} {'recovered':>10} "
+          f"{'unrecov':>8} {'repair/crash':>13} {'avail %':>8}")
+    for r in (0, 1, 2):
+        s = summarise(run_single(storm_config(r)))
+        print(f"{r:>3} {s['crashes']:>8} {s['lost']:>6} {s['recovered']:>10} "
+              f"{s['unrecoverable']:>8} {s['repair_per_crash']:>13.1f} "
+              f"{s['availability']:>8.1f}")
+
+    # Record the r=2 run's fault events, replay them with replication off:
+    # the *same* crashes hit a system that cannot recover lost keys.
+    recorded, trace = record_single(storm_config(2))
+    weaker = replay_single(storm_config(0), trace)
+    print("\nsame recorded crash schedule, two policies:")
+    for label, result in (("recorded r=2", recorded), ("replayed r=0", weaker)):
+        s = summarise(result)
+        print(f"  {label}: {s['crashes']} crashes -> "
+              f"{s['unrecoverable']} unrecoverable, "
+              f"availability {s['availability']:.1f}%")
+    print("\nTakeaway: the schedule is declarative and replayable — the fault "
+          "axis varies the\nresponse policy while the failure sequence stays "
+          "frozen, exactly like workload traces.")
+
+
+if __name__ == "__main__":
+    main()

@@ -51,8 +51,11 @@ class ReplicationManager:
             raise ValueError("replication factor must be >= 1")
         self.system = system
         self.factor = factor
-        #: peer id -> {key -> ReplicaRecord} held *for other peers*.
-        self.stores: Dict[str, Dict[str, ReplicaRecord]] = {}
+        #: peer -> {key -> ReplicaRecord} held *for other peers*.  Keyed by
+        #: the :class:`Peer` object (identity), not its ring id: MLT
+        #: rebalances by *renaming* peers (``Ring.reposition``), and a
+        #: replica must survive its holder moving along the ring.
+        self.stores: Dict[Peer, Dict[str, ReplicaRecord]] = {}
         self.replica_writes = 0
 
     # -- replica placement -------------------------------------------------
@@ -77,7 +80,7 @@ class ReplicationManager:
         if node is None or not node.data:
             return
         for peer in self.replica_peers(key):
-            store = self.stores.setdefault(peer.id, {})
+            store = self.stores.setdefault(peer, {})
             store[key] = ReplicaRecord(key=key, data=set(node.data))
             self.replica_writes += 1
 
@@ -91,17 +94,23 @@ class ReplicationManager:
 
     # -- membership maintenance ----------------------------------------------
 
-    def on_peer_removed(self, peer_id: str) -> None:
+    def on_peer_removed(self, peer: "Peer | str") -> None:
         """Drop the replica store of a departed peer (its copies die with
-        it; surviving replicas elsewhere are untouched)."""
-        self.stores.pop(peer_id, None)
+        it; surviving replicas elsewhere are untouched).  Accepts the peer
+        object or its last ring id."""
+        if isinstance(peer, str):
+            peer = next((p for p in self.stores if p.id == peer), None)
+            if peer is None:
+                return
+        self.stores.pop(peer, None)
 
     def surviving_records(self) -> Dict[str, ReplicaRecord]:
-        """Union of all replicas currently held by *live* peers."""
+        """Union of all replicas currently held by *live* peers (peers are
+        compared by identity, so a repositioned holder stays live)."""
         out: Dict[str, ReplicaRecord] = {}
-        live = {p.id for p in self.system.ring}
-        for pid, store in self.stores.items():
-            if pid not in live:
+        live = set(self.system.ring)
+        for peer, store in self.stores.items():
+            if peer not in live:
                 continue
             for key, rec in store.items():
                 if key in out:

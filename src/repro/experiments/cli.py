@@ -91,6 +91,13 @@ def _run_parser() -> argparse.ArgumentParser:
                         help="requests per unit / aggregate capacity (default 0.10)")
     parser.add_argument("--lb", default="nolb",
                         help="balancer spec: nolb, mlt[:fraction=..], kc[:k=..]")
+    parser.add_argument("--faults", default=None,
+                        help="fault spec, e.g. crash_storm:0.02, "
+                        "crash_storm:0.05:r=2:repair_every=4, "
+                        "correlated:0.3@40, partition:8@40:fraction=0.25; "
+                        "with --replay the trace supplies the events and "
+                        "only the spec's r=/repair_every= policy applies "
+                        "(omit it to replay with no replication)")
     parser.add_argument("--churn", choices=("stable", "dynamic", "frozen"),
                         default=None, help="churn model (default stable)")
     parser.add_argument("--accounting", choices=("destination", "transit"),
@@ -110,6 +117,7 @@ def _run_parser() -> argparse.ArgumentParser:
 
 
 def _run_main(argv) -> int:
+    from ..faults.spec import FaultSpecError
     from ..lb import balancer_from_spec
     from ..peers import churn as churn_mod
     from ..workloads.spec import WorkloadSpecError
@@ -127,6 +135,10 @@ def _run_main(argv) -> int:
         # growth) and pins seed/run-index in its header; rejecting these
         # flags beats silently running something other than what the user
         # asked for.
+        # --faults stays legal with --replay: the trace fixes the fault
+        # *events*, while the spec's policy half (r=, repair_every=) selects
+        # the system's response — pass the recording's spec to reproduce it
+        # byte-identically, a different policy for a controlled comparison.
         for flag, value in (("--units", args.units), ("--growth", args.growth),
                             ("--run-index", args.run_index),
                             ("--workload", args.workload), ("--load", args.load),
@@ -143,6 +155,7 @@ def _run_main(argv) -> int:
         growth_units=args.growth if args.growth is not None else 10,
         load_fraction=args.load if args.load is not None else 0.10,
         workload=args.workload,
+        faults=args.faults,
         churn=churn,
         accounting=args.accounting,
     )
@@ -150,7 +163,7 @@ def _run_main(argv) -> int:
         kwargs["seed"] = args.seed
     try:
         config = ExperimentConfig(lb=balancer_from_spec(args.lb), **kwargs)
-    except (WorkloadSpecError, ValueError) as exc:
+    except (WorkloadSpecError, FaultSpecError, ValueError) as exc:
         parser.error(str(exc))
 
     start = time.perf_counter()
@@ -184,6 +197,7 @@ def _run_main(argv) -> int:
     pct = 100.0 * result.total_satisfied / result.total_issued if result.total_issued else 0.0
     print(f"\ntotal: {result.total_satisfied}/{result.total_issued} "
           f"satisfied ({pct:.1f}%) in {elapsed:.1f}s")
+    _print_fault_summary(result)
     if args.metrics_out:
         # Label with the system side only (balancer), never the workload
         # source: a recorded run and its replay must serialise identically.
@@ -193,6 +207,41 @@ def _run_main(argv) -> int:
             fh.write("\n")
         print(f"[run] wrote metrics -> {args.metrics_out}")
     return 0
+
+
+def _print_fault_summary(result) -> None:
+    """Availability/durability report of a fault-bearing run (silent when
+    no fault event occurred)."""
+    from .metrics import percentile_from_counts
+
+    units = result.units
+    crashes = sum(u.crashes for u in units)
+    partitioned = sum(u.partitioned for u in units)
+    if crashes == 0 and partitioned == 0:
+        return
+    lost = sum(u.keys_lost for u in units)
+    recovered = sum(u.keys_recovered for u in units)
+    unrecoverable = sum(u.keys_unrecoverable for u in units)
+    repair_cost = sum(u.repair_cost for u in units)
+    ttr: dict[int, int] = {}
+    for u in units:
+        for delay, count in u.ttr_histogram.items():
+            ttr[delay] = ttr.get(delay, 0) + count
+    availability = [u.key_availability_pct for u in units if u.keys_expected]
+    failures = 100.0 * sum(u.not_found for u in units) / result.total_issued \
+        if result.total_issued else 0.0
+    print("\nfaults:")
+    print(f"  crashes: {crashes} | partitioned peer-units: {partitioned}")
+    print(f"  keys lost: {lost} | recovered from replicas: {recovered} | "
+          f"unrecoverable: {unrecoverable}")
+    print(f"  repair cost: {repair_cost} re-registrations"
+          + (f" ({repair_cost / crashes:.1f}/crash)" if crashes else ""))
+    if ttr:
+        print(f"  time-to-repair p95: {percentile_from_counts(ttr, 95.0):.0f} units")
+    if availability:
+        print(f"  key availability: mean {sum(availability) / len(availability):.1f}% | "
+              f"final {availability[-1]:.1f}%")
+    print(f"  lookup-failure rate: {failures:.1f}% of requests")
 
 
 def main(argv=None) -> int:

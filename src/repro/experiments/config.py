@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from ..core.alphabet import PRINTABLE, Alphabet
+from ..faults.spec import faults_signature, parse_faults
 from ..lb.base import LoadBalancer
 from ..peers.capacity import UniformCapacity
 from ..peers.churn import STABLE, ChurnModel
@@ -65,6 +66,11 @@ class ExperimentConfig:
 
     # dynamics
     churn: ChurnModel = STABLE
+    #: A fault spec (string, dict, schedule, or :class:`FaultPlan` — see
+    #: :mod:`repro.faults.spec`), or ``None`` for a fault-free run.  Parsed
+    #: at config time into ``fault_plan``; the runner injects crashes,
+    #: partitions, replication and repair from it.
+    faults: Optional[object] = None
 
     # load balancing
     lb: LoadBalancer = field(default_factory=LoadBalancer)
@@ -90,6 +96,9 @@ class ExperimentConfig:
             self.schedule = parse_workload(self.workload)
         else:
             self.schedule = parse_workload(self.schedule)
+        # Fault specs are validated here too (FaultSpecError on bad input);
+        # the runner consumes the parsed plan, never the raw spec.
+        self.fault_plan = parse_faults(self.faults)
 
     def with_lb(self, lb: LoadBalancer) -> "ExperimentConfig":
         """The same experiment under a different balancer — the controlled
@@ -120,7 +129,7 @@ class ExperimentConfig:
             capacity = {k: v for k, v in vars(model).items() if not k.startswith("_")}
         capacity["kind"] = type(model).__name__
         corpus_blob = "\n".join(self.corpus).encode()
-        return {
+        signature: dict = {
             "n_peers": self.n_peers,
             "growth_units": self.growth_units,
             "total_units": self.total_units,
@@ -161,13 +170,27 @@ class ExperimentConfig:
             },
             "workload": workload_signature(self.schedule),
         }
+        if self.fault_plan is not None:
+            # Added only when a fault axis exists: fault-free configs keep
+            # the pre-fault signature bytes, so sweep-store cells computed
+            # before this axis existed stay addressable.
+            signature["faults"] = faults_signature(self.fault_plan)
+        return signature
 
     def describe(self) -> str:
         # The paper's "stable network" still trickles 2% churn per unit;
         # "dynamic" is the 10% regime — split the label halfway between.
         net = "stable" if self.churn.join_fraction <= 0.05 else "dynamic"
-        return (
+        text = (
             f"{self.lb.name} | {net} network | load={self.load_fraction:.0%} | "
             f"{self.n_peers} peers | {len(self.corpus)} keys | "
             f"{self.total_units} units | workload={generator_name(self.schedule)}"
         )
+        if self.fault_plan is not None:
+            schedule = self.fault_plan.schedule
+            name = getattr(schedule, "name", type(schedule).__name__)
+            text += (
+                f" | faults={name} (r={self.fault_plan.replication}, "
+                f"repair_every={self.fault_plan.repair_every})"
+            )
+        return text

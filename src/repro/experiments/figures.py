@@ -37,7 +37,9 @@ HIGH_LOAD = 0.50
 
 @dataclass
 class FigureResult:
-    """A reproduced figure: named mean curves over time units."""
+    """A reproduced figure: named mean curves over an x axis (time units for
+    the paper's figures; replication degree or crash rate for the fault
+    figures, which set ``x_name``/``y_label`` accordingly)."""
 
     figure_id: str
     title: str
@@ -45,9 +47,13 @@ class FigureResult:
     series: Dict[str, np.ndarray]
     n_runs: int
     params: Dict[str, object] = field(default_factory=dict)
+    x_name: str = "time"
+    y_label: str = ""
 
     def as_table(self) -> str:
-        return series_table(self.x, {k: list(v) for k, v in self.series.items()})
+        return series_table(
+            self.x, {k: list(v) for k, v in self.series.items()}, x_name=self.x_name
+        )
 
 
 def render_figure_text(
@@ -61,9 +67,10 @@ def render_figure_text(
 
     from .ascii_plot import ascii_plot
 
-    # Satisfaction figures plot percentages on a fixed 0–100 axis; hop/gain
-    # figures autoscale.
-    is_pct = "hops" not in fig.title.lower() and "gain" not in fig.title.lower()
+    # Satisfaction/availability figures plot percentages on a fixed 0–100
+    # axis; hop/gain/cost figures autoscale.
+    title = fig.title.lower()
+    is_pct = all(word not in title for word in ("hops", "gain", "cost"))
     lines = [f"# {fig.figure_id}: {fig.title}  (runs={fig.n_runs})"]
     if include_params:
         lines.append(
@@ -82,8 +89,9 @@ def render_figure_text(
                 height=20,
                 y_min=0 if is_pct else None,
                 y_max=100 if is_pct else None,
-                x_label="time unit",
-                y_label="% satisfied" if is_pct else "hops/request",
+                x_label="time unit" if fig.x_name == "time" else fig.x_name,
+                y_label=fig.y_label
+                or ("% satisfied" if is_pct else "hops/request"),
                 title="",
             )
         )
@@ -280,6 +288,148 @@ def figure9(
     )
 
 
+# ---------------------------------------------------------------------------
+# fault figures (beyond the paper: the conclusion defers fault handling)
+# ---------------------------------------------------------------------------
+
+#: Replication degrees swept by the availability figure (0 = no replicas).
+FAULT_R_VALUES = (0, 1, 2, 3)
+#: Per-peer, per-unit crash probabilities.  The availability figure sweeps
+#: replication under each of ``FAULT_AVAILABILITY_RATES``; the repair
+#: figure sweeps ``FAULT_REPAIR_RATES`` under each replication degree of
+#: ``FAULT_REPAIR_R_VALUES``.
+FAULT_AVAILABILITY_RATES = (0.02, 0.05, 0.10)
+FAULT_REPAIR_RATES = (0.01, 0.02, 0.05, 0.10)
+FAULT_REPAIR_R_VALUES = (1, 2)
+#: Crash storms start once the tree is fully grown, so steady-state
+#: availability is measured on a stable key population.
+_FAULT_STORM_START = 10
+
+
+def _fault_config(rate: float, r: int, **overrides) -> ExperimentConfig:
+    spec = f"crash_storm:{rate:g}:start={_FAULT_STORM_START}:r={r}"
+    return ExperimentConfig(
+        churn=STABLE, load_fraction=LOW_LOAD, faults=spec, **overrides
+    )
+
+
+def fault_availability_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """One config per (replication degree, crash rate) grid point, keyed by
+    a ``r=R|rate=X`` label — the availability figure's cell grid."""
+    return {
+        f"r={r}|rate={rate:g}": _fault_config(rate, r, **overrides)
+        for r in FAULT_R_VALUES
+        for rate in FAULT_AVAILABILITY_RATES
+    }
+
+
+def fault_repair_configs(**overrides) -> Dict[str, ExperimentConfig]:
+    """One config per (replication degree, crash rate) point of the repair
+    figure — rates on the x axis, one curve per replication degree."""
+    return {
+        f"r={r}|rate={rate:g}": _fault_config(rate, r, **overrides)
+        for r in FAULT_REPAIR_R_VALUES
+        for rate in FAULT_REPAIR_RATES
+    }
+
+
+def _steady_availability(series) -> float:
+    """Mean key availability (%) after the growth transient."""
+    curve = series.mean_curve("key_availability_pct")
+    return float(np.mean(curve[_FAULT_STORM_START:]))
+
+
+def fault_availability(
+    n_runs: int = 10, run_series: SeriesRunner = None, **overrides
+) -> FigureResult:
+    """Key availability vs replication degree ``r`` under crash storms.
+
+    x is the successor-replication factor; one curve per storm rate.  The
+    y value of a point is the steady-state fraction of registered keys
+    still resolvable, averaged over the post-growth units — the figure
+    behind the claim that successor replication buys back the durability
+    fail-stop crashes destroy.
+    """
+    configs = fault_availability_configs(**overrides)
+    results = run_labeled_series(
+        run_series, [(cfg, label) for label, cfg in configs.items()], n_runs
+    )
+    series = {
+        f"crash rate {rate:.0%}": np.array(
+            [_steady_availability(results[f"r={r}|rate={rate:g}"]) for r in FAULT_R_VALUES]
+        )
+        for rate in FAULT_AVAILABILITY_RATES
+    }
+    sample = next(iter(configs.values()))
+    return FigureResult(
+        figure_id="fault_availability",
+        title="Availability vs replication degree - crash storms",
+        x=list(FAULT_R_VALUES),
+        series=series,
+        n_runs=n_runs,
+        params={
+            "rates": list(FAULT_AVAILABILITY_RATES),
+            "storm_start": _FAULT_STORM_START,
+            "n_peers": sample.n_peers,
+            "total_units": sample.total_units,
+        },
+        x_name="r",
+        y_label="% keys available",
+    )
+
+
+def _repair_cost_per_crash(series) -> float:
+    """Mean repair re-registrations per crash across a series' runs."""
+    costs = []
+    for run in series.runs:
+        crashes = sum(u.crashes for u in run.units)
+        cost = sum(u.repair_cost for u in run.units)
+        if crashes:
+            costs.append(cost / crashes)
+    return float(np.mean(costs)) if costs else 0.0
+
+
+def fault_repair(
+    n_runs: int = 10, run_series: SeriesRunner = None, **overrides
+) -> FigureResult:
+    """Repair cost vs crash rate: the trie's "costly maintenance" priced.
+
+    x is the crash rate in percent; one curve per replication degree.  The
+    y value is the mean number of re-registrations each crash forces the
+    repair pass to perform — every point on the tree's O(|N|) rebuild that
+    the paper's Section 2 worries about.
+    """
+    configs = fault_repair_configs(**overrides)
+    results = run_labeled_series(
+        run_series, [(cfg, label) for label, cfg in configs.items()], n_runs
+    )
+    series = {
+        f"repair ops/crash (r={r})": np.array(
+            [
+                _repair_cost_per_crash(results[f"r={r}|rate={rate:g}"])
+                for rate in FAULT_REPAIR_RATES
+            ]
+        )
+        for r in FAULT_REPAIR_R_VALUES
+    }
+    sample = next(iter(configs.values()))
+    return FigureResult(
+        figure_id="fault_repair",
+        title="Repair cost vs crash rate",
+        x=[round(100 * rate) for rate in FAULT_REPAIR_RATES],
+        series=series,
+        n_runs=n_runs,
+        params={
+            "r_values": list(FAULT_REPAIR_R_VALUES),
+            "storm_start": _FAULT_STORM_START,
+            "n_peers": sample.n_peers,
+            "total_units": sample.total_units,
+        },
+        x_name="crash %",
+        y_label="repair ops/crash",
+    )
+
+
 ALL_FIGURES = {
     "fig4": figure4,
     "fig5": figure5,
@@ -287,4 +437,6 @@ ALL_FIGURES = {
     "fig7": figure7,
     "fig8": figure8,
     "fig9": figure9,
+    "fault_availability": fault_availability,
+    "fault_repair": fault_repair,
 }

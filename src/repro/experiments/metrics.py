@@ -83,6 +83,26 @@ class UnitStats:
     #: this unit: the (depth-bounded) distribution behind the tail
     #: percentiles.
     hop_histogram: Dict[int, int] = field(default_factory=dict)
+    # Fault-injection accounting (all zero on fault-free runs).
+    #: Fail-stop crashes applied this unit.
+    crashes: int = 0
+    #: Live peers unreachable behind a partition this unit.
+    partitioned: int = 0
+    #: Registered keys destroyed by this unit's crashes.
+    keys_lost: int = 0
+    #: Lost keys recovered from successor replicas by this unit's repair.
+    keys_recovered: int = 0
+    #: Lost keys no surviving copy could restore (true data loss).
+    keys_unrecoverable: int = 0
+    #: Re-registrations performed by this unit's repair pass.
+    repair_cost: int = 0
+    #: Distinct keys currently registered in the tree at unit end.
+    keys_present: int = 0
+    #: Keys that *should* be registered (everything ever registered).
+    keys_expected: int = 0
+    #: crash-to-repair delay (units) → number of crashes repaired at that
+    #: delay this unit: the distribution behind time-to-repair tails.
+    ttr_histogram: Dict[int, int] = field(default_factory=dict)
 
     @property
     def satisfied_pct(self) -> float:
@@ -103,6 +123,25 @@ class UnitStats:
     @property
     def p99_hops(self) -> float:
         return percentile_from_counts(self.hop_histogram, 99.0)
+
+    @property
+    def p95_ttr(self) -> float:
+        """p95 time-to-repair (units) of the crashes repaired this unit."""
+        return percentile_from_counts(self.ttr_histogram, 95.0)
+
+    @property
+    def key_availability_pct(self) -> float:
+        """Registered keys present / expected (100.0 before any key)."""
+        if self.keys_expected == 0:
+            return 100.0
+        return 100.0 * self.keys_present / self.keys_expected
+
+    @property
+    def lookup_failure_pct(self) -> float:
+        """Requests whose key was not found in the tree (missing nodes —
+        the availability signal of crash damage; capacity drops are
+        counted separately in ``dropped``)."""
+        return 100.0 * self.not_found / self.issued if self.issued else 0.0
 
 
 @dataclass
@@ -285,6 +324,15 @@ def run_metrics_dict(result: RunResult, label: str = "") -> Dict[str, Any]:
                 "load_imbalance": u.load_imbalance,
                 "p95_hops": u.p95_hops,
                 "p99_hops": u.p99_hops,
+                "crashes": u.crashes,
+                "partitioned": u.partitioned,
+                "keys_lost": u.keys_lost,
+                "keys_recovered": u.keys_recovered,
+                "keys_unrecoverable": u.keys_unrecoverable,
+                "repair_cost": u.repair_cost,
+                "keys_present": u.keys_present,
+                "keys_expected": u.keys_expected,
+                "p95_ttr": u.p95_ttr,
             }
             for u in result.units
         ],
@@ -313,6 +361,15 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
                 "aggregate_capacity": u.aggregate_capacity,
                 "load_imbalance": u.load_imbalance,
                 "hop_histogram": {str(k): v for k, v in sorted(u.hop_histogram.items())},
+                "crashes": u.crashes,
+                "partitioned": u.partitioned,
+                "keys_lost": u.keys_lost,
+                "keys_recovered": u.keys_recovered,
+                "keys_unrecoverable": u.keys_unrecoverable,
+                "repair_cost": u.repair_cost,
+                "keys_present": u.keys_present,
+                "keys_expected": u.keys_expected,
+                "ttr_histogram": {str(k): v for k, v in sorted(u.ttr_histogram.items())},
             }
             for u in result.units
         ],
@@ -320,13 +377,15 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
 
 
 def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
-    """Inverse of :func:`run_result_to_dict`."""
+    """Inverse of :func:`run_result_to_dict`.  Documents written before the
+    fault-injection fields existed load with those fields defaulted."""
     units = []
     for u in doc["units"]:
         fields = dict(u)
-        fields["hop_histogram"] = {
-            int(k): v for k, v in fields.get("hop_histogram", {}).items()
-        }
+        for histogram in ("hop_histogram", "ttr_histogram"):
+            fields[histogram] = {
+                int(k): v for k, v in fields.get(histogram, {}).items()
+            }
         units.append(UnitStats(**fields))
     return RunResult(units=units)
 

@@ -14,8 +14,14 @@ derived from the config seed, so runs that differ only in the balancer see
 identical churn, identical capacities and identical request sequences —
 the paper's three curves are then directly comparable.
 
+Fault injection (extension): when the config carries a fault plan
+(:mod:`repro.faults`), a step (3b) between departures and registrations
+applies the unit's fault events — fail-stop crashes, partitions — and runs
+the replication/repair policy, with availability and durability metrics
+accounted per unit.
+
 Record/replay: :func:`run_single` optionally records the workload side of a
-run (churn arrivals, departures, registrations, requests) into a
+run (churn arrivals, departures, registrations, requests, fault events) into a
 :class:`repro.workloads.traces.WorkloadTrace`, or replays one instead of
 drawing from the workload streams.  A trace replayed against its own
 configuration reproduces the run exactly (byte-identical metrics); replayed
@@ -28,6 +34,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from ..dlpt.system import DLPTSystem, corpus_peer_id_sampler
+from ..faults.injector import REPLAY_POLICY_PLAN, FaultInjector
 from ..util.rng import RngStreams
 from ..workloads.traces import TraceRecorder, WorkloadTrace
 from .config import ExperimentConfig
@@ -115,6 +122,20 @@ def run_single(
     system = build_system(config, streams)
     batches = [] if replay is not None else growth_batches(config, streams)
 
+    # Fault injection: driven by the config's fault plan, or — when a
+    # fault-bearing trace is replayed under a fault-free config — by the
+    # default replay policy (recorded events applied, repair every unit, no
+    # replication).  The injector draws from its own "faults" stream, so a
+    # fault-free run is bit-identical with or without this subsystem.
+    fault_plan = config.fault_plan
+    if fault_plan is None and replay is not None and any(u.faults for u in replay.units):
+        fault_plan = REPLAY_POLICY_PLAN
+    injector = (
+        FaultInjector(fault_plan, system, streams.stream("faults"), recorder=recorder)
+        if fault_plan is not None
+        else None
+    )
+
     churn_rng = streams.stream("churn")
     cap_rng = streams.stream("capacity")
     lb_rng = streams.stream("lb")
@@ -169,24 +190,46 @@ def run_single(
             if recorder is not None:
                 recorder.leave(index)
             victim = system.ring.id_at(index % len(system.ring))
-            system.remove_peer(victim)
+            departed = system.remove_peer(victim)
+            if injector is not None:
+                injector.on_peer_departed(departed)
+
+        # (3b) fault injection — fail-stop crashes, partitions, repair.
+        if injector is not None:
+            injector.begin_unit(
+                unit,
+                stats,
+                trace_events=trace_unit.faults if trace_unit is not None else None,
+            )
 
         # (4) service registrations — the tree grows for growth_units units.
         if trace_unit is not None:
             registrations = trace_unit.registrations
         else:
             registrations = batches[unit] if unit < len(batches) else []
+        if injector is not None and registrations:
+            # Never grow a crash-damaged forest: force the repair first.
+            injector.before_registrations(unit, stats)
         for key in registrations:
             if recorder is not None:
                 recorder.registration(key)
             system.register(key)
             available.append(key)
+            if injector is not None:
+                injector.on_registered(key)
 
         # (5) discovery requests under the per-unit capacity budget, scaled
         # by the schedule's rate multiplier (diurnal cycles, crowd surges).
         capacity_total = system.ring.aggregate_capacity()
         if trace_unit is not None:
             for key, entry in trace_unit.requests:
+                if system.tree.node(entry) is None:
+                    # The recorded entry node does not exist in *this*
+                    # system (a fault trace replayed under a weaker repair
+                    # policy): the client knocked on a dead node.
+                    stats.issued += 1
+                    stats.not_found += 1
+                    continue
                 outcome = discover(key, entry_label=entry, accounting=accounting)
                 stats.issued += 1
                 if outcome.satisfied:
@@ -199,7 +242,9 @@ def run_single(
                     stats.dropped += 1
                 else:
                     stats.not_found += 1
-        elif available:
+        elif available and system.n_nodes:
+            # (n_nodes guard: a crash wave can empty the whole tree before
+            # repair; no entry node means no requests this unit.)
             rate = schedule.rate_multiplier(unit)
             n_requests = max(1, round(config.load_fraction * capacity_total * rate))
             sample = schedule.sample
@@ -226,6 +271,12 @@ def run_single(
         stats.nodes = system.n_nodes
         stats.aggregate_capacity = capacity_total
         stats.load_imbalance = _load_imbalance(system)
+        stats.keys_expected = len(available)
+        # registered_keys() walks the whole tree; without fault injection
+        # no key can ever be missing, so skip the O(nodes) scan per unit.
+        stats.keys_present = (
+            len(system.registered_keys()) if injector is not None else len(available)
+        )
         system.end_time_unit()
         result.units.append(stats)
 

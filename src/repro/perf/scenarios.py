@@ -1,5 +1,5 @@
-"""Benchmark scenario registry: build, growth, churn-storm, request-flood,
-flash-crowd, trace-replay, cached-sweep.
+"""Benchmark scenario registry: build, growth, churn-storm, crash-storm,
+request-flood, flash-crowd, trace-replay, cached-sweep.
 
 Every scenario is deterministic (seeded :class:`random.Random`) and comes in
 two parameter *suites*:
@@ -187,6 +187,34 @@ def _execute_churn_storm(state: Dict[str, Any]) -> None:
         system.remove_peer(pid)
     for pid in state["rejoins"]:
         system.add_peer(rng, peer_id=pid)
+
+
+def _prepare_crash_storm(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
+    """Fail-stop wave + full repair: replicate the corpus, pick ``crashes``
+    random victims.  The timed phase exercises the crash detach path and
+    the O(|N|) repair rebuild under each mapping implementation."""
+    from ..dlpt.failures import ReplicationManager
+
+    rng = random.Random(params["seed"])
+    system, corpus = _build_system(params, impl, rng)
+    replication = ReplicationManager(system, factor=params.get("replication", 1))
+    replication.replicate_all()
+    ids = system.ring.ids()
+    victims = [ids[i] for i in sorted(rng.sample(range(len(ids)), params["crashes"]))]
+    return {"system": system, "replication": replication, "victims": victims}
+
+
+def _execute_crash_storm(state: Dict[str, Any]) -> int:
+    from ..dlpt.failures import crash_peer, repair
+
+    system = state["system"]
+    replication = state["replication"]
+    lost: set[str] = set()
+    for pid in state["victims"]:
+        report = crash_peer(system, pid)
+        replication.on_peer_removed(pid)
+        lost |= report.lost_keys
+    return repair(system, replication, lost_keys=frozenset(lost)).reinserted_keys
 
 
 def _prepare_request_flood(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
@@ -393,6 +421,12 @@ SCENARIOS: Dict[str, Scenario] = {
             _execute_churn_storm,
         ),
         Scenario(
+            "crash_storm",
+            "a fail-stop crash wave followed by a full tree repair",
+            _prepare_crash_storm,
+            _execute_crash_storm,
+        ),
+        Scenario(
             "request_flood",
             "a burst of discovery requests on a stable platform",
             _prepare_request_flood,
@@ -431,6 +465,11 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "churn_storm": {
             "n_peers": 4000, "n_keys": 40_000, "families": 8, "storm": 400, "seed": 3,
         },
+        # A 10% wave on a 400-peer platform: big enough that the timed
+        # phase is dominated by detach + rebuild work, not setup noise.
+        "crash_storm": {
+            "n_peers": 400, "n_keys": 3000, "families": 8, "crashes": 40, "seed": 7,
+        },
         "request_flood": {
             "n_peers": 400, "n_keys": 3000, "families": 8,
             "n_requests": 3000, "seed": 4,
@@ -453,6 +492,10 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "churn_storm": {
             "n_peers": 10_000, "n_keys": 100_000, "families": 16,
             "storm": 400, "seed": 13,
+        },
+        "crash_storm": {
+            "n_peers": 10_000, "n_keys": 50_000, "families": 16,
+            "crashes": 200, "seed": 17,
         },
         "request_flood": {
             "n_peers": 10_000, "n_keys": 50_000, "families": 16,

@@ -32,6 +32,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..experiments.figures import (
     ALL_FIGURES,
     FIGURE_CONFIGS,
+    fault_availability_configs,
+    fault_repair_configs,
     figure9_configs,
     render_figure_text,
     three_curve_balancers,
@@ -66,7 +68,8 @@ PROFILES: Dict[str, SweepProfile] = {
         n_peers=20,
         seed=20080617,
         runs={"fig4": 1, "fig5": 1, "fig6": 1, "fig7": 1, "fig8": 1,
-              "fig9": 1, "table1": 1},
+              "fig9": 1, "table1": 1,
+              "fault_availability": 1, "fault_repair": 1},
     ),
     "quick": SweepProfile(
         name="quick",
@@ -74,7 +77,8 @@ PROFILES: Dict[str, SweepProfile] = {
         n_peers=100,
         seed=20080617,
         runs={"fig4": 3, "fig5": 3, "fig6": 3, "fig7": 3, "fig8": 3,
-              "fig9": 3, "table1": 2},
+              "fig9": 3, "table1": 2,
+              "fault_availability": 2, "fault_repair": 2},
     ),
     "paper": SweepProfile(
         name="paper",
@@ -82,7 +86,8 @@ PROFILES: Dict[str, SweepProfile] = {
         n_peers=100,
         seed=20080617,
         runs={"fig4": 30, "fig5": 30, "fig6": 30, "fig7": 30, "fig8": 50,
-              "fig9": 100, "table1": 30},
+              "fig9": 100, "table1": 30,
+              "fault_availability": 10, "fault_repair": 10},
     ),
 }
 
@@ -126,13 +131,22 @@ def _figure_build(fig_id: str) -> Callable[[SweepProfile, Optional[SeriesRunner]
     return build
 
 
-def _figure9_cells(profile: SweepProfile) -> List[SweepCell]:
-    return [
-        SweepCell(config=config, n_runs=profile.runs["fig9"], label=label)
-        for label, config in figure9_configs(
-            n_peers=profile.n_peers, seed=profile.seed
-        ).items()
-    ]
+def _labeled_config_cells(
+    name: str, configs_fn: Callable[..., Dict[str, "ExperimentConfig"]]
+) -> Callable[[SweepProfile], List[SweepCell]]:
+    """Cells for artifacts whose harness exports a ``label -> config``
+    factory (figure 9 and the fault figures): one cell per labeled config,
+    so the plan can never disagree with what the builder runs."""
+
+    def cells(profile: SweepProfile) -> List[SweepCell]:
+        return [
+            SweepCell(config=config, n_runs=profile.runs[name], label=label)
+            for label, config in configs_fn(
+                n_peers=profile.n_peers, seed=profile.seed
+            ).items()
+        ]
+
+    return cells
 
 
 def _table1_cells(profile: SweepProfile) -> List[SweepCell]:
@@ -207,7 +221,20 @@ ARTIFACTS: Dict[str, PaperArtifact] = {
         PaperArtifact(
             "fig9", "Communication gain",
             "Figure 9, Section 4 (communication gain of the mapping)",
-            _figure9_cells, _figure_build("fig9"),
+            _labeled_config_cells("fig9", figure9_configs), _figure_build("fig9"),
+        ),
+        PaperArtifact(
+            "fault_availability",
+            "Availability vs replication degree - crash storms",
+            "Section 5, beyond the paper (availability under crash storms)",
+            _labeled_config_cells("fault_availability", fault_availability_configs),
+            _figure_build("fault_availability"),
+        ),
+        PaperArtifact(
+            "fault_repair", "Repair cost vs crash rate",
+            "Section 5, beyond the paper (repair cost of trie maintenance)",
+            _labeled_config_cells("fault_repair", fault_repair_configs),
+            _figure_build("fault_repair"),
         ),
         PaperArtifact(
             "table1", "Gains of KC and MLT over no-LB",

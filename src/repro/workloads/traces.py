@@ -18,6 +18,13 @@ records:
   tree node where the request entered.  Entry labels are tree-structural
   (the PGCP tree depends only on the registered keys, never on peers), so
   they remain valid under any balancer or mapping.
+* ``faults`` — the fault events the injector applied this unit (see
+  :mod:`repro.faults.injector`): ``["crash", index]`` records a fail-stop
+  crash as a ring-position draw (applied modulo the live ring size on
+  replay, like ``leaves``), ``["partition", start, count, duration]`` an
+  arc of ``count`` peers starting at ring position ``start`` becoming
+  unreachable for ``duration`` units.  Traces recorded before the fault
+  axis existed load with no fault events.
 
 The on-disk format is JSON Lines: a header object followed by one object
 per unit, all serialised with sorted keys and no whitespace so a trace is
@@ -49,24 +56,56 @@ class TraceUnit:
     leaves: List[int] = field(default_factory=list)
     registrations: List[str] = field(default_factory=list)
     requests: List[Tuple[str, str]] = field(default_factory=list)
+    faults: List[list] = field(default_factory=list)
 
     def as_record(self, unit: int) -> Dict[str, Any]:
-        return {
+        record = {
             "u": unit,
             "joins": self.joins,
             "leaves": self.leaves,
             "reg": self.registrations,
             "req": [list(r) for r in self.requests],
         }
+        if self.faults:
+            # Emitted only when present: fault-free traces keep the exact
+            # byte layout of recordings made before the fault axis existed.
+            record["faults"] = [list(e) for e in self.faults]
+        return record
+
+    #: Known fault-event kinds and their payload arity (ints after the kind).
+    _FAULT_ARITY = {"crash": 1, "partition": 3}
+
+    @classmethod
+    def _parse_fault(cls, event: Any) -> list:
+        """Coerce and validate one fault-event record, like every other
+        trace field: malformed input must surface as :class:`TraceError`
+        at load time, never as an arbitrary error mid-replay."""
+        event = list(event)
+        if not event or event[0] not in cls._FAULT_ARITY:
+            raise ValueError(f"bad fault event {event!r}")
+        kind, payload = event[0], event[1:]
+        if len(payload) != cls._FAULT_ARITY[kind]:
+            raise ValueError(f"fault event {event!r}: wrong payload length")
+        values = [int(value) for value in payload]
+        # Range checks: a negative index would wrap to an arbitrary peer
+        # and a non-positive duration would silently no-op — corrupted
+        # input must fail loudly here, not diverge quietly mid-replay.
+        if any(value < 0 for value in values):
+            raise ValueError(f"fault event {event!r}: negative payload")
+        if kind == "partition" and (values[1] < 1 or values[2] < 1):
+            raise ValueError(f"fault event {event!r}: count/duration must be >= 1")
+        return [kind] + values
 
     @classmethod
     def from_record(cls, record: Dict[str, Any]) -> "TraceUnit":
         try:
+            faults = [cls._parse_fault(e) for e in record.get("faults", [])]
             return cls(
                 joins=[int(c) for c in record["joins"]],
                 leaves=[int(i) for i in record["leaves"]],
                 registrations=[str(k) for k in record["reg"]],
                 requests=[(str(k), str(e)) for k, e in record["req"]],
+                faults=faults,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise TraceError(f"malformed trace unit record: {exc}") from exc
@@ -184,6 +223,11 @@ class TraceRecorder:
 
     def request(self, key: str, entry_label: str) -> None:
         self._current.requests.append((key, entry_label))
+
+    def fault(self, event: list) -> None:
+        """Record one applied fault event (a JSON-able list whose first
+        element names the event kind — see the module docstring)."""
+        self._current.faults.append(list(event))
 
     def trace(self) -> WorkloadTrace:
         return WorkloadTrace(

@@ -59,6 +59,29 @@ class TestReplication:
         rep.on_peer_removed(some_peer)
         assert some_peer not in rep.stores
 
+    def test_replicas_survive_peer_reposition(self, rng):
+        """MLT rebalances by *renaming* peers (Ring.reposition); a replica
+        held by a renamed peer must stay recoverable — stores are keyed by
+        peer identity, not by the mutable ring id."""
+        s = build(rng)
+        rep = ReplicationManager(s, factor=1)
+        rep.replicate_all()
+        key = "101"
+        (holder,) = rep.replica_peers(key)
+        old_id = holder.id
+        # Nudge the holder within its (old_id, successor) gap through the
+        # mapping layer: order keeps, id changes, node intervals migrate —
+        # exactly what MLT's split move does.
+        s.mapping.reposition(holder, old_id + "0")
+        assert holder.id != old_id
+        assert key in rep.surviving_records()
+        victim = s.mapping.host_of(key)
+        report = crash_peer(s, victim.id)
+        rep.on_peer_removed(report.peer_id)
+        rr = repair(s, rep, lost_keys=report.lost_keys)
+        assert key not in rr.unrecoverable_keys
+        assert key in s.registered_keys()
+
     def test_single_peer_ring_has_no_replica_targets(self, rng):
         s = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(10))
         s.build(rng, 1)
@@ -142,6 +165,62 @@ class TestRepair:
         rr = repair(s, rep, lost_keys=report.lost_keys)
         # Rebuild re-registers every surviving + recovered key once per datum.
         assert rr.reinserted_keys == len(KEYS) - len(rr.unrecoverable_keys)
+
+    def test_crash_of_the_roots_host_is_repairable(self, rng):
+        """The root is the tree's routing apex: its host crashing detaches
+        every top-level child, and repair must rebuild a rooted tree."""
+        s = build(rng)
+        rep = ReplicationManager(s, factor=2)
+        rep.replicate_all()
+        root_label = s.tree.root.label
+        victim = s.mapping.host_of(root_label)
+        report = crash_peer(s, victim.id)
+        assert root_label in report.lost_nodes
+        rep.on_peer_removed(victim.id)
+        rr = repair(s, rep, lost_keys=report.lost_keys)
+        s.check_invariants()
+        assert rr.unrecoverable_keys == frozenset()
+        assert s.tree.root is not None
+        assert s.registered_keys() == set(KEYS)
+
+    def test_losing_every_replica_reports_true_data_loss(self, rng):
+        """When a key's host and all ``r`` of its replica peers crash before
+        any re-replication, the loss must surface as unrecoverable — never
+        be silently papered over by repair."""
+        s = build(rng)
+        rep = ReplicationManager(s, factor=1)
+        rep.replicate_all()
+        key = "101"
+        holders = [s.mapping.host_of(key).id] + [p.id for p in rep.replica_peers(key)]
+        lost: set[str] = set()
+        for pid in holders:
+            report = crash_peer(s, pid)
+            rep.on_peer_removed(pid)
+            lost |= report.lost_keys
+        assert key in lost
+        rr = repair(s, rep, lost_keys=frozenset(lost))
+        s.check_invariants()
+        assert key in rr.unrecoverable_keys
+        assert key not in s.registered_keys()
+
+    def test_repair_is_idempotent_on_double_invocation(self, rng):
+        """A second repair pass over an already-consistent tree must change
+        nothing: same keys, no recoveries, no losses."""
+        s = build(rng)
+        rep = ReplicationManager(s, factor=2)
+        rep.replicate_all()
+        victim = max(s.ring.peers(), key=lambda p: len(p.nodes))
+        report = crash_peer(s, victim.id)
+        rep.on_peer_removed(victim.id)
+        first = repair(s, rep, lost_keys=report.lost_keys)
+        keys_after_first = s.registered_keys()
+        second = repair(s, rep)
+        s.check_invariants()
+        assert s.registered_keys() == keys_after_first
+        assert second.recovered_from_replicas == 0
+        assert second.unrecoverable_keys == frozenset()
+        # The rebuild re-registers the same survivor set both times.
+        assert second.reinserted_keys == first.reinserted_keys
 
     @settings(max_examples=25, deadline=None)
     @given(

@@ -10,7 +10,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.figures import figure4, figure8, figure9
+from repro.experiments.figures import (
+    FAULT_R_VALUES,
+    FAULT_REPAIR_RATES,
+    fault_availability,
+    fault_repair,
+    figure4,
+    figure8,
+    figure9,
+    render_figure_text,
+)
 from repro.experiments.tables import paper_table2_text, table1, table2
 from repro.workloads.keys import grid_service_corpus
 
@@ -60,6 +69,29 @@ class TestFigureHarnesses:
         # lexicographic mapping pays substantially fewer (Figure 9).
         assert rnd > lex
         assert rnd == pytest.approx(logical, rel=0.35)
+
+
+class TestFaultFigures:
+    def test_fault_availability_shape_and_ordering(self):
+        fig = fault_availability(n_runs=1, **SMALL)
+        assert fig.x == list(FAULT_R_VALUES)
+        assert fig.x_name == "r"
+        for curve in fig.series.values():
+            assert len(curve) == len(FAULT_R_VALUES)
+            assert np.all((0.0 <= curve) & (curve <= 100.0))
+            # Replication buys availability: r>=1 beats running bare.
+            assert curve[1:].min() >= curve[0]
+        text = render_figure_text(fig)
+        assert "% keys available" in text
+
+    def test_fault_repair_shape(self):
+        fig = fault_repair(n_runs=1, **SMALL)
+        assert fig.x == [round(100 * r) for r in FAULT_REPAIR_RATES]
+        for curve in fig.series.values():
+            assert len(curve) == len(FAULT_REPAIR_RATES)
+            assert np.all(curve > 0)  # every storm forces repair work
+        # Repair-cost axes autoscale (not a percentage figure).
+        assert "repair ops/crash" in render_figure_text(fig)
 
 
 class TestTableHarnesses:

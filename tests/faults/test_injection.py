@@ -1,0 +1,208 @@
+"""Fault injection through the experiment runner: metrics, determinism,
+record/replay, and the sweep-store identity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import (
+    run_metrics_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+)
+from repro.experiments.runner import record_single, replay_single, run_single
+from repro.faults.spec import FaultSpecError
+from repro.lb.kchoices import KChoices
+from repro.sweeps.plan import SweepCell
+
+
+def config(faults, **overrides):
+    kwargs = dict(n_peers=40, total_units=30, faults=faults)
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+def metrics_json(result) -> str:
+    return json.dumps(run_metrics_dict(result), sort_keys=True)
+
+
+class TestRunnerIntegration:
+    def test_crash_storm_reports_availability_and_repair(self):
+        result = run_single(config("crash_storm:0.05:r=2"))
+        assert sum(u.crashes for u in result.units) > 0
+        assert sum(u.keys_lost for u in result.units) > 0
+        assert sum(u.repair_cost for u in result.units) > 0
+        assert sum(u.keys_recovered for u in result.units) > 0
+        final = result.units[-1]
+        assert final.keys_expected > 0
+        assert 0.0 < final.key_availability_pct <= 100.0
+
+    def test_fault_free_runs_are_untouched(self):
+        result = run_single(config(None))
+        assert all(u.crashes == 0 and u.repair_cost == 0 for u in result.units)
+        assert all(u.key_availability_pct == 100.0 for u in result.units[10:])
+
+    def test_runs_are_deterministic(self):
+        cfg = config("crash_storm:0.05:r=1")
+        assert metrics_json(run_single(cfg)) == metrics_json(run_single(cfg))
+
+    def test_replication_zero_loses_keys_for_good(self):
+        bare = run_single(config("crash_storm:0.10:r=0", seed=5))
+        replicated = run_single(config("crash_storm:0.10:r=2", seed=5))
+        assert sum(u.keys_unrecoverable for u in bare.units) > 0
+        assert (replicated.units[-1].key_availability_pct
+                > bare.units[-1].key_availability_pct)
+
+    def test_correlated_crash_fires_once_at_its_unit(self):
+        result = run_single(config("correlated:0.3@15"))
+        crashes = [u.crashes for u in result.units]
+        # ~30% of the population (the unit's churn moves the exact base).
+        assert abs(crashes[15] - 0.3 * result.units[14].peers) <= 3
+        assert sum(crashes[:15]) == 0 and sum(crashes[16:]) == 0
+
+    def test_partition_drops_requests_then_heals(self):
+        result = run_single(config("partition:5@12:fraction=0.4"))
+        partitioned = [u.partitioned for u in result.units]
+        assert sum(partitioned[12:17]) > 0
+        assert sum(partitioned[:12]) == 0 and sum(partitioned[17:]) == 0
+        window = result.units[12:17]
+        assert sum(u.dropped for u in window) > 0
+        # Partitions hide data, they do not destroy it.
+        assert all(u.keys_lost == 0 for u in result.units)
+
+    def test_deferred_repair_measures_time_to_repair(self):
+        result = run_single(config("crash_storm:0.08:repair_every=4"))
+        ttr: dict[int, int] = {}
+        for u in result.units:
+            for delay, count in u.ttr_histogram.items():
+                ttr[delay] = ttr.get(delay, 0) + count
+        assert ttr and max(ttr) > 0  # some crash waited for the cadence
+
+    def test_bad_spec_fails_at_config_time(self):
+        with pytest.raises(FaultSpecError):
+            config("crash_storm:-1")
+
+    def test_mlt_reposition_does_not_forfeit_replicas(self):
+        """MLT renames peers while rebalancing; replica stores and
+        partition membership follow the peer, so the balancer comparison
+        under identical faults is not biased by bookkeeping."""
+        from repro.lb.mlt import MLT
+        from repro.lb.nolb import NoLB
+
+        results = {}
+        for lb in (NoLB(), MLT()):
+            r = run_single(
+                ExperimentConfig(n_peers=50, faults="crash_storm:0.05:r=3", lb=lb)
+            )
+            results[lb.name] = sum(u.keys_unrecoverable for u in r.units)
+        # r=3 makes losses vanishingly rare; above all, MLT must not
+        # manufacture losses NoLB does not see under the same crashes.
+        assert results["MLT"] == results["NoLB"] == 0
+
+
+class TestRecordReplay:
+    def test_fault_trace_replays_byte_identically(self):
+        cfg = config("crash_storm:0.05:r=1")
+        recorded, trace = record_single(cfg)
+        assert sum(len(u.faults) for u in trace.units) > 0
+        replayed = replay_single(cfg, trace)
+        assert metrics_json(recorded) == metrics_json(replayed)
+
+    def test_trace_round_trips_fault_events(self):
+        from repro.workloads.traces import WorkloadTrace
+
+        _, trace = record_single(config("partition:5@12:fraction=0.4"))
+        again = WorkloadTrace.loads(trace.dumps())
+        assert trace.dumps() == again.dumps()
+        assert [u.faults for u in again.units] == [u.faults for u in trace.units]
+
+    @pytest.mark.parametrize("events", [
+        [["crash"]],                      # missing index
+        [["partition", 5]],               # missing count/duration
+        [["crash", "abc"]],               # non-numeric payload
+        [["crash", -3]],                  # negative index wraps silently
+        [["partition", 5, 10, -2]],       # negative duration no-ops silently
+        [["partition", 5, 0, 3]],         # empty arc
+        [["meteor", 1]],                  # unknown kind
+        [[]],                             # empty event
+    ])
+    def test_malformed_fault_events_fail_at_load_time(self, events):
+        """Bad fault events must raise TraceError when the trace loads —
+        like every other trace field — not crash mid-replay."""
+        from repro.workloads.traces import TraceError, WorkloadTrace
+
+        _, trace = record_single(config(None))
+        trace.units[0].faults = events
+        with pytest.raises(TraceError):
+            WorkloadTrace.loads(trace.dumps())
+
+    def test_replay_holds_faults_fixed_across_policies(self):
+        recorded, trace = record_single(config("crash_storm:0.05:r=2", seed=9))
+        weaker = replay_single(config("crash_storm:0.05:r=0", seed=9), trace)
+        assert (sum(u.crashes for u in weaker.units)
+                == sum(u.crashes for u in recorded.units))
+        assert (sum(u.keys_unrecoverable for u in weaker.units)
+                >= sum(u.keys_unrecoverable for u in recorded.units))
+
+    def test_cli_replay_with_policy_is_byte_identical(self, tmp_path, capsys):
+        """`repro run --replay t --faults <recording spec>` reproduces the
+        recording's metrics byte-for-byte: the trace fixes the events, the
+        spec's policy half re-selects the recording's response."""
+        from repro.experiments.cli import main
+
+        trace, m1, m2 = tmp_path / "t.jsonl", tmp_path / "m1.json", tmp_path / "m2.json"
+        spec = "crash_storm:0.05:r=2"
+        args = ["run", "--peers", "40", "--lb", "mlt"]
+        assert main(args + ["--units", "25", "--faults", spec,
+                            "--trace", str(trace), "--metrics-out", str(m1)]) == 0
+        assert main(args + ["--replay", str(trace), "--faults", spec,
+                            "--metrics-out", str(m2)]) == 0
+        capsys.readouterr()
+        assert m1.read_bytes() == m2.read_bytes()
+
+    def test_replay_under_fault_free_config_applies_the_trace(self):
+        _, trace = record_single(config("crash_storm:0.05:r=1"))
+        replayed = replay_single(
+            ExperimentConfig(n_peers=40, total_units=30, lb=KChoices(k=4)), trace
+        )
+        assert sum(u.crashes for u in replayed.units) > 0
+
+
+class TestIdentity:
+    def test_signature_includes_the_fault_axis(self):
+        # Fault-free configs keep their pre-fault signature (no key at
+        # all), so sweep-store cells computed before the axis existed stay
+        # addressable; fault-bearing configs sign the full plan.
+        base = ExperimentConfig().signature()
+        assert "faults" not in base
+        faulty = ExperimentConfig(faults="crash_storm:0.02").signature()
+        assert faulty["faults"]["schedule"]["kind"] == "crash_storm"
+
+    def test_fault_axis_changes_the_cell_hash(self):
+        plain = SweepCell(config=ExperimentConfig(), n_runs=2, label="a")
+        storm = SweepCell(
+            config=ExperimentConfig(faults="crash_storm:0.02"), n_runs=2, label="a"
+        )
+        stronger = SweepCell(
+            config=ExperimentConfig(faults="crash_storm:0.02:r=2"), n_runs=2, label="a"
+        )
+        assert len({plain.key(), storm.key(), stronger.key()}) == 3
+
+    def test_fault_fields_round_trip_through_the_store_serde(self):
+        result = run_single(config("crash_storm:0.08:repair_every=4"))
+        doc = run_result_to_dict(result)
+        again = run_result_to_dict(run_result_from_dict(doc))
+        assert json.dumps(doc, sort_keys=True) == json.dumps(again, sort_keys=True)
+
+    def test_pre_fault_documents_still_load(self):
+        doc = run_result_to_dict(run_single(config(None)))
+        for unit in doc["units"]:
+            for key in ("crashes", "partitioned", "keys_lost", "keys_recovered",
+                        "keys_unrecoverable", "repair_cost", "keys_present",
+                        "keys_expected", "ttr_histogram"):
+                del unit[key]
+        loaded = run_result_from_dict(doc)
+        assert all(u.crashes == 0 and u.ttr_histogram == {} for u in loaded.units)

@@ -22,6 +22,7 @@ TINY = {
     "build": {"n_peers": 12, "n_keys": 60, "families": 4, "seed": 1},
     "growth": {"n_peers": 12, "n_keys": 60, "families": 4, "seed": 2},
     "churn_storm": {"n_peers": 30, "n_keys": 120, "families": 4, "storm": 5, "seed": 3},
+    "crash_storm": {"n_peers": 30, "n_keys": 120, "families": 4, "crashes": 5, "seed": 8},
     "request_flood": {
         "n_peers": 12, "n_keys": 60, "families": 4, "n_requests": 40, "seed": 4,
     },

@@ -16,7 +16,7 @@ from repro.sweeps import (
     reproduce_paper,
 )
 
-#: The CI-grade profile: every test below runs the real 8-artifact
+#: The CI-grade profile: every test below runs the real 10-artifact
 #: pipeline at 20 peers / 1 run per cell (a few seconds in total).
 SMOKE = PROFILES["smoke"]
 
@@ -63,7 +63,9 @@ class TestReproducePaper:
         assert doc["profile"] == "smoke"
         assert doc["git_rev"] != "unknown"  # resolved from the source checkout
         assert doc["elapsed_s"] > 0
-        assert doc["sweep"]["computed"] == 47  # the cold run computed the plan
+        # The cold run computed exactly the plan (fault grids overlap on
+        # shared (r, rate) cells, which the plan de-duplicates).
+        assert doc["sweep"]["computed"] == len(paper_plan(SMOKE))
         reloaded = load_manifest(manifest_path)
         assert reloaded["artifacts"].keys() == doc["artifacts"].keys()
         fig4 = doc["artifacts"]["fig4"]

@@ -164,9 +164,11 @@ class TestPlan:
 class TestPaperPlan:
     def test_smoke_plan_covers_all_artifacts(self):
         plan = paper_plan(PROFILES["smoke"])
-        # 5 three-curve figures + fig9's two mappings + table1's grid,
-        # minus the points figures share with Table 1 (deduplicated).
-        assert len(plan) == 47
+        # 5 three-curve figures + fig9's two mappings + table1's grid +
+        # the fault figures' (r, rate) grids, minus the points figures
+        # share with Table 1 and the cells the two fault grids share
+        # (deduplicated).
+        assert len(plan) == 61
 
     def test_unknown_artifact_rejected(self):
         with pytest.raises(ValueError):
