@@ -48,8 +48,24 @@ from repro.perf.bench import SCHEMA, run_suite  # noqa: E402
 #: ``repro.perf.scenarios``): its warm side is milliseconds of JSON reads,
 #: so the ratio jitters by factors run to run and a ±25% drift comparison
 #: would cry wolf — the contract worth gating is absolute: warm re-runs
-#: must stay at least 10× faster than recomputation.
-SPEEDUP_FLOORS = {"sweep_cached": 10.0}
+#: must stay at least 10× faster than recomputation.  The request-path
+#: scenarios carry the fast-path contract of the discovery router PR:
+#: a flood of requests must stay ≥3× faster than the frozen per-request
+#: reference walk, and the schedule-driven / replayed end-to-end paths
+#: ≥2× (they amortise churn, balancing and sampling that both
+#: implementations share).
+SPEEDUP_FLOORS = {
+    "sweep_cached": 10.0,
+    "request_flood": 3.0,
+    "flash_crowd": 2.0,
+    "replay": 2.0,
+}
+
+#: Floored scenarios whose *absolute* optimised median is still clock
+#: noise (warm-cache JSON reads) and therefore skipped in absolute mode;
+#: the request-path scenarios have real wall-clock medians and keep the
+#: absolute drift check.
+ABSOLUTE_EXEMPT = {"sweep_cached"}
 
 
 def compare(baseline: dict, fresh: dict, threshold: float, mode: str) -> list[str]:
@@ -66,9 +82,9 @@ def compare(baseline: dict, fresh: dict, threshold: float, mode: str) -> list[st
             failures.append(f"{name}: missing from fresh run")
             continue
         if mode == "absolute":
-            if name in SPEEDUP_FLOORS:
-                # Floored scenarios (warm-cache reads) have millisecond
-                # medians; absolute drift on them is clock noise.
+            if name in ABSOLUTE_EXEMPT:
+                # Warm-cache reads have millisecond medians; absolute
+                # drift on them is clock noise.
                 print(f"[perf] {name:>14}: skipped in absolute mode "
                       "(floored scenario; gated by --mode ratio)")
                 continue

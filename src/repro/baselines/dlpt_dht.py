@@ -49,6 +49,10 @@ class HashedMapping:
         #: All mapped labels keyed by hash position — the migration index.
         self._hash_index: SortedList[tuple[int, str]] = SortedList()
         self.migrations = 0
+        #: Host-assignment version counter (see
+        #: :class:`repro.dlpt.mapping.LexicographicMapping`): the discovery
+        #: router's per-node cache is valid while this number holds still.
+        self.version = 0
 
     # -- hashing ------------------------------------------------------------
 
@@ -96,12 +100,14 @@ class HashedMapping:
         self.host[label] = peer
         peer.host_node(label)
         self._hash_index.add((h, label))
+        self.version += 1
 
     def on_node_removed(self, label: str) -> None:
         peer = self.host.pop(label)
         peer.drop_node(label)
         self._hash_index.remove((self._hash(label), label))
         self._label_hash.pop(label, None)
+        self.version += 1
 
     # -- membership change hooks ---------------------------------------------
 
@@ -152,6 +158,7 @@ class HashedMapping:
         operations; returns (and counts) the number of migrations."""
         n = migrate_labels(labels, src, dst, self.host)
         self.migrations += n
+        self.version += 1
         return n
 
     # -- invariants -----------------------------------------------------------

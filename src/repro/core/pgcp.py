@@ -94,6 +94,11 @@ class PGCPTree:
         # uses them to keep the node→peer mapping in sync with the tree.
         self.on_create = None  # Callable[[PGCPNode], None]
         self.on_remove = None  # Callable[[PGCPNode], None]
+        #: Structural version counter: bumped on every node creation and
+        #: removal.  Read-side caches (the discovery router's spine memo)
+        #: stay valid exactly while this number does not change; data-only
+        #: updates on existing nodes leave routes — and the counter — alone.
+        self.version = 0
 
     # -- basic accessors ---------------------------------------------------
 
@@ -259,12 +264,14 @@ class PGCPTree:
         assert label not in self._by_label, f"node {label!r} already exists"
         node = PGCPNode(label)
         self._by_label[label] = node
+        self.version += 1
         if self.on_create is not None:
             self.on_create(node)
         return node
 
     def _drop_node(self, node: PGCPNode) -> None:
         del self._by_label[node.label]
+        self.version += 1
         if self.on_remove is not None:
             self.on_remove(node)
 

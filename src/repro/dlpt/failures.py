@@ -151,9 +151,12 @@ def crash_peer(system: DLPTSystem, peer_id: str) -> CrashReport:
             if child.label not in lost:
                 node.remove_child(child)  # orphan: survives as a root
     # Remove lost nodes from the index (bypassing normal contraction —
-    # their state is gone, not restructured).
+    # their state is gone, not restructured).  The direct index surgery
+    # bypasses ``_drop_node``, so the structural version counter that
+    # guards the discovery router's caches must be advanced by hand.
     for lbl in lost:
         node = tree._by_label.pop(lbl)
+        tree.version += 1
         if tree.on_remove is not None:
             tree.on_remove(node)
     if tree.root is not None and tree.root.label in lost:
@@ -218,6 +221,7 @@ def repair(
             tree.on_remove(node)
     tree._by_label.clear()
     tree.root = None
+    tree.version += 1  # index surgery bypassed _drop_node (router caches)
 
     reinserted = 0
     for key, data in survivors.items():

@@ -72,6 +72,10 @@ class LexicographicMapping:
         #: All mapped labels in lexicographic order — the migration index.
         self.label_index: SortedList[str] = SortedList()
         self.migrations = 0  # lifetime node-migration counter (LB cost metric)
+        #: Host-assignment version counter: bumped whenever any label's host
+        #: may have changed.  The discovery router's per-node host/hop cache
+        #: is valid exactly while this number holds still.
+        self.version = 0
 
     # -- queries -----------------------------------------------------------
 
@@ -89,11 +93,13 @@ class LexicographicMapping:
         self.host[label] = peer
         peer.host_node(label)
         self.label_index.add(label)
+        self.version += 1
 
     def on_node_removed(self, label: str) -> None:
         peer = self.host.pop(label)
         peer.drop_node(label)
         self.label_index.remove(label)
+        self.version += 1
 
     # -- membership change hooks ---------------------------------------------
 
@@ -147,6 +153,7 @@ class LexicographicMapping:
         operations; returns (and counts) the number of migrations."""
         n = migrate_labels(labels, src, dst, self.host)
         self.migrations += n
+        self.version += 1
         return n
 
     # -- invariants -----------------------------------------------------------

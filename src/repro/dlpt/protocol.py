@@ -25,6 +25,7 @@ Fidelity notes (divergences from the pseudo-code are deliberate and small):
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -37,29 +38,55 @@ from . import messages as m
 
 @dataclass
 class NodeState:
-    """A logical node as stored on its hosting peer."""
+    """A logical node as stored on its hosting peer.
+
+    The descent steps of Algorithms 1 and 3 are served from a sorted
+    snapshot of the children (two bisects) instead of scanning the child
+    set per message.  The snapshot rebuilds lazily whenever the child
+    count changed; the one equal-size mutation (``UpdateChild`` swapping a
+    child label) goes through :meth:`replace_child`, which dirties it
+    explicitly.
+    """
 
     label: str
     father: Optional[str]
     children: set[str] = field(default_factory=set)
     data: set[object] = field(default_factory=set)
+    _sorted: list = field(default_factory=list, repr=False, compare=False)
+
+    def _index(self) -> list:
+        idx = self._sorted
+        if len(idx) != len(self.children):
+            idx = sorted(self.children)
+            self._sorted = idx
+        return idx
+
+    def replace_child(self, old: str, new: str) -> None:
+        """Swap a child label in place (``UpdateChild``): the only child
+        mutation that keeps the count — dirty the snapshot by hand."""
+        self.children.discard(old)
+        self.children.add(new)
+        self._sorted = []
 
     def max_child_leq(self, key: str) -> Optional[str]:
         """``Max({q ∈ C_p : q <= key})`` — the descent step of Algorithms
-        1 and 3 (lines 1.12 and 3.33)."""
-        best: Optional[str] = None
-        for c in self.children:
-            if c <= key and (best is None or c > best):
-                best = c
-        return best
+        1 and 3 (lines 1.12 and 3.33); one bisect on the sorted snapshot."""
+        idx = self._index()
+        i = bisect.bisect_right(idx, key)
+        return idx[i - 1] if i else None
 
     def child_sharing_longer_prefix(self, key: str) -> Optional[str]:
         """The child ``q`` with ``|GCP(k, q)| > |GCP(k, p)|`` of line 3.05;
         unique when it exists because children diverge right after the
-        parent label."""
-        for c in self.children:
-            if common_prefix_len(c, key) > len(self.label):
-                return c
+        parent label — so the one candidate is the first child at or above
+        ``key``'s next-digit probe in sorted order."""
+        depth = len(self.label)
+        if len(key) <= depth:
+            return None
+        idx = self._index()
+        i = bisect.bisect_left(idx, key[: depth + 1])
+        if i < len(idx) and common_prefix_len(idx[i], key) > depth:
+            return idx[i]
         return None
 
 
@@ -434,9 +461,7 @@ class ProtocolEngine:
         self._install_node(peer, msg.payload)
 
     def _on_update_child(self, peer: ProtocolPeer, msg: m.UpdateChild) -> None:
-        p = peer.nodes[msg.node]
-        p.children.discard(msg.old)
-        p.children.add(msg.new)
+        peer.nodes[msg.node].replace_child(msg.old, msg.new)
 
     def _install_node(self, peer: ProtocolPeer, payload: m.NodePayload) -> None:
         st = NodeState(

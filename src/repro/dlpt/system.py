@@ -23,7 +23,7 @@ from ..peers.peer import Peer
 from ..peers.ring import Ring
 from ..util.sortedlist import SortedList
 from .mapping import LexicographicMapping
-from .routing import RequestOutcome, route_path
+from .routing import BatchOutcome, DiscoveryRouter, RequestOutcome, route_path
 
 #: Default length of randomly drawn peer identifiers.  Long enough that
 #: collisions among ~10^4 peers are negligible for any alphabet size >= 2.
@@ -75,6 +75,8 @@ class DLPTSystem:
         #: All node labels, sorted — uniform random entry-node selection.
         self.node_index: SortedList[str] = SortedList()
         self.tree_on_create_chain()
+        #: Indexed discovery fast path (version-guarded spine/hop caches).
+        self.router = DiscoveryRouter(self.tree, self.mapping)
         #: Aggregated per-node request counts of the last closed time unit
         #: (the ``l_n`` that MLT and KC consume).
         self.last_unit_load: Dict[str, int] = {}
@@ -186,6 +188,17 @@ class DLPTSystem:
             raise RuntimeError("tree is empty; no entry node")
         return self.node_index[rng.randrange(n)]
 
+    def random_entry_labels(self, rng, count: int) -> list[str]:
+        """``count`` uniformly random entry nodes — the bulk twin of
+        :meth:`random_entry_label`, consuming the RNG stream identically
+        (one ``randrange`` per draw) with the index bound once."""
+        n = len(self.node_index)
+        if n == 0:
+            raise RuntimeError("tree is empty; no entry node")
+        items = self.node_index.raw()
+        randrange = rng.randrange
+        return [items[randrange(n)] for _ in range(count)]
+
     def discover(
         self,
         key: str,
@@ -215,18 +228,54 @@ class DLPTSystem:
             node is, the more times it will be visited") a hard bottleneck
             and is exercised by the ablation benches.
         """
-        if accounting not in ("destination", "transit"):
+        if accounting == "destination":
+            if entry_label is None:
+                if rng is None:
+                    raise ValueError("need rng when entry_label is not given")
+                entry_label = self.random_entry_label(rng)
+            router = self.router
+            router.sync()
+            resolved = router.resolve(key, entry_label)
+            if resolved is not None:
+                dest, dest_peer, found, logical, physical = resolved
+                if not dest_peer.try_process(dest):
+                    return RequestOutcome(
+                        key=key,
+                        satisfied=False,
+                        found=False,
+                        logical_hops=logical,
+                        physical_hops=physical,
+                        dropped_at=dest_peer.id,
+                    )
+                return RequestOutcome(
+                    key=key,
+                    satisfied=found,
+                    found=found,
+                    logical_hops=logical,
+                    physical_hops=physical,
+                )
+            # Entry outside the root's fragment (crash-damaged forest):
+            # only the walking resolver knows the fragment-local route.
+            return self._discover_walk(key, entry_label, charge_transit=False)
+        if accounting != "transit":
             raise ValueError(f"unknown accounting model {accounting!r}")
         if entry_label is None:
             if rng is None:
                 raise ValueError("need rng when entry_label is not given")
             entry_label = self.random_entry_label(rng)
+        return self._discover_walk(key, entry_label, charge_transit=True)
+
+    def _discover_walk(
+        self, key: str, entry_label: str, charge_transit: bool
+    ) -> RequestOutcome:
+        """The walking resolver: visits every node on the route.  Serves
+        ``transit`` accounting (which must charge each visited peer) and
+        damaged-forest entries the indexed router cannot cover."""
         path = route_path(self.tree, entry_label, key)
         host_of = self.mapping.host_of
 
         physical_hops = 0
         prev_peer = None
-        charge_transit = accounting == "transit"
         last = len(path.labels) - 1
         for i, label in enumerate(path.labels):
             peer = host_of(label)
@@ -251,16 +300,171 @@ class DLPTSystem:
             physical_hops=physical_hops,
         )
 
+    def discover_batch(
+        self,
+        pairs,
+        accounting: str = "destination",
+        skip_missing_entries: bool = False,
+    ) -> BatchOutcome:
+        """Serve a batch of ``(key, entry_label)`` requests and return the
+        aggregated counters — the per-unit hot loop of the experiment
+        runner and the flood benchmarks.
+
+        Requests are charged strictly in the given order (capacity
+        exhaustion depends on it), but routing work is shared: the router
+        syncs once for the whole batch and repeated keys hit the spine
+        memo, so no per-request outcome objects or route walks remain.
+        ``skip_missing_entries`` counts a pair whose entry node no longer
+        exists as an unsatisfied lookup instead of raising — the replay
+        semantics for traces recorded on a differently-repaired tree.
+        """
+        if accounting not in ("destination", "transit"):
+            raise ValueError(f"unknown accounting model {accounting!r}")
+        out = BatchOutcome()
+        transit = accounting == "transit"
+        router = self.router
+        router.sync()
+        n_nodes = len(self.tree._by_label)
+        served = router.served_since_invalidate
+        router.served_since_invalidate = served + len(pairs)
+        stable = router.batches_since_invalidate
+        router.batches_since_invalidate = stable + 1
+        if (
+            not transit
+            and len(pairs) >= 32
+            and (stable or 4 * (served + len(pairs)) >= n_nodes)
+        ):
+            # The cache's current epoch will serve a sizable share of the
+            # tree — a big batch, or a stable platform (a full batch
+            # boundary passed with no invalidation): one bulk DFS beats
+            # thousands of lazy ancestor walks.
+            router.warm()
+        # Hot-loop hoists: local counters and direct cache probes (the
+        # router's memo dicts), falling back to the building methods only
+        # on a miss.  Nothing inside the loop mutates tree or mapping, so
+        # the single sync above covers the whole batch.  The destination
+        # charge inlines Peer.try_process (same semantics: the node's
+        # popularity is recorded even when the peer is exhausted).
+        hist = out.hop_histogram
+        issued = len(pairs)
+        satisfied = dropped = not_found = 0
+        logical_total = physical_total = 0
+        spines = router._spines
+        info_get = router._info.get
+        spine_get = spines.get
+        node_info = router.node_info
+        build_spine = router._build_spine
+        node_of = self.tree.node
+        root = self.tree.root
+        root_label = root.label if root is not None else None
+        for key, entry in pairs:
+            if skip_missing_entries and node_of(entry) is None:
+                not_found += 1
+                continue
+            if transit:
+                e_info = None
+            else:
+                e_info = info_get(entry)
+                if e_info is None:
+                    e_info = node_info(entry)
+            if e_info is None or e_info[3] != root_label:
+                # Transit accounting, or an entry outside the root's
+                # fragment (crash-damaged forest): walk the full route.
+                outcome = self._discover_walk(key, entry, charge_transit=transit)
+                if outcome.satisfied:
+                    satisfied += 1
+                    logical = outcome.logical_hops
+                    logical_total += logical
+                    physical_total += outcome.physical_hops
+                    hist[logical] = hist.get(logical, 0) + 1
+                elif outcome.dropped:
+                    dropped += 1
+                else:
+                    not_found += 1
+                continue
+            s = spine_get(key)
+            if s is None:
+                s = build_spine(key)
+                spines[key] = s
+            labels, found = s
+            if labels:
+                dest = labels[-1]
+                d_info = info_get(dest)
+                if d_info is None:
+                    d_info = node_info(dest)
+                dest_peer = d_info[2]
+            else:
+                dest = root_label
+                found = False
+                d_info = info_get(dest)
+                if d_info is None:
+                    d_info = node_info(dest)
+                dest_peer = d_info[2]
+            # Destination charge (Peer.try_process, inlined).
+            node_load = dest_peer.node_load
+            node_load[dest] = node_load.get(dest, 0) + 1
+            if dest_peer.used >= dest_peer.capacity:
+                dest_peer.total_rejected += 1
+                dropped += 1
+                continue
+            dest_peer.used += 1
+            dest_peer.total_processed += 1
+            if not found:
+                not_found += 1
+                continue
+            satisfied += 1
+            # Hop arithmetic only for satisfied requests — the runner
+            # discards hop counts of dropped/unfound outcomes anyway.
+            # Join = deepest spine node prefixing the entry (monotone
+            # down the chain; see DiscoveryRouter.resolve).
+            j = 0
+            last = len(labels) - 1
+            while j < last and entry.startswith(labels[j + 1]):
+                j += 1
+            logical = (e_info[0] - j) + (last - j)
+            if j:
+                j_info = info_get(labels[j])
+                if j_info is None:
+                    j_info = node_info(labels[j])
+                physical = (e_info[1] - j_info[1]) + (d_info[1] - j_info[1])
+            else:
+                physical = e_info[1] + d_info[1]
+            logical_total += logical
+            physical_total += physical
+            hist[logical] = hist.get(logical, 0) + 1
+        out.issued = issued
+        out.satisfied = satisfied
+        out.dropped = dropped
+        out.not_found = not_found
+        out.logical_hops = logical_total
+        out.physical_hops = physical_total
+        return out
+
     # -- time bookkeeping -------------------------------------------------------
 
     def end_time_unit(self) -> None:
         """Close the current time unit: aggregate per-node loads for the
-        balancers and reset every peer's capacity budget."""
+        balancers and reset every peer's capacity budget.
+
+        Inlines :meth:`repro.peers.peer.Peer.end_time_unit` (same state
+        transitions) and skips peers idle across both the closing and the
+        previous unit — their transition is a no-op — because on a
+        10⁴-peer ring under destination accounting almost every peer is
+        idle almost every unit.  The ``used`` guard matters: the fault
+        injector exhausts a partitioned peer's budget directly, without
+        recording node load, and that budget must still reset."""
         loads: Dict[str, int] = {}
-        for peer in self.ring:
-            for label, count in peer.node_load.items():
-                loads[label] = loads.get(label, 0) + count
-            peer.end_time_unit()
+        get = loads.get
+        for peer in self.ring.peers_unordered():
+            node_load = peer.node_load
+            if node_load:
+                for label, count in node_load.items():
+                    loads[label] = get(label, 0) + count
+            elif not peer.last_node_load and not peer.used:
+                continue
+            peer.last_node_load = node_load
+            peer.node_load = {}
+            peer.used = 0
         self.last_unit_load = loads
         self.time_unit += 1
 

@@ -63,6 +63,14 @@ class ExperimentConfig:
     #: density), "uniform" draws uniform random digit strings (ablation —
     #: leaves service-name clusters on very few peers).
     peer_ids: str = "corpus"
+    #: Request-resolution implementation: "indexed" (the live
+    #: :class:`repro.dlpt.routing.DiscoveryRouter` fast path, default) or
+    #: "seed" (the frozen per-request walk in
+    #: :mod:`repro.perf.reference_routing`).  The two produce identical
+    #: results (property-tested); "seed" exists so the ``replay`` benchmark
+    #: can time the before/after honestly and is never what an experiment
+    #: should select.
+    discovery: str = "indexed"
 
     # dynamics
     churn: ChurnModel = STABLE
@@ -99,6 +107,11 @@ class ExperimentConfig:
         # Fault specs are validated here too (FaultSpecError on bad input);
         # the runner consumes the parsed plan, never the raw spec.
         self.fault_plan = parse_faults(self.faults)
+        if self.discovery not in ("indexed", "seed"):
+            raise ValueError(
+                f"unknown discovery implementation {self.discovery!r} "
+                "(expected 'indexed' or 'seed')"
+            )
 
     def with_lb(self, lb: LoadBalancer) -> "ExperimentConfig":
         """The same experiment under a different balancer — the controlled
@@ -175,6 +188,12 @@ class ExperimentConfig:
             # the pre-fault signature bytes, so sweep-store cells computed
             # before this axis existed stay addressable.
             signature["faults"] = faults_signature(self.fault_plan)
+        if self.discovery != "indexed":
+            # Same back-compat rule: the default implementation keeps the
+            # pre-existing signature bytes.  "seed" runs are distinguished
+            # anyway — the implementations are result-equivalent, but a
+            # cache must never silently alias a benchmark's reference runs.
+            signature["discovery"] = self.discovery
         return signature
 
     def describe(self) -> str:

@@ -104,6 +104,25 @@ class UnitStats:
     #: delay this unit: the distribution behind time-to-repair tails.
     ttr_histogram: Dict[int, int] = field(default_factory=dict)
 
+    def absorb_requests(self, batch) -> None:
+        """Fold a batch of served requests into this unit's counters.
+
+        ``batch`` is any object with the request-side counter fields
+        (:class:`repro.dlpt.routing.BatchOutcome`): issued/satisfied/
+        dropped/not_found totals, hop sums and the hops→count histogram.
+        Count-dict accumulation end to end — no per-request sample lists
+        are ever materialised.
+        """
+        self.issued += batch.issued
+        self.satisfied += batch.satisfied
+        self.dropped += batch.dropped
+        self.not_found += batch.not_found
+        self.logical_hops += batch.logical_hops
+        self.physical_hops += batch.physical_hops
+        hist = self.hop_histogram
+        for hops, count in batch.hop_histogram.items():
+            hist[hops] = hist.get(hops, 0) + count
+
     @property
     def satisfied_pct(self) -> float:
         return 100.0 * self.satisfied / self.issued if self.issued else 0.0

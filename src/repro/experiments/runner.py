@@ -83,7 +83,7 @@ def _load_imbalance(system: DLPTSystem) -> float:
     peak = 0
     total = 0
     count = 0
-    for peer in system.ring:
+    for peer in system.ring.peers_unordered():
         load = peer.load
         total += load
         count += 1
@@ -147,7 +147,42 @@ def run_single(
     total_units = replay.n_units if replay is not None else config.total_units
     schedule = config.schedule
     accounting = config.accounting
-    discover = system.discover
+    # The request-serving strategy: the indexed batch fast path by default,
+    # or the frozen per-request reference walk when a benchmark pins
+    # ``discovery="seed"`` (imported lazily; experiments never pay for it).
+    if config.discovery == "seed":
+        from ..perf.reference_routing import seed_discover
+
+        def serve_requests(pairs, stats: UnitStats) -> None:
+            node_of = system.tree.node
+            hist = stats.hop_histogram
+            for key, entry in pairs:
+                stats.issued += 1
+                if node_of(entry) is None:
+                    # The recorded entry node does not exist in *this*
+                    # system (a fault trace replayed under a weaker repair
+                    # policy): the client knocked on a dead node.
+                    stats.not_found += 1
+                    continue
+                outcome = seed_discover(
+                    system, key, entry_label=entry, accounting=accounting
+                )
+                if outcome.satisfied:
+                    stats.satisfied += 1
+                    stats.logical_hops += outcome.logical_hops
+                    stats.physical_hops += outcome.physical_hops
+                    hist[outcome.logical_hops] = hist.get(outcome.logical_hops, 0) + 1
+                elif outcome.dropped:
+                    stats.dropped += 1
+                else:
+                    stats.not_found += 1
+    else:
+
+        def serve_requests(pairs, stats: UnitStats) -> None:
+            batch = system.discover_batch(
+                pairs, accounting=accounting, skip_missing_entries=True
+            )
+            stats.absorb_requests(batch)
 
     for unit in range(total_units):
         stats = UnitStats()
@@ -220,52 +255,26 @@ def run_single(
 
         # (5) discovery requests under the per-unit capacity budget, scaled
         # by the schedule's rate multiplier (diurnal cycles, crowd surges).
+        # The unit's keys and entry nodes are sampled up front — key draws
+        # and entry draws come from two independent streams, so hoisting
+        # them out of the serving loop consumes both streams identically —
+        # and the whole batch is served in one indexed pass.
         capacity_total = system.ring.aggregate_capacity()
         if trace_unit is not None:
-            for key, entry in trace_unit.requests:
-                if system.tree.node(entry) is None:
-                    # The recorded entry node does not exist in *this*
-                    # system (a fault trace replayed under a weaker repair
-                    # policy): the client knocked on a dead node.
-                    stats.issued += 1
-                    stats.not_found += 1
-                    continue
-                outcome = discover(key, entry_label=entry, accounting=accounting)
-                stats.issued += 1
-                if outcome.satisfied:
-                    stats.satisfied += 1
-                    stats.logical_hops += outcome.logical_hops
-                    stats.physical_hops += outcome.physical_hops
-                    hist = stats.hop_histogram
-                    hist[outcome.logical_hops] = hist.get(outcome.logical_hops, 0) + 1
-                elif outcome.dropped:
-                    stats.dropped += 1
-                else:
-                    stats.not_found += 1
+            serve_requests(trace_unit.requests, stats)
         elif available and system.n_nodes:
             # (n_nodes guard: a crash wave can empty the whole tree before
             # repair; no entry node means no requests this unit.)
             rate = schedule.rate_multiplier(unit)
             n_requests = max(1, round(config.load_fraction * capacity_total * rate))
             sample = schedule.sample
-            entry_of = system.random_entry_label
-            for _ in range(n_requests):
-                key = sample(unit, req_rng, available)
-                entry = entry_of(entry_rng)
-                if recorder is not None:
+            keys = [sample(unit, req_rng, available) for _ in range(n_requests)]
+            entries = system.random_entry_labels(entry_rng, n_requests)
+            pairs = list(zip(keys, entries))
+            if recorder is not None:
+                for key, entry in pairs:
                     recorder.request(key, entry)
-                outcome = discover(key, entry_label=entry, accounting=accounting)
-                stats.issued += 1
-                if outcome.satisfied:
-                    stats.satisfied += 1
-                    stats.logical_hops += outcome.logical_hops
-                    stats.physical_hops += outcome.physical_hops
-                    hist = stats.hop_histogram
-                    hist[outcome.logical_hops] = hist.get(outcome.logical_hops, 0) + 1
-                elif outcome.dropped:
-                    stats.dropped += 1
-                else:
-                    stats.not_found += 1
+            serve_requests(pairs, stats)
 
         stats.peers = system.n_peers
         stats.nodes = system.n_nodes

@@ -17,6 +17,7 @@ O(|ν_S ∪ ν_P|) time and space, matching the paper's complexity claim.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Optional
 
@@ -134,17 +135,19 @@ class MLT(LoadBalancer):
         pred_id = ring.predecessor(peer_p.id).id
 
         # Ring order along the arc (pred_P … S]: labels above pred_P first
-        # (ascending), then the wrapped tail (ascending).  On a non-wrapped
-        # arc every label is above pred_P and this is a plain sort.
-        joint = sorted(
-            peer_p.nodes | peer_s.nodes,
-            key=lambda lbl: (0 if lbl > pred_id else 1, lbl),
-        )
+        # (ascending), then the wrapped tail (ascending).  One C-speed
+        # plain sort plus a rotation at pred_P — equivalent to (and much
+        # cheaper than) sorting under a per-label wrap key.
+        joint = sorted(peer_p.nodes | peer_s.nodes)
+        cut = bisect.bisect_right(joint, pred_id)
+        if cut:
+            joint = joint[cut:] + joint[:cut]
         m = len(joint)
         min_m = 1 if self.allow_empty else 2
         if m < min_m:
             return 0
-        loads = [system.node_last_load(lbl) for lbl in joint]
+        last_load = system.last_unit_load.get
+        loads = [last_load(lbl, 0) for lbl in joint]
         current_index = len(peer_p.nodes)
         decision = best_split(
             joint,

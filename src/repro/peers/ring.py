@@ -76,6 +76,13 @@ class Ring:
         """All peers in ring (identifier) order."""
         return [self._by_id[pid] for pid in self._ids]
 
+    def peers_unordered(self):
+        """Every peer, membership order unspecified — a zero-copy dict view
+        for full-ring sweeps where ring order is irrelevant (per-unit
+        budget resets, load aggregation).  C-level iteration, against the
+        per-peer generator dispatch of ``__iter__``."""
+        return self._by_id.values()
+
     def ids(self) -> list[str]:
         return self._ids.as_list()
 

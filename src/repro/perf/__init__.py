@@ -9,6 +9,9 @@ keeps that claim honest across PRs:
 * :mod:`repro.perf.reference` — a faithful copy of the seed's per-label
   mapping implementation, kept as the "before" side of every speedup
   number and as the oracle of the migration-equivalence property test;
+* :mod:`repro.perf.reference_routing` — the matching copy of the seed's
+  per-request discovery walk, the "before" of the request-path speedups
+  and the oracle of the discovery-equivalence property test;
 * :mod:`repro.perf.scenarios` — the scenario registry (``build``,
   ``growth``, ``churn_storm``, ``request_flood``) with ``micro`` (CI-fast)
   and ``scale`` (10⁴-peer) parameter suites;

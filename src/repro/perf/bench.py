@@ -33,8 +33,13 @@ oranges.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import os
 import pathlib
+import platform
+import pstats
 import sys
 from typing import Any, Dict, Optional, Sequence
 
@@ -42,6 +47,19 @@ from .scenarios import SCENARIOS, SUITES
 from .timing import TimingStats, time_once
 
 SCHEMA = "repro-bench/1"
+
+
+def host_metadata() -> Dict[str, Any]:
+    """Machine fingerprint recorded in every bench document, so baseline
+    diffs across machines are interpretable (absolute medians are only
+    comparable on matching hosts; the speedup ratio travels)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
 
 #: Both sides of every speedup number, in report order.
 IMPLS = ("seed", "optimised")
@@ -125,6 +143,7 @@ def run_suite(
         "suite": suite,
         "repeat": repeat,
         "warmup": warmup,
+        "host": host_metadata(),
         "scenarios": {},
     }
     for name in names:
@@ -138,6 +157,51 @@ def run_suite(
             if "speedup_median" in block:
                 print(f"[bench]   speedup: {block['speedup_median']:.1f}x")
     return doc
+
+
+def profile_scenario(
+    name: str,
+    params: Dict[str, Any],
+    impl: str = "optimised",
+    top: int = 12,
+    sort: str = "tottime",
+) -> str:
+    """cProfile one scenario execution and return its top-``top`` report.
+
+    State construction stays untimed (``prepare`` runs outside the
+    profiler), mirroring how the timed suite measures — the report shows
+    where the *measured* phase spends its time, which is where the next
+    perf PR should start.
+    """
+    scenario = SCENARIOS[name]
+    state = scenario.prepare(params, impl)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario.execute(state)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return buffer.getvalue()
+
+
+def profile_suite(
+    suite: str,
+    scenarios: Optional[Sequence[str]] = None,
+    impls: Sequence[str] = ("optimised",),
+    top: int = 12,
+) -> None:
+    """``--profile-hotspots``: print per-scenario cProfile hotspot reports
+    instead of timing medians — the data a perf PR starts from."""
+    suite_params = SUITES[suite]
+    names = list(scenarios) if scenarios else list(suite_params)
+    unknown = [n for n in names if n not in suite_params]
+    if unknown:
+        raise ValueError(f"unknown scenarios {unknown!r} for suite {suite!r}")
+    for name in names:
+        for impl in impls:
+            print(f"\n[bench] hotspots of {suite}/{name} ({impl}, top {top} by tottime)")
+            print(profile_scenario(name, suite_params[name], impl, top=top))
 
 
 def write_bench(path: str | pathlib.Path, doc: Dict[str, Any]) -> pathlib.Path:
@@ -164,12 +228,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="output path (default BENCH_<suite>.json)")
     parser.add_argument("--impl", action="append", choices=IMPLS, default=None,
                         help="restrict to one implementation; repeatable")
+    parser.add_argument("--profile-hotspots", action="store_true",
+                        help="cProfile each scenario once (optimised impl unless "
+                        "--impl narrows it) and print the top functions instead "
+                        "of timing; no BENCH file is written")
+    parser.add_argument("--top", type=int, default=12,
+                        help="rows per hotspot report (default 12; "
+                        "only with --profile-hotspots)")
     args = parser.parse_args(argv)
 
     if args.out and args.suite == "all":
         parser.error("--out is ambiguous with --suite all; run one suite at a time")
     suites = sorted(SUITES) if args.suite == "all" else [args.suite]
     impls = tuple(args.impl) if args.impl else IMPLS
+    if args.profile_hotspots:
+        profile_impls = tuple(args.impl) if args.impl else ("optimised",)
+        for suite in suites:
+            try:
+                profile_suite(suite, scenarios=args.scenario,
+                              impls=profile_impls, top=args.top)
+            except ValueError as exc:
+                parser.error(str(exc))
+        return 0
     for suite in suites:
         try:
             doc = run_suite(

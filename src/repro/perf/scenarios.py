@@ -11,10 +11,14 @@ two parameter *suites*:
 
 Each scenario separates untimed ``prepare`` (state construction, id/corpus
 generation) from the timed ``execute`` so the measurement covers only the
-system operations under study.  The ``impl`` axis selects the mapping
-implementation: ``"seed"`` (the per-label reference copy in
-:mod:`repro.perf.reference`) or ``"optimised"`` (the live interval-batched
-:class:`repro.dlpt.mapping.LexicographicMapping`).
+system operations under study.  The ``impl`` axis selects the frozen seed
+implementations versus the live code: ``"seed"`` pairs the per-label
+reference mapping (:mod:`repro.perf.reference`) with the per-request
+reference discovery walk (:mod:`repro.perf.reference_routing`);
+``"optimised"`` runs the live interval-batched
+:class:`repro.dlpt.mapping.LexicographicMapping` and the indexed, batched
+discovery fast path (:class:`repro.dlpt.routing.DiscoveryRouter` via
+:meth:`DLPTSystem.discover_batch`).
 
 The ``churn_storm`` scenario is the headline: a flash-crowd region of the
 identifier space loses all its peers (their node intervals pile up on the
@@ -221,18 +225,26 @@ def _prepare_request_flood(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
     rng = random.Random(params["seed"])
     system, corpus = _build_system(params, impl, rng)
     requests = [corpus[rng.randrange(len(corpus))] for _ in range(params["n_requests"])]
-    return {"system": system, "requests": requests, "rng": rng}
+    return {"system": system, "requests": requests, "rng": rng, "impl": impl}
 
 
 def _execute_request_flood(state: Dict[str, Any]) -> int:
     system = state["system"]
     rng = state["rng"]
-    discover = system.discover
-    satisfied = 0
-    for key in state["requests"]:
-        if discover(key, rng=rng).satisfied:
-            satisfied += 1
-    return satisfied
+    if state["impl"] == "seed":
+        # Frozen per-request walk (entry drawn inside each call, exactly
+        # like the pre-fast-path discover).
+        from .reference_routing import seed_discover
+
+        satisfied = 0
+        for key in state["requests"]:
+            if seed_discover(system, key, rng=rng).satisfied:
+                satisfied += 1
+        return satisfied
+    # Live fast path: same entry-draw stream, served as one indexed batch.
+    requests = state["requests"]
+    pairs = list(zip(requests, system.random_entry_labels(rng, len(requests))))
+    return system.discover_batch(pairs).satisfied
 
 
 #: Recorded traces for the ``replay`` scenario, keyed by parameter set —
@@ -260,6 +272,7 @@ def _prepare_flash_crowd(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
         "units": units,
         "req_per_unit": params["req_per_unit"],
         "rng": rng,
+        "impl": impl,
     }
 
 
@@ -268,16 +281,30 @@ def _execute_flash_crowd(state: Dict[str, Any]) -> int:
     schedule = state["schedule"]
     corpus = state["corpus"]
     rng = state["rng"]
-    discover = system.discover
     sample = schedule.sample
     base = state["req_per_unit"]
     satisfied = 0
+    if state["impl"] == "seed":
+        from .reference_routing import seed_discover
+
+        for unit in range(state["units"]):
+            n_requests = max(1, round(base * schedule.rate_multiplier(unit)))
+            for _ in range(n_requests):
+                key = sample(unit, rng, corpus)
+                if seed_discover(system, key, rng=rng).satisfied:
+                    satisfied += 1
+            system.end_time_unit()
+        return satisfied
+    # Live fast path: identical RNG stream (key draw, then entry draw, per
+    # request), served unit by unit through the batch interface.
+    entry_of = system.random_entry_label
+    discover_batch = system.discover_batch
     for unit in range(state["units"]):
         n_requests = max(1, round(base * schedule.rate_multiplier(unit)))
-        for _ in range(n_requests):
-            key = sample(unit, rng, corpus)
-            if discover(key, rng=rng).satisfied:
-                satisfied += 1
+        pairs = [
+            (sample(unit, rng, corpus), entry_of(rng)) for _ in range(n_requests)
+        ]
+        satisfied += discover_batch(pairs).satisfied
         system.end_time_unit()
     return satisfied
 
@@ -365,6 +392,7 @@ def _prepare_replay(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
             churn=DYNAMIC,
             lb=MLT(),
             mapping_factory=_mapping_factory(which),
+            discovery="seed" if which == "seed" else "indexed",
             seed=params["seed"],
         )
 
@@ -474,9 +502,12 @@ SUITES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "n_peers": 400, "n_keys": 3000, "families": 8,
             "n_requests": 3000, "seed": 4,
         },
+        # req_per_unit sized so the timed phase is dominated by request
+        # serving (not per-unit bookkeeping) and the speedup ratio is
+        # stable across repetitions.
         "flash_crowd": {
             "n_peers": 400, "n_keys": 3000, "families": 8,
-            "units": 24, "req_per_unit": 120, "seed": 5,
+            "units": 24, "req_per_unit": 240, "seed": 5,
         },
         "replay": {"n_peers": 120, "units": 25, "load": 0.4, "seed": 6},
         # Six cells, two runs each: enough simulation work that the cold

@@ -229,3 +229,11 @@ class SortedList(Generic[T]):
     def as_list(self) -> list[T]:
         """A copy of the underlying sorted list."""
         return list(self._items)
+
+    def raw(self) -> list[T]:
+        """The underlying sorted list itself — zero-copy, READ-ONLY.
+
+        For hot loops that index repeatedly (bulk random sampling) and
+        must not pay a per-call ``__getitem__`` dispatch or an ``as_list``
+        copy.  Mutating the returned list corrupts the structure."""
+        return self._items

@@ -194,13 +194,21 @@ class FlashCrowd:
         self.base = base if base is not None else UniformRequests()
         self._zipf = _PrefixZipf(prefix, zipf_s)
         self.name = f"flash:{prefix}@{onset}"
+        self._intensity_at: Tuple[int, float] = (-1, 0.0)
 
     def intensity(self, unit: int) -> float:
         """P(request joins the crowd) at ``unit``: 0 before onset, then
-        ``peak`` halving every ``half_life`` units."""
+        ``peak`` halving every ``half_life`` units.  Memoised per unit —
+        every request of a unit shares one decay exponentiation."""
+        cached_unit, value = self._intensity_at
+        if unit == cached_unit:
+            return value
         if unit < self.onset:
-            return 0.0
-        return self.peak * 0.5 ** ((unit - self.onset) / self.half_life)
+            value = 0.0
+        else:
+            value = self.peak * 0.5 ** ((unit - self.onset) / self.half_life)
+        self._intensity_at = (unit, value)
+        return value
 
     def rate_multiplier(self, unit: int) -> float:
         return 1.0 + (self.rate_surge - 1.0) * (self.intensity(unit) / self.peak)

@@ -122,6 +122,14 @@ class ZipfRequests:
 
     The ranking permutation is drawn once per generator from ``seed_rng`` so
     repeated units target the same hot keys.
+
+    The rank weights ``1/(i+1)^s`` depend only on the rank, never on the
+    corpus, so they are cached and merely *extended* when the corpus grows
+    mid-run (every growth unit changes the corpus size; re-raising
+    thousands of ranks to a float power per unit was pure waste).  The CDF
+    normalisation is recomputed from the cached weights — same floats,
+    identical draws — and the ranking permutation is redrawn exactly as
+    before (its RNG consumption is part of the recorded stream).
     """
 
     def __init__(self, s: float = 1.0, seed_rng=None) -> None:
@@ -132,6 +140,10 @@ class ZipfRequests:
         self._perm: Optional[list[int]] = None
         self._cdf: list[float] = []
         self._n = 0
+        self._weights: list[float] = []  # extended, never rebuilt
+        #: Rank-weight power evaluations performed (regression-tested: must
+        #: stay linear in the largest corpus seen, not in corpus × units).
+        self.weight_evals = 0
         self._seed_rng = seed_rng
         # Pristine-state fingerprint, captured before any draw mutates the
         # RNG: the semantic identity of the ranking permutation this
@@ -154,9 +166,14 @@ class ZipfRequests:
     def _prepare(self, n: int, rng) -> None:
         if self._n == n:
             return
-        weights = [1.0 / (i + 1) ** self.s for i in range(n)]
-        total = sum(weights)
-        self._cdf = list(itertools.accumulate(w / total for w in weights))
+        weights = self._weights
+        if len(weights) < n:
+            s = self.s
+            self.weight_evals += n - len(weights)
+            weights.extend(1.0 / (i + 1) ** s for i in range(len(weights), n))
+        active = weights if len(weights) == n else weights[:n]
+        total = sum(active)
+        self._cdf = list(itertools.accumulate(w / total for w in active))
         order_rng = self._seed_rng or rng
         perm = list(range(n))
         order_rng.shuffle(perm)

@@ -1,0 +1,270 @@
+"""Discovery equivalence: indexed fast path ≡ the seed's per-request walk.
+
+The fast-path PR (label-indexed :class:`repro.dlpt.routing.DiscoveryRouter`
+plus the batched :meth:`DLPTSystem.discover_batch`) must be a pure
+performance change: on any tree, any workload and any damage state, every
+request's outcome (satisfied / found / logical and physical hops / drop
+point) and every peer's capacity accounting must be identical to the
+frozen seed implementation in :mod:`repro.perf.reference_routing`.  These
+property tests drive twin systems — one served by the live fast path, one
+by the seed walk — through identical operation and request sequences.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alphabet import Alphabet
+from repro.dlpt.failures import ReplicationManager, crash_peer, repair
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity
+from repro.perf.reference_routing import seed_discover
+from repro.workloads.dynamics import AdversarialPrefixStacking
+from repro.workloads.requests import HotSpotRequests, UniformRequests, ZipfRequests
+
+ALPHABET = Alphabet(digits=("a", "b", "c"), name="abc")
+
+keys_st = st.lists(
+    st.text(alphabet="abc", min_size=1, max_size=8), min_size=1, max_size=25
+)
+peer_ids_st = st.lists(
+    st.text(alphabet="abc", min_size=2, max_size=6),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+
+def _build_twins(peer_ids, keys, capacity):
+    """Two identically-constructed systems (same peers, same tree)."""
+    twins = []
+    for _ in range(2):
+        system = DLPTSystem(
+            alphabet=ALPHABET, capacity_model=FixedCapacity(capacity)
+        )
+        rng = random.Random(0)
+        for pid in peer_ids:
+            system.add_peer(rng, peer_id=pid)
+        for key in keys:
+            system.register(key)
+        twins.append(system)
+    return twins
+
+
+def _outcome_tuple(outcome):
+    return (
+        outcome.satisfied,
+        outcome.found,
+        outcome.logical_hops,
+        outcome.physical_hops,
+        outcome.dropped_at,
+    )
+
+
+def _peer_accounting(system):
+    return {
+        p.id: (p.used, p.total_processed, p.total_rejected, dict(p.node_load))
+        for p in system.ring
+    }
+
+
+def _assert_equal_requests(fast, seed, requests, accounting="destination"):
+    """Issue ``requests`` (key, entry) on both twins; compare everything."""
+    for key, entry in requests:
+        got = _outcome_tuple(
+            fast.discover(key, entry_label=entry, accounting=accounting)
+        )
+        want = _outcome_tuple(
+            seed_discover(seed, key, entry_label=entry, accounting=accounting)
+        )
+        assert got == want, (key, entry, got, want)
+    assert _peer_accounting(fast) == _peer_accounting(seed)
+
+
+def _request_mix(rng, system, keys, n=60):
+    """Registered keys, absent extensions, absent prefixes, foreign keys."""
+    labels = sorted(system.tree.labels())
+    requests = []
+    for i in range(n):
+        key = keys[rng.randrange(len(keys))]
+        if i % 5 == 1:
+            key = key + "ab"  # absent below a leaf
+        elif i % 5 == 2 and len(key) > 1:
+            key = key[:-1]  # possibly-absent prefix
+        elif i % 5 == 3:
+            key = "cc" + key  # likely outside dense bands
+        requests.append((key, labels[rng.randrange(len(labels))]))
+    return requests
+
+
+class TestRandomTrees:
+    @settings(max_examples=60, deadline=None)
+    @given(peer_ids=peer_ids_st, keys=keys_st, seed=st.integers(0, 2**16))
+    def test_uniform_requests_equivalent(self, peer_ids, keys, seed):
+        fast, seed_sys = _build_twins(peer_ids, keys, capacity=3)
+        rng = random.Random(seed)
+        _assert_equal_requests(
+            fast, seed_sys, _request_mix(rng, fast, keys)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(peer_ids=peer_ids_st, keys=keys_st, seed=st.integers(0, 2**16))
+    def test_transit_accounting_equivalent(self, peer_ids, keys, seed):
+        fast, seed_sys = _build_twins(peer_ids, keys, capacity=4)
+        rng = random.Random(seed)
+        _assert_equal_requests(
+            fast, seed_sys, _request_mix(rng, fast, keys, n=40),
+            accounting="transit",
+        )
+
+
+class TestWorkloadGenerators:
+    @pytest.mark.parametrize(
+        "make_generator",
+        [
+            lambda: UniformRequests(),
+            lambda: ZipfRequests(s=1.2, seed_rng=random.Random(7)),
+            lambda: HotSpotRequests("a", intensity=0.9),
+            lambda: AdversarialPrefixStacking("ab", s=1.1),
+        ],
+        ids=["uniform", "zipf", "hotspot", "adversarial"],
+    )
+    @settings(max_examples=25, deadline=None)
+    @given(peer_ids=peer_ids_st, keys=keys_st, seed=st.integers(0, 2**16))
+    def test_generator_driven_equivalent(self, make_generator, peer_ids, keys, seed):
+        fast, seed_sys = _build_twins(peer_ids, keys, capacity=3)
+        generator = make_generator()
+        rng = random.Random(seed)
+        available = sorted(set(keys))
+        labels = sorted(fast.tree.labels())
+        requests = [
+            (
+                generator.sample(rng, available),
+                labels[rng.randrange(len(labels))],
+            )
+            for _ in range(50)
+        ]
+        _assert_equal_requests(fast, seed_sys, requests)
+
+
+class TestBatchMatchesPerRequest:
+    @settings(max_examples=40, deadline=None)
+    @given(peer_ids=peer_ids_st, keys=keys_st, seed=st.integers(0, 2**16))
+    def test_batch_counters_match_seed_loop(self, peer_ids, keys, seed):
+        """discover_batch (the runner's path) aggregates exactly what the
+        seed per-request loop would: counters, hop sums, histogram, and
+        the peers' capacity state."""
+        fast, seed_sys = _build_twins(peer_ids, keys, capacity=2)
+        rng = random.Random(seed)
+        requests = _request_mix(rng, fast, keys, n=80)
+        batch = fast.discover_batch(requests)
+        satisfied = dropped = not_found = logical = physical = 0
+        hist: dict[int, int] = {}
+        for key, entry in requests:
+            outcome = seed_discover(seed_sys, key, entry_label=entry)
+            if outcome.satisfied:
+                satisfied += 1
+                logical += outcome.logical_hops
+                physical += outcome.physical_hops
+                hist[outcome.logical_hops] = hist.get(outcome.logical_hops, 0) + 1
+            elif outcome.dropped:
+                dropped += 1
+            else:
+                not_found += 1
+        assert batch.issued == len(requests)
+        assert (batch.satisfied, batch.dropped, batch.not_found) == (
+            satisfied, dropped, not_found,
+        )
+        assert (batch.logical_hops, batch.physical_hops) == (logical, physical)
+        assert batch.hop_histogram == hist
+        assert _peer_accounting(fast) == _peer_accounting(seed_sys)
+
+
+class TestAfterChurn:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        peer_ids=peer_ids_st,
+        keys=keys_st,
+        churn=st.lists(
+            st.one_of(
+                st.tuples(st.just("join"), st.text(alphabet="abc", min_size=2, max_size=6)),
+                st.tuples(st.just("leave"), st.integers(0, 10**6)),
+                st.tuples(st.just("register"), st.text(alphabet="abc", min_size=1, max_size=8)),
+                st.tuples(st.just("unregister"), st.integers(0, 10**6)),
+            ),
+            max_size=15,
+        ),
+        seed=st.integers(0, 2**16),
+    )
+    def test_post_churn_equivalent(self, peer_ids, keys, churn, seed):
+        fast, seed_sys = _build_twins(peer_ids, keys, capacity=3)
+        live_keys = sorted(set(keys))
+        for op in churn:
+            for system in (fast, seed_sys):
+                ring = system.ring
+                if op[0] == "join" and op[1] not in ring:
+                    system.add_peer(random.Random(1), peer_id=op[1], capacity=3)
+                elif op[0] == "leave" and len(ring) > 1:
+                    system.remove_peer(ring.id_at(op[1] % len(ring)))
+                elif op[0] == "register":
+                    system.register(op[1])
+                elif op[0] == "unregister" and live_keys:
+                    system.unregister(live_keys[op[1] % len(live_keys)])
+            if op[0] == "register" and op[1] not in live_keys:
+                live_keys = sorted(set(live_keys) | {op[1]})
+            elif op[0] == "unregister" and live_keys:
+                live_keys.pop(op[1] % len(live_keys))
+        if not fast.tree.labels():
+            return  # churn emptied the tree: nothing to route
+        rng = random.Random(seed)
+        pool = live_keys or sorted(fast.tree.labels())
+        _assert_equal_requests(
+            fast, seed_sys, _request_mix(rng, fast, pool, n=50)
+        )
+
+
+class TestAfterFaults:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        peer_ids=st.lists(
+            st.text(alphabet="abc", min_size=2, max_size=6),
+            min_size=3, max_size=8, unique=True,
+        ),
+        keys=keys_st,
+        crash_draws=st.lists(st.integers(0, 10**6), min_size=1, max_size=3),
+        do_repair=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    def test_post_crash_equivalent(self, peer_ids, keys, crash_draws, do_repair, seed):
+        """Crash-damaged forests (and repaired trees) route identically —
+        including entries inside detached fragments, which exercise the
+        fast path's walking fallback."""
+        fast, seed_sys = _build_twins(peer_ids, keys, capacity=3)
+        replications = [ReplicationManager(s, factor=1) for s in (fast, seed_sys)]
+        for r in replications:
+            r.replicate_all()
+        lost: set[str] = set()
+        for draw in crash_draws:
+            if len(fast.ring) <= 1:
+                break
+            victim = fast.ring.id_at(draw % len(fast.ring))
+            for system, replication in zip((fast, seed_sys), replications):
+                report = crash_peer(system, victim)
+                replication.on_peer_removed(victim)
+            lost |= report.lost_keys
+        if do_repair:
+            for system, replication in zip((fast, seed_sys), replications):
+                repair(system, replication, lost_keys=frozenset(lost))
+        labels = sorted(fast.tree.labels())
+        assert labels == sorted(seed_sys.tree.labels())
+        if not labels:
+            return
+        rng = random.Random(seed)
+        pool = sorted(fast.tree.keys()) or labels
+        _assert_equal_requests(
+            fast, seed_sys, _request_mix(rng, fast, pool, n=50)
+        )

@@ -7,7 +7,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.pgcp import PGCPTree
-from repro.dlpt.routing import route_path, route_up_only, subtree_root_for_prefix
+from repro.dlpt.routing import (
+    DiscoveryRouter,
+    route_path,
+    route_up_only,
+    subtree_root_for_prefix,
+)
 from repro.workloads.keys import paper_figure1_binary_keys
 
 binary_keys = st.text(alphabet="01", min_size=1, max_size=10)
@@ -102,6 +107,82 @@ class TestRoutePath:
         target = data.draw(st.sampled_from(sorted(keys)))
         p = route_path(tree, entry, target)
         assert p.logical_hops <= 2 * max(tree.depth(), 1)
+
+
+class _OnePeerMapping:
+    """Trivial mapping stand-in: every label hosted by one fake peer."""
+
+    class _FakePeer:
+        id = "peer"
+
+    def __init__(self):
+        self.peer = self._FakePeer()
+        self.version = 0
+
+    def host_of(self, label):
+        return self.peer
+
+
+class TestDiscoveryRouter:
+    def router_for(self, tree, mapping=None):
+        router = DiscoveryRouter(tree, mapping or _OnePeerMapping())
+        router.sync()
+        return router
+
+    def test_spine_is_root_path_of_present_key(self, fig1_tree):
+        router = self.router_for(fig1_tree)
+        labels, found = router.spine("101111")
+        assert found and list(labels) == ["", "101", "10111", "101111"]
+
+    def test_spine_of_absent_key_stops_at_neighbourhood(self, fig1_tree):
+        router = self.router_for(fig1_tree)
+        labels, found = router.spine("1010100")
+        assert not found and labels[-1] == "10101"
+
+    def test_empty_spine_when_root_does_not_prefix(self):
+        tree = tree_of(["10", "11"])  # root "1"
+        router = self.router_for(tree)
+        labels, found = router.spine("01")
+        assert labels == () and not found
+
+    @settings(max_examples=80)
+    @given(keys=st.lists(binary_keys, min_size=1, max_size=20), data=st.data())
+    def test_resolve_matches_route_path(self, keys, data):
+        """Hop counts from the indexed resolution equal the walked path's
+        (physical hops degenerate under a one-peer mapping; logical hops
+        and the destination are the strong check)."""
+        tree = tree_of(keys)
+        router = self.router_for(tree)
+        labels = sorted(tree.labels())
+        entry = data.draw(st.sampled_from(labels))
+        target = data.draw(
+            st.one_of(st.sampled_from(sorted(keys)), binary_keys)
+        )
+        resolved = router.resolve(target, entry)
+        path = route_path(tree, entry, target)
+        assert resolved is not None
+        dest, _, found, logical, physical = resolved
+        assert found == path.found
+        assert dest == path.labels[-1]
+        assert logical == path.logical_hops
+        assert physical == 0
+
+    def test_version_guard_invalidates_on_mutation(self, fig1_tree):
+        router = self.router_for(fig1_tree)
+        assert router.spine("10101")[1]
+        fig1_tree.insert("1010")  # structural change bumps tree.version
+        router.sync()
+        labels, found = router.spine("1010")
+        assert found and labels[-1] == "1010"
+
+    def test_warm_equals_lazy(self, fig1_tree):
+        mapping = _OnePeerMapping()
+        lazy = self.router_for(fig1_tree, mapping)
+        warm = self.router_for(fig1_tree, mapping)
+        warm.warm()
+        for label in sorted(fig1_tree.labels()):
+            assert warm.node_info(label) == lazy.node_info(label)
+            assert warm.spine(label) == lazy.spine(label)
 
 
 class TestUpOnlyAndSubtree:

@@ -10,6 +10,8 @@ from repro.perf.bench import (
     DEFAULT_OUT,
     IMPLS,
     SCHEMA,
+    host_metadata,
+    profile_scenario,
     run_scenario,
     run_suite,
     write_bench,
@@ -99,6 +101,18 @@ class TestScenarios:
         with pytest.raises(ValueError):
             SCENARIOS["build"].prepare(TINY["build"], "hand-tuned-assembly")
 
+    @pytest.mark.parametrize("name", ["request_flood", "flash_crowd", "replay"])
+    def test_request_scenarios_do_identical_work(self, name):
+        """Seed (frozen walk) and optimised (indexed batch) must serve the
+        same requests to the same effect — the bench times implementation
+        speed, not workload divergence."""
+        scenario = SCENARIOS[name]
+        results = {
+            impl: scenario.execute(scenario.prepare(TINY[name], impl))
+            for impl in IMPLS
+        }
+        assert results["seed"] == results["optimised"]
+
 
 class TestBench:
     def test_run_scenario_block_schema(self):
@@ -131,6 +145,22 @@ class TestBench:
 
     def test_default_out_covers_suites(self):
         assert set(DEFAULT_OUT) == set(SUITES)
+
+    def test_host_metadata_recorded(self):
+        meta = host_metadata()
+        assert meta["python"] and meta["platform"]
+        assert isinstance(meta["cpu_count"], int) and meta["cpu_count"] >= 1
+        doc = run_suite("micro", repeat=1, warmup=0, scenarios=["request_flood"])
+        # The micro params are not TINY here, so keep it to the cheapest
+        # scenario; what matters is the document layout.
+        assert doc["host"] == meta
+
+    def test_profile_scenario_reports_hotspots(self):
+        report = profile_scenario(
+            "request_flood", TINY["request_flood"], impl="optimised", top=5
+        )
+        assert "cumtime" in report and "tottime" in report
+        assert "discover_batch" in report or "function calls" in report
 
 
 @pytest.mark.bench

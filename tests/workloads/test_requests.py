@@ -76,6 +76,54 @@ class TestZipf:
         second = Counter(gen.sample(rng, KEYS) for _ in range(3000)).most_common(1)[0][0]
         assert first == second
 
+    def test_weights_cached_across_corpus_growth(self):
+        """Regression: a growing corpus (every growth unit) must extend the
+        cached rank weights, not re-raise every rank to a float power."""
+        gen = ZipfRequests(s=1.1, seed_rng=random.Random(2))
+        rng = random.Random(3)
+        sizes = list(range(10, 200, 10))
+        for n in sizes:
+            corpus = [f"k{i:04d}" for i in range(n)]
+            for _ in range(5):
+                gen.sample(rng, corpus)
+        # One evaluation per rank ever seen — not one per rank per resize.
+        assert gen.weight_evals == max(sizes)
+
+    def test_growth_draws_identical_to_uncached(self):
+        """The cache must not change a single draw: replay the exact
+        sample stream against a from-scratch (pre-cache) implementation
+        that honours the same no-op on an unchanged corpus size."""
+        import bisect as bisect_mod
+        import itertools
+
+        sizes = [7, 19, 19, 40, 64]
+        gen = ZipfRequests(s=1.3, seed_rng=random.Random(11))
+        rng = random.Random(12)
+        got = []
+        for n in sizes:
+            corpus = [f"k{i:04d}" for i in range(n)]
+            got.extend(gen.sample(rng, corpus) for _ in range(6))
+
+        order_rng = random.Random(11)
+        ref_rng = random.Random(12)
+        want = []
+        prev_n = None
+        cdf: list[float] = []
+        perm: list[int] = []
+        for n in sizes:
+            corpus = [f"k{i:04d}" for i in range(n)]
+            if n != prev_n:
+                weights = [1.0 / (i + 1) ** 1.3 for i in range(n)]
+                total = sum(weights)
+                cdf = list(itertools.accumulate(w / total for w in weights))
+                perm = list(range(n))
+                order_rng.shuffle(perm)
+                prev_n = n
+            for _ in range(6):
+                rank = min(bisect_mod.bisect_left(cdf, ref_rng.random()), n - 1)
+                want.append(corpus[perm[rank]])
+        assert got == want
+
 
 class TestPhasedSchedule:
     def test_phase_windows(self):
