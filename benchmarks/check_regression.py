@@ -53,13 +53,29 @@ from repro.perf.bench import SCHEMA, run_suite  # noqa: E402
 #: a flood of requests must stay ≥3× faster than the frozen per-request
 #: reference walk, and the schedule-driven / replayed end-to-end paths
 #: ≥2× (they amortise churn, balancing and sampling that both
-#: implementations share).
+#: implementations share).  The construction scenarios carry the bulk
+#: fast-path contract (sorted-cursor ``insert_batch`` + deferred mapping
+#: placement): platform bootstrap and corpus registration must stay ≥1.5×
+#: faster than the frozen per-peer/per-key loops, and crash repair — which
+#: routes its re-registrations through the same batch path — must never
+#: fall back below the seed (≥1.0×).
 SPEEDUP_FLOORS = {
     "sweep_cached": 10.0,
     "request_flood": 3.0,
     "flash_crowd": 2.0,
     "replay": 2.0,
+    "build": 1.5,
+    "growth": 1.5,
+    "crash_storm": 1.0,
 }
+
+#: The throughput smoke (``--throughput-smoke``) runs a shortened
+#: sustained-rate driver (see ``repro.perf.throughput``) and gates the
+#: optimised/seed req/s ratio.  The serving path inside it is the same
+#: indexed batch that carries the request_flood ≥3× floor; 2× leaves
+#: headroom for the short smoke's noisier rate estimate.
+THROUGHPUT_GAIN_FLOOR = 2.0
+THROUGHPUT_SMOKE_ROUNDS = 12
 
 #: Floored scenarios whose *absolute* optimised median is still clock
 #: noise (warm-cache JSON reads) and therefore skipped in absolute mode;
@@ -119,13 +135,13 @@ def compare(baseline: dict, fresh: dict, threshold: float, mode: str) -> list[st
             if floor is not None:
                 # Floored scenario: gate on the absolute contract, not on
                 # drift against the (jittery) committed number.
-                detail = f"speedup {now:8.2f}x  (floor {floor:.0f}x)"
+                detail = f"speedup {now:8.2f}x  (floor {floor:g}x)"
                 verdict = "OK" if now >= floor else "BELOW FLOOR"
                 print(f"[perf] {name:>14}: {detail}  {verdict}")
                 if verdict != "OK":
                     failures.append(
                         f"{name}: fresh speedup {now:.2f}x is below the "
-                        f"hard floor of {floor:.0f}x"
+                        f"hard floor of {floor:g}x"
                     )
                 continue
             ratio = base / now if now > 0 else float("inf")
@@ -136,6 +152,39 @@ def compare(baseline: dict, fresh: dict, threshold: float, mode: str) -> list[st
             failures.append(
                 f"{name}: {detail.strip()} "
                 f"({(ratio - 1) * 100:+.0f}%, threshold +{threshold * 100:.0f}%)"
+            )
+    return failures
+
+
+def check_throughput_smoke(rounds: int) -> list[str]:
+    """Run the throughput suite briefly; verify the document carries the
+    req/s + latency-tail fields and the fast path clears the gain floor."""
+    from repro.perf.throughput import run_throughput_suite
+
+    print(f"[perf] running throughput smoke ({rounds} rounds/scenario) ...")
+    doc = run_throughput_suite(rounds=rounds)
+    failures: list[str] = []
+    for name, block in sorted(doc["scenarios"].items()):
+        for impl, stats in sorted(block["impls"].items()):
+            for field in ("req_per_s", "latency_p95_ms", "latency_p99_ms"):
+                if field not in stats:
+                    failures.append(f"throughput/{name}/{impl}: missing {field!r}")
+            if stats.get("req_per_s", 0) <= 0:
+                failures.append(f"throughput/{name}/{impl}: non-positive req/s")
+        gain = block.get("throughput_gain")
+        detail = (
+            f"gain {gain:8.2f}x  (floor {THROUGHPUT_GAIN_FLOOR:.0f}x)"
+            if gain is not None
+            else "gain missing"
+        )
+        verdict = (
+            "OK" if gain is not None and gain >= THROUGHPUT_GAIN_FLOOR else "BELOW FLOOR"
+        )
+        print(f"[perf] {'tp/' + name:>14}: {detail}  {verdict}")
+        if verdict != "OK":
+            failures.append(
+                f"throughput/{name}: gain {gain} is below the hard floor of "
+                f"{THROUGHPUT_GAIN_FLOOR:.0f}x"
             )
     return failures
 
@@ -161,6 +210,16 @@ def main(argv=None) -> int:
         "(hardware-independent); absolute: optimised medians vs baseline "
         "(same-machine/same-load only)",
     )
+    parser.add_argument(
+        "--throughput-smoke", action="store_true",
+        help="also run a shortened throughput suite and gate its "
+        f"optimised/seed gain (floor {THROUGHPUT_GAIN_FLOOR:.0f}x)",
+    )
+    parser.add_argument(
+        "--throughput-rounds", type=int, default=THROUGHPUT_SMOKE_ROUNDS,
+        help="driver rounds per throughput scenario for the smoke "
+        f"(default {THROUGHPUT_SMOKE_ROUNDS})",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = pathlib.Path(args.baseline)
@@ -174,6 +233,8 @@ def main(argv=None) -> int:
     fresh = run_suite("micro", repeat=args.repeat, warmup=1, impls=impls)
 
     failures = compare(baseline, fresh, args.threshold, args.mode)
+    if args.throughput_smoke:
+        failures.extend(check_throughput_smoke(args.throughput_rounds))
     if failures:
         print("\n[perf] FAIL:", file=sys.stderr)
         for f in failures:

@@ -94,6 +94,21 @@ class Alphabet:
         """Non-raising form of :meth:`validate`."""
         return all(ch in self._rank for ch in identifier)
 
+    def validate_many(self, identifiers) -> None:
+        """Validate a batch of identifiers in one pass.
+
+        One set comparison over the concatenated text replaces the
+        per-character membership loop of :meth:`validate` — the bulk
+        registration path validates thousands of keys per call.  On
+        failure it falls back to per-identifier :meth:`validate` so the
+        error names the offending identifier, exactly as the sequential
+        path would have raised it.
+        """
+        if set("".join(identifiers)) <= self._rank.keys():
+            return
+        for identifier in identifiers:
+            self.validate(identifier)
+
     def sort_key(self, identifier: str) -> tuple[int, ...]:
         """A tuple usable as a sort key realising this alphabet's
         lexicographic order even when the digit order is not natural."""

@@ -26,6 +26,7 @@ every pair of its children.*  Consequences used as checkable invariants:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Iterator, Optional
 
 from .ids import common_prefix_len, gcp, is_proper_prefix
@@ -99,6 +100,12 @@ class PGCPTree:
         #: stay valid exactly while this number does not change; data-only
         #: updates on existing nodes leave routes — and the counter — alone.
         self.version = 0
+        #: Number of *filled* nodes (registered keys), maintained on every
+        #: data transition so callers can read it in O(1) instead of
+        #: walking the tree (``len(self.keys())``).  Code that bypasses the
+        #: normal insert/remove paths (crash surgery, repair resets) must
+        #: reconcile it by hand, exactly like :attr:`version`.
+        self.filled_count = 0
 
     # -- basic accessors ---------------------------------------------------
 
@@ -147,11 +154,14 @@ class PGCPTree:
             node = self._new_node(key)
             self.root = node
             node.data.add(datum)
+            self.filled_count += 1
             return node
 
         node = self._locate(key)
         # ``node`` is the node whose neighbourhood must host ``key``.
         if node.label == key:
+            if not node.data:
+                self.filled_count += 1
             node.data.add(datum)
             return node
 
@@ -163,6 +173,7 @@ class PGCPTree:
                 leaf = self._new_node(key)
                 node.add_child(leaf)
                 leaf.data.add(datum)
+                self.filled_count += 1
                 return leaf
             # child shares >1 digit with key but neither prefixes the other,
             # or key prefixes child: split below node.
@@ -174,6 +185,7 @@ class PGCPTree:
             new = self._new_node(key)
             self._insert_above(node, new)
             new.data.add(datum)
+            self.filled_count += 1
             return new
 
         # Neither prefixes the other (lines 3.21–3.31): create their common
@@ -184,13 +196,111 @@ class PGCPTree:
             leaf = self._new_node(key)
             parent.add_child(leaf)
             leaf.data.add(datum)
+            self.filled_count += 1
             return leaf
         inner = self._new_node(g)
         self._insert_above(node, inner)
         leaf = self._new_node(key)
         inner.add_child(leaf)
         leaf.data.add(datum)
+        self.filled_count += 1
         return leaf
+
+    def insert_batch(self, pairs) -> int:
+        """Register many ``(key, datum)`` pairs in one pass (``datum=None``
+        registers the key itself, as in :meth:`insert`).
+
+        The bulk-construction fast path of Algorithm 3: the batch is sorted
+        lexicographically once, and a *cursor* — the root path of the
+        previous insertion point — persists across iterations.  Because
+        consecutive sorted keys share their longest common prefixes, each
+        insertion pops the cursor to the deepest ancestor that still
+        prefixes the new key and descends only the GCP delta, instead of
+        paying a full root descent per key: amortised O(|key|) per key.
+
+        A PGCP tree is canonical for its key set — insertion order never
+        changes the final node set, edges or data — so this produces a tree
+        identical to sequential :meth:`insert` calls in the caller's order
+        (property-tested, including the total :attr:`version` advance);
+        only the node-*creation* order within the batch differs (sorted,
+        not caller order).  ``on_create`` hooks fire per created node as
+        usual.  Returns the number of pairs applied.
+        """
+        items = [(key, key if datum is None else datum) for key, datum in pairs]
+        if not items:
+            return 0
+        items.sort(key=itemgetter(0))
+        # Cursor: the root path of the previous key's node.  Every non-root
+        # entry properly prefixes the previous key, so after trimming, the
+        # "key above node" / divergence cases can only involve the root.
+        path: list[PGCPNode] = []
+        if self.root is None:
+            key, datum = items[0]
+            node = self._new_node(key)
+            self.root = node
+            node.data.add(datum)
+            self.filled_count += 1
+            path.append(node)
+            start = 1
+        else:
+            path.append(self.root)
+            start = 0
+        for key, datum in items[start:] if start else items:
+            # Trim the cursor to the deepest ancestor prefixing ``key``.
+            while len(path) > 1 and not key.startswith(path[-1].label):
+                path.pop()
+            node = path[-1]
+            # Inlined _locate + insert, resumed from ``node`` (equivalent
+            # to a root descent: every node prefixing ``key`` lies on one
+            # root path, which the cursor preserved).
+            while True:
+                label = node.label
+                if label == key:
+                    if not node.data:
+                        self.filled_count += 1
+                    node.data.add(datum)
+                    break
+                if key.startswith(label):
+                    child = node.children.get(key[len(label)]) if len(key) > len(label) else None
+                    if child is None:
+                        leaf = self._new_node(key)
+                        node.add_child(leaf)
+                        leaf.data.add(datum)
+                        self.filled_count += 1
+                        path.append(leaf)
+                        break
+                    cpl = common_prefix_len(child.label, key)
+                    if cpl == len(child.label):
+                        node = child
+                        path.append(child)
+                        continue
+                    result = self._split(node, child, key, datum)
+                    if result.parent is not node:
+                        path.append(result.parent)  # divergence: inner GCP node
+                    path.append(result)
+                    break
+                # ``node`` is the root (deeper cursor entries all prefix
+                # ``key``): Algorithm 3's "key above" / divergence cases.
+                if is_proper_prefix(key, label):
+                    new = self._new_node(key)
+                    self._insert_above(node, new)
+                    new.data.add(datum)
+                    self.filled_count += 1
+                    del path[:]
+                    path.append(new)  # ``new`` is the root now
+                    break
+                g = gcp(label, key)
+                inner = self._new_node(g)
+                self._insert_above(node, inner)
+                leaf = self._new_node(key)
+                inner.add_child(leaf)
+                leaf.data.add(datum)
+                self.filled_count += 1
+                del path[:]
+                path.append(inner)  # ``inner`` is the root now
+                path.append(leaf)
+                break
+        return len(items)
 
     def _locate(self, key: str) -> PGCPNode:
         """Descend from the root towards ``key``; return the node where the
@@ -233,6 +343,7 @@ class PGCPTree:
             parent.add_child(new)
             new.add_child(child)
             new.data.add(datum)
+            self.filled_count += 1
             return new
         # true divergence: structural node labelled the common prefix.
         g = child.label[:cpl]
@@ -243,6 +354,7 @@ class PGCPTree:
         leaf = self._new_node(key)
         inner.add_child(leaf)
         leaf.data.add(datum)
+        self.filled_count += 1
         return leaf
 
     def _insert_above(self, node: PGCPNode, new: PGCPNode) -> None:
@@ -295,6 +407,8 @@ class PGCPTree:
             node.data.discard(datum)
         else:
             return False
+        if not node.data:
+            self.filled_count -= 1
         self._contract(node)
         return True
 
@@ -419,6 +533,10 @@ class PGCPTree:
                     )
             stack.extend(kids)
         assert seen == set(self._by_label), "index contains detached labels"
+        filled = sum(1 for n in self._by_label.values() if n.data)
+        assert filled == self.filled_count, (
+            f"filled_count {self.filled_count} != {filled} filled nodes"
+        )
 
     def render(self) -> str:
         """ASCII rendering (used by tests and the quickstart example)."""

@@ -159,6 +159,7 @@ def crash_peer(system: DLPTSystem, peer_id: str) -> CrashReport:
         tree.version += 1
         if tree.on_remove is not None:
             tree.on_remove(node)
+    tree.filled_count -= len(lost_keys)  # same surgery applies to the counter
     if tree.root is not None and tree.root.label in lost:
         tree.root = None
     system.ring.leave(peer_id)
@@ -181,6 +182,7 @@ def repair(
     system: DLPTSystem,
     replication: ReplicationManager | None = None,
     lost_keys: frozenset[str] = frozenset(),
+    construction: str | None = None,
 ) -> RepairReport:
     """Rebuild a consistent PGCP tree after crashes.
 
@@ -190,6 +192,16 @@ def repair(
     the simple, provably correct repair — O(|N|) insertions — and its cost
     is exactly what the paper means by trie maintenance being expensive;
     the fault-injection bench measures it.
+
+    ``construction`` selects how the re-registrations are applied:
+    ``"bulk"`` routes the whole damaged key set through
+    :meth:`DLPTSystem.register_pairs` (one sorted insert walk plus one
+    deferred placement pass), ``"seed"`` re-registers per datum (the
+    pre-batch loop), and ``None`` (default) picks ``"bulk"`` exactly when
+    the mapping supports deferred placement — so the frozen seed reference
+    keeps timing the sequential rebuild while live systems repair in one
+    batch.  Both paths produce identical trees and mappings
+    (property-tested).
     """
     tree = system.tree
     # Survey survivors: every currently indexed filled node.
@@ -222,16 +234,28 @@ def repair(
     tree._by_label.clear()
     tree.root = None
     tree.version += 1  # index surgery bypassed _drop_node (router caches)
+    tree.filled_count = 0  # rebuilt below through the counting insert paths
 
-    reinserted = 0
+    pairs: list[tuple[str, object]] = []
     for key, data in survivors.items():
         for datum in data or {key}:
-            system.register(key, datum)
-            reinserted += 1
+            pairs.append((key, datum))
     for key, data in recovered.items():
         for datum in data or {key}:
+            pairs.append((key, datum))
+    if construction is None:
+        construction = (
+            "bulk" if getattr(system.mapping, "place_batch", None) is not None else "seed"
+        )
+    if construction == "bulk":
+        if pairs:
+            system.register_pairs(pairs)
+    elif construction == "seed":
+        for key, datum in pairs:
             system.register(key, datum)
-            reinserted += 1
+    else:
+        raise ValueError(f"unknown construction implementation {construction!r}")
+    reinserted = len(pairs)
     if replication is not None:
         replication.replicate_all()
     return RepairReport(

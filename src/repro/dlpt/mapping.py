@@ -101,6 +101,48 @@ class LexicographicMapping:
         self.label_index.remove(label)
         self.version += 1
 
+    def place_batch(self, labels: Iterable[str]) -> None:
+        """Place many freshly created labels in one deferred pass — the bulk
+        twin of per-node :meth:`on_node_created` hook firings.
+
+        Per-node placement pays a successor bisect plus an O(N) sorted
+        insert for every created label.  Here the batch is sorted once and
+        grouped into *runs* sharing a host: the ceiling peer of a label
+        hosts every following label up to its identifier (there is no peer
+        id in between), so one bisect covers a whole run of consecutive
+        labels.  Labels above ``P_max`` wrap to ``P_min`` (the paper's
+        mapping rule), which in sorted order is always the final run.  The
+        index merge is a single :meth:`SortedList.update` and the version
+        bumps once.  Final state is identical to per-node placement
+        (property-tested); labels must be new (unmapped) — a duplicate
+        fails the atomic index merge.
+        """
+        batch = sorted(labels)
+        if not batch:
+            return
+        ring = self.ring
+        host = self.host
+        n = len(batch)
+        i = 0
+        while i < n:
+            label = batch[i]
+            peer = ring.successor_of_key(label)
+            pid = peer.id
+            j = i + 1
+            if pid >= label:
+                # Run of labels in (label, pid] — all hosted by ``peer``.
+                while j < n and batch[j] <= pid:
+                    j += 1
+            else:
+                # Wrapped: ``label`` > P_max, so is every later label.
+                j = n
+            run = batch[i:j]
+            peer.nodes.update(run)
+            host.update(dict.fromkeys(run, peer))
+            i = j
+        self.label_index.update(batch)
+        self.version += 1
+
     # -- membership change hooks ---------------------------------------------
 
     def on_peer_joined(self, peer: Peer) -> int:

@@ -160,10 +160,78 @@ class DLPTSystem:
         self.ring.leave(peer_id)
         return peer
 
+    def add_peers(
+        self,
+        rng,
+        n_peers: Optional[int] = None,
+        capacities=None,
+        peer_ids=None,
+    ) -> list[Peer]:
+        """Join a batch of peers with one sorted ring merge — the bulk twin
+        of repeated :meth:`add_peer` calls (the ``ChordRing.add_peers``
+        idiom applied to the live ring).
+
+        Identifiers (when ``peer_ids`` is ``None``) and capacities (when
+        ``capacities`` is ``None``) are drawn from ``rng`` in the same
+        per-peer order as the sequential loop, so both paths consume the
+        RNG stream identically and build the same platform.  The bulk merge
+        only applies while the mapping holds no labels (bootstrap: joins
+        migrate nothing) under a mapping with deferred placement; otherwise
+        — mid-life joins, the frozen seed mapping, the DHT baseline — it
+        falls back to per-peer :meth:`add_peer`, which preserves
+        interval-migration (and hash-collision-retry) semantics.
+        """
+        if peer_ids is not None:
+            if n_peers is None:
+                n_peers = len(peer_ids)
+            elif n_peers != len(peer_ids):
+                raise ValueError("n_peers disagrees with len(peer_ids)")
+        elif n_peers is None:
+            raise ValueError("need n_peers or peer_ids")
+        if capacities is not None and len(capacities) != n_peers:
+            raise ValueError("capacities must match the batch size")
+        mapping = self.mapping
+        bulk = getattr(mapping, "place_batch", None) is not None and not mapping.host
+        if not bulk:
+            return [
+                self.add_peer(
+                    rng,
+                    peer_id=peer_ids[i] if peer_ids is not None else None,
+                    capacity=capacities[i] if capacities is not None else None,
+                )
+                for i in range(n_peers)
+            ]
+        ring = self.ring
+        batch_ids: set[str] = set()
+        peers: list[Peer] = []
+        sample = self.capacity_model.sample
+        for i in range(n_peers):
+            if peer_ids is not None:
+                pid = peer_ids[i]
+                if pid in ring or pid in batch_ids:
+                    raise ValueError(f"peer id {pid!r} already on the ring")
+            else:
+                # Same rejection rule as the sequential loop: earlier batch
+                # members count as "on the ring" for collision purposes.
+                while True:
+                    if self.peer_id_sampler is not None:
+                        pid = self.peer_id_sampler(rng)
+                    else:
+                        pid = self.alphabet.random_identifier(rng, self.peer_id_length)
+                    if pid not in ring and pid not in batch_ids:
+                        break
+            batch_ids.add(pid)
+            capacity = capacities[i] if capacities is not None else sample(rng)
+            peers.append(Peer(id=pid, capacity=capacity))
+        ring.join_many(peers)
+        # No labels are mapped, so no interval migrates; the joins still
+        # count as one host-assignment epoch for the router's caches.
+        mapping.version += 1
+        return peers
+
     def build(self, rng, n_peers: int) -> None:
         """Bootstrap a platform of ``n_peers`` peers (before any services)."""
-        for _ in range(n_peers):
-            self.add_peer(rng)
+        self.add_peers(rng, n_peers)
 
     # -- service registration -----------------------------------------------
 
@@ -174,6 +242,48 @@ class DLPTSystem:
             raise RuntimeError("cannot register services on an empty ring")
         self.alphabet.validate(key)
         self.tree.insert(key, datum)
+
+    def register_batch(self, keys) -> int:
+        """Register many service keys in one batched pass (each key its own
+        datum, exactly as per-key :meth:`register`)."""
+        return self.register_pairs([(key, None) for key in keys])
+
+    def register_pairs(self, pairs) -> int:
+        """Register ``(key, datum)`` pairs through the bulk construction
+        fast path: one sorted :meth:`~repro.core.pgcp.PGCPTree.insert_batch`
+        cursor walk plus one deferred mapping placement pass over every
+        node the batch created, instead of a hook-driven placement per
+        node.  The final tree/mapping/index state is identical to per-key
+        :meth:`register` calls (property-tested); mappings without a
+        ``place_batch`` hook (the frozen seed reference, the DHT baseline)
+        fall back to the sequential loop.  Returns the number of pairs.
+        """
+        if len(self.ring) == 0:
+            raise RuntimeError("cannot register services on an empty ring")
+        pairs = list(pairs)
+        if not pairs:
+            return 0
+        self.alphabet.validate_many([key for key, _ in pairs])
+        place = getattr(self.mapping, "place_batch", None)
+        if place is None:
+            insert = self.tree.insert
+            for key, datum in pairs:
+                insert(key, datum)
+            return len(pairs)
+        tree = self.tree
+        created: list[str] = []
+        hooked_on_create = tree.on_create
+        tree.on_create = lambda node: created.append(node.label)
+        try:
+            tree.insert_batch(pairs)
+        finally:
+            tree.on_create = hooked_on_create
+        place(created)
+        if self.node_index is not getattr(self.mapping, "label_index", None):
+            # Unaliased entry-node index (a mapping with deferred placement
+            # but its own label bookkeeping): merge the batch once.
+            self.node_index.update(created)
+        return len(pairs)
 
     def unregister(self, key: str, datum: object = None) -> bool:
         """Remove a service registration (extension; contracts the tree)."""
@@ -483,6 +593,13 @@ class DLPTSystem:
 
     def registered_keys(self) -> set[str]:
         return self.tree.keys()
+
+    @property
+    def registered_key_count(self) -> int:
+        """Number of currently registered keys, O(1) — the counter the
+        runner reads every time unit instead of walking the whole tree
+        (see :attr:`repro.core.pgcp.PGCPTree.filled_count`)."""
+        return self.tree.filled_count
 
     def check_invariants(self) -> None:
         """Full-system consistency: tree Definition 1, ring order, mapping

@@ -71,6 +71,14 @@ class ExperimentConfig:
     #: can time the before/after honestly and is never what an experiment
     #: should select.
     discovery: str = "indexed"
+    #: Tree-construction implementation: "bulk" (the batched
+    #: :meth:`repro.dlpt.system.DLPTSystem.register_batch` fast path —
+    #: sorted-cursor inserts plus one deferred mapping placement pass per
+    #: batch, default) or "seed" (the frozen per-key loops of
+    #: :mod:`repro.perf.reference_construction`).  The two build identical
+    #: systems (property-tested); "seed" exists so the construction
+    #: benchmarks can time the before/after honestly.
+    construction: str = "bulk"
 
     # dynamics
     churn: ChurnModel = STABLE
@@ -111,6 +119,11 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown discovery implementation {self.discovery!r} "
                 "(expected 'indexed' or 'seed')"
+            )
+        if self.construction not in ("bulk", "seed"):
+            raise ValueError(
+                f"unknown construction implementation {self.construction!r} "
+                "(expected 'bulk' or 'seed')"
             )
 
     def with_lb(self, lb: LoadBalancer) -> "ExperimentConfig":
@@ -194,6 +207,10 @@ class ExperimentConfig:
             # anyway — the implementations are result-equivalent, but a
             # cache must never silently alias a benchmark's reference runs.
             signature["discovery"] = self.discovery
+        if self.construction != "bulk":
+            # Same back-compat rule as ``discovery``: the default (bulk)
+            # keeps the pre-existing signature bytes.
+            signature["construction"] = self.construction
         return signature
 
     def describe(self) -> str:

@@ -56,8 +56,15 @@ def build_system(config: ExperimentConfig, streams: RngStreams) -> DLPTSystem:
     )
     boot = streams.stream("bootstrap")
     cap = streams.stream("capacity")
-    for _ in range(config.n_peers):
-        system.add_peer(boot, capacity=config.capacity_model.sample(cap))
+    # Capacities are pre-drawn in peer order: the "capacity" and
+    # "bootstrap" streams are independent, so both construction paths
+    # consume each stream in exactly the same per-peer sequence.
+    capacities = [config.capacity_model.sample(cap) for _ in range(config.n_peers)]
+    if config.construction == "seed":
+        for capacity in capacities:
+            system.add_peer(boot, capacity=capacity)
+    else:
+        system.add_peers(boot, config.n_peers, capacities=capacities)
     return system
 
 
@@ -245,13 +252,23 @@ def run_single(
         if injector is not None and registrations:
             # Never grow a crash-damaged forest: force the repair first.
             injector.before_registrations(unit, stats)
-        for key in registrations:
+        if registrations:
             if recorder is not None:
-                recorder.registration(key)
-            system.register(key)
-            available.append(key)
+                for key in registrations:
+                    recorder.registration(key)
+            # Batched registration (the bulk construction fast path) or the
+            # frozen per-key loop under ``construction="seed"``.  Replica
+            # refreshes run after the batch: hosts and data are identical
+            # either way within one step, so the interleaving is equivalent.
+            if config.construction == "seed":
+                for key in registrations:
+                    system.register(key)
+            else:
+                system.register_batch(registrations)
+            available.extend(registrations)
             if injector is not None:
-                injector.on_registered(key)
+                for key in registrations:
+                    injector.on_registered(key)
 
         # (5) discovery requests under the per-unit capacity budget, scaled
         # by the schedule's rate multiplier (diurnal cycles, crowd surges).
@@ -281,10 +298,11 @@ def run_single(
         stats.aggregate_capacity = capacity_total
         stats.load_imbalance = _load_imbalance(system)
         stats.keys_expected = len(available)
-        # registered_keys() walks the whole tree; without fault injection
-        # no key can ever be missing, so skip the O(nodes) scan per unit.
+        # With fault injection keys can be missing; the O(1) filled-node
+        # counter replaces the seed's O(nodes) tree walk per unit.  Without
+        # injection no key can ever be missing.
         stats.keys_present = (
-            len(system.registered_keys()) if injector is not None else len(available)
+            system.registered_key_count if injector is not None else len(available)
         )
         system.end_time_unit()
         result.units.append(stats)

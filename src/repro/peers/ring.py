@@ -113,6 +113,30 @@ class Ring:
         self._by_id[peer.id] = peer
         self.version += 1
 
+    def join_many(self, peers) -> None:
+        """Insert a batch of peers with one sorted merge.
+
+        The whole batch is validated first — a collision against the ring
+        or within the batch raises :class:`DuplicatePeerError` before
+        anything mutates — then the identifiers merge in a single
+        :meth:`~repro.util.sortedlist.SortedList.update` pass and
+        :attr:`version` bumps once, so bootstrapping 10⁴ peers costs one
+        sort instead of 10⁴ O(P) list shifts.
+        """
+        batch = list(peers)
+        ids: set[str] = set()
+        for peer in batch:
+            if peer.id in self._by_id or peer.id in ids:
+                raise DuplicatePeerError(peer.id)
+            ids.add(peer.id)
+        if not batch:
+            return
+        self._ids.update(ids)
+        by_id = self._by_id
+        for peer in batch:
+            by_id[peer.id] = peer
+        self.version += 1
+
     def leave(self, peer_id: str) -> Peer:
         """Remove and return the peer with ``peer_id``."""
         peer = self._by_id.pop(peer_id, None)

@@ -61,13 +61,37 @@ def host_metadata() -> Dict[str, Any]:
         "cpu_count": os.cpu_count(),
     }
 
+
+def peak_rss_bytes() -> Optional[int]:
+    """Peak resident-set size of this process in bytes, or ``None`` when
+    the platform does not expose it.  Recorded after each suite run so
+    bench documents carry a memory footprint next to the host metadata
+    (ROADMAP item 3's memory-as-a-gated-metric prerequisite).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; stdlib only,
+    so the number is process-lifetime peak (setup included), comparable
+    across runs of the same suite on the same host.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if peak <= 0:  # pragma: no cover - platform reports nothing
+        return None
+    return peak if sys.platform == "darwin" else peak * 1024
+
 #: Both sides of every speedup number, in report order.
 IMPLS = ("seed", "optimised")
 
 #: Default output file per suite; resolved against the repository root by
 #: :func:`default_out_path` so `check_regression.py` and the bench always
 #: agree on where baselines live regardless of the invocation directory.
-DEFAULT_OUT = {"micro": "BENCH_micro.json", "scale": "BENCH_scale.json"}
+DEFAULT_OUT = {
+    "micro": "BENCH_micro.json",
+    "scale": "BENCH_scale.json",
+    "throughput": "BENCH_throughput.json",
+}
 
 
 def default_out_path(suite: str) -> pathlib.Path:
@@ -156,6 +180,7 @@ def run_suite(
                 print(f"[bench]   {impl:>9}: median {block['impls'][impl]['median_s']:.4f}s")
             if "speedup_median" in block:
                 print(f"[bench]   speedup: {block['speedup_median']:.1f}x")
+    doc["host"]["peak_rss_bytes"] = peak_rss_bytes()
     return doc
 
 
@@ -216,8 +241,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro bench",
         description="Run the performance benchmark suites and write BENCH_*.json.",
     )
-    parser.add_argument("--suite", choices=sorted(SUITES) + ["all"], default="micro",
-                        help="parameter suite to run (default micro)")
+    parser.add_argument("--suite", choices=sorted(SUITES) + ["throughput", "all"],
+                        default="micro",
+                        help="parameter suite to run (default micro); "
+                        "'throughput' runs the sustained-rate driver")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="throughput suite: override driver rounds per "
+                        "scenario (the CI smoke runs a short version)")
     parser.add_argument("--scenario", action="append", default=None,
                         help="restrict to named scenario(s); repeatable")
     parser.add_argument("--repeat", type=int, default=5,
@@ -239,11 +269,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.out and args.suite == "all":
         parser.error("--out is ambiguous with --suite all; run one suite at a time")
-    suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+    suites = sorted(SUITES) + ["throughput"] if args.suite == "all" else [args.suite]
     impls = tuple(args.impl) if args.impl else IMPLS
     if args.profile_hotspots:
         profile_impls = tuple(args.impl) if args.impl else ("optimised",)
         for suite in suites:
+            if suite == "throughput":
+                if args.suite == "throughput":
+                    parser.error("--profile-hotspots is not supported for "
+                                 "the throughput suite")
+                continue
             try:
                 profile_suite(suite, scenarios=args.scenario,
                               impls=profile_impls, top=args.top)
@@ -252,14 +287,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     for suite in suites:
         try:
-            doc = run_suite(
-                suite,
-                repeat=args.repeat,
-                warmup=args.warmup,
-                scenarios=args.scenario,
-                impls=impls,
-                verbose=True,
-            )
+            if suite == "throughput":
+                from .throughput import run_throughput_suite
+
+                doc = run_throughput_suite(
+                    scenarios=args.scenario,
+                    impls=impls,
+                    rounds=args.rounds,
+                    verbose=True,
+                )
+            else:
+                doc = run_suite(
+                    suite,
+                    repeat=args.repeat,
+                    warmup=args.warmup,
+                    scenarios=args.scenario,
+                    impls=impls,
+                    verbose=True,
+                )
         except ValueError as exc:
             parser.error(str(exc))  # clean usage error, exit 2
         out = args.out or default_out_path(suite)

@@ -1,0 +1,48 @@
+"""Reference (seed) construction path — the "before" of the write-side batching.
+
+Behavioural copies of the repository's pre-batch platform bootstrap and
+service registration: one :meth:`DLPTSystem.add_peer` ring insert per peer,
+and one full root-descent :meth:`PGCPTree.insert` — with a hook-driven
+mapping placement (successor bisect + O(N) sorted-index insert) per created
+node — per registered key.  Like :mod:`repro.perf.reference` (mapping) and
+:mod:`repro.perf.reference_routing` (requests), these loops are kept so that
+
+* :mod:`repro.perf.scenarios` can time the construction scenarios
+  (``build``, ``growth``, ``crash_storm``) honestly under the ``seed``
+  implementation axis,
+* the experiment runner can pin ``construction="seed"`` (the
+  :class:`repro.experiments.config.ExperimentConfig` switch) when a
+  benchmark needs the pre-batch write path, and
+* ``tests/core/test_construction_equivalence.py`` can property-check that
+  the batched :meth:`DLPTSystem.register_batch` /
+  :meth:`PGCPTree.insert_batch` fast path builds identical trees, mappings
+  and counters.
+
+Do not "optimise" this module; its slowness is its specification.
+"""
+
+from __future__ import annotations
+
+
+def seed_build_platform(
+    system, rng, n_peers=None, capacities=None, peer_ids=None
+) -> None:
+    """The seed's bootstrap loop (the pre-batch ``DLPTSystem.build``): one
+    ring insert and one mapping join hook per peer, in caller order."""
+    count = len(peer_ids) if peer_ids is not None else n_peers
+    for i in range(count):
+        system.add_peer(
+            rng,
+            peer_id=peer_ids[i] if peer_ids is not None else None,
+            capacity=capacities[i] if capacities is not None else None,
+        )
+
+
+def seed_register_all(system, keys) -> int:
+    """The seed's registration loop (the pre-batch growth path): every key
+    pays a full root-descent insert, and every created node a hook-driven
+    mapping placement."""
+    register = system.register
+    for key in keys:
+        register(key)
+    return len(keys)

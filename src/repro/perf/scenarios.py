@@ -14,11 +14,14 @@ generation) from the timed ``execute`` so the measurement covers only the
 system operations under study.  The ``impl`` axis selects the frozen seed
 implementations versus the live code: ``"seed"`` pairs the per-label
 reference mapping (:mod:`repro.perf.reference`) with the per-request
-reference discovery walk (:mod:`repro.perf.reference_routing`);
-``"optimised"`` runs the live interval-batched
-:class:`repro.dlpt.mapping.LexicographicMapping` and the indexed, batched
-discovery fast path (:class:`repro.dlpt.routing.DiscoveryRouter` via
-:meth:`DLPTSystem.discover_batch`).
+reference discovery walk (:mod:`repro.perf.reference_routing`) and the
+per-peer/per-key construction loops
+(:mod:`repro.perf.reference_construction`); ``"optimised"`` runs the live
+interval-batched :class:`repro.dlpt.mapping.LexicographicMapping`, the
+indexed, batched discovery fast path
+(:class:`repro.dlpt.routing.DiscoveryRouter` via
+:meth:`DLPTSystem.discover_batch`), and the bulk construction path
+(:meth:`DLPTSystem.add_peers` + :meth:`DLPTSystem.register_batch`).
 
 The ``churn_storm`` scenario is the headline: a flash-crowd region of the
 identifier space loses all its peers (their node intervals pile up on the
@@ -112,11 +115,12 @@ def _build_system(params: Dict[str, Any], impl: str, rng: random.Random,
         capacity_model=FixedCapacity(params.get("capacity", 1_000_000)),
         mapping_factory=_mapping_factory(impl),
     )
-    for pid in _peer_ids(rng, params["n_peers"], corpus):
-        system.add_peer(rng, peer_id=pid)
+    # Untimed state construction: the batch paths apply under the live
+    # mapping and fall back to the sequential loops under the seed one —
+    # either way the resulting platform is identical (property-tested).
+    system.add_peers(rng, peer_ids=_peer_ids(rng, params["n_peers"], corpus))
     if register:
-        for key in corpus:
-            system.register(key)
+        system.register_batch(corpus)
     return system, corpus
 
 
@@ -138,29 +142,37 @@ def _prepare_build(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
 
 def _execute_build(state: Dict[str, Any]) -> DLPTSystem:
     params = state["params"]
+    impl = state["impl"]
     system = DLPTSystem(
         alphabet=PRINTABLE,
         capacity_model=FixedCapacity(params.get("capacity", 1_000_000)),
-        mapping_factory=_mapping_factory(state["impl"]),
+        mapping_factory=_mapping_factory(impl),
     )
     rng = state["rng"]
-    for pid in state["peer_ids"]:
-        system.add_peer(rng, peer_id=pid)
-    for key in state["corpus"]:
-        system.register(key)
+    if impl == "seed":
+        from .reference_construction import seed_build_platform, seed_register_all
+
+        seed_build_platform(system, rng, peer_ids=state["peer_ids"])
+        seed_register_all(system, state["corpus"])
+    else:
+        system.add_peers(rng, peer_ids=state["peer_ids"])
+        system.register_batch(state["corpus"])
     return system
 
 
 def _prepare_growth(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
     rng = random.Random(params["seed"])
     system, corpus = _build_system(params, impl, rng, register=False)
-    return {"system": system, "corpus": corpus}
+    return {"system": system, "corpus": corpus, "impl": impl}
 
 
 def _execute_growth(state: Dict[str, Any]) -> None:
-    register = state["system"].register
-    for key in state["corpus"]:
-        register(key)
+    if state["impl"] == "seed":
+        from .reference_construction import seed_register_all
+
+        seed_register_all(state["system"], state["corpus"])
+    else:
+        state["system"].register_batch(state["corpus"])
 
 
 def _prepare_churn_storm(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
@@ -393,6 +405,7 @@ def _prepare_replay(params: Dict[str, Any], impl: str) -> Dict[str, Any]:
             lb=MLT(),
             mapping_factory=_mapping_factory(which),
             discovery="seed" if which == "seed" else "indexed",
+            construction="seed" if which == "seed" else "bulk",
             seed=params["seed"],
         )
 

@@ -144,7 +144,8 @@ class TestBench:
             run_suite("micro", scenarios=["no_such_scenario"])
 
     def test_default_out_covers_suites(self):
-        assert set(DEFAULT_OUT) == set(SUITES)
+        # Every timed suite plus the sustained-rate driver has a baseline.
+        assert set(DEFAULT_OUT) == set(SUITES) | {"throughput"}
 
     def test_host_metadata_recorded(self):
         meta = host_metadata()
@@ -152,7 +153,10 @@ class TestBench:
         assert isinstance(meta["cpu_count"], int) and meta["cpu_count"] >= 1
         doc = run_suite("micro", repeat=1, warmup=0, scenarios=["request_flood"])
         # The micro params are not TINY here, so keep it to the cheapest
-        # scenario; what matters is the document layout.
+        # scenario; what matters is the document layout.  The suite run
+        # appends its peak RSS next to the static host fingerprint.
+        rss = doc["host"].pop("peak_rss_bytes")
+        assert rss is None or (isinstance(rss, int) and rss > 0)
         assert doc["host"] == meta
 
     def test_profile_scenario_reports_hotspots(self):
