@@ -106,11 +106,38 @@ class ProtocolPeer:
 
 
 class ProtocolEngine:
-    """Drives peers, nodes and messages over the event simulator."""
+    """Drives peers, nodes and messages over a message transport.
 
-    def __init__(self, sim: Optional[Simulator] = None, network: Optional[Network] = None) -> None:
-        self.sim = sim or Simulator()
-        self.net = network or Network(self.sim)
+    The engine is transport-agnostic: it talks only to the
+    :class:`~repro.net.transport.Transport` surface (``register`` /
+    ``unregister`` / ``send`` plus a clock), so the same protocol code
+    runs under the discrete-event simulator and under a live asyncio
+    event loop.  Constructing with ``sim``/``network`` (or nothing)
+    builds the classic :class:`~repro.net.transport.SimTransport`, and
+    ``self.sim`` / ``self.net`` stay bound to the simulator and network
+    for existing callers; under a non-sim transport those aliases point
+    at the transport itself and :meth:`run` defers to ``await
+    transport.drain()``.
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        transport=None,
+    ) -> None:
+        if transport is None:
+            # Local import: repro.net.wire imports repro.dlpt for the
+            # message types, so this module must not import repro.net at
+            # module scope.
+            from ..net.transport import SimTransport
+
+            transport = SimTransport(sim=sim, network=network)
+        elif sim is not None or network is not None:
+            raise ValueError("pass either transport= or sim=/network=, not both")
+        self.transport = transport
+        self.sim = getattr(transport, "sim", transport)
+        self.net = getattr(transport, "network", transport)
         self.peers: Dict[str, ProtocolPeer] = {}
         #: label -> hosting peer id (node location service).
         self.locator: Dict[str, str] = {}
@@ -120,7 +147,7 @@ class ProtocolEngine:
         self.discovery_replies: list[m.DiscoveryReply] = []
         self.dead_node_messages = 0
         self._client_endpoint = "@client"
-        self.net.register(self._client_endpoint, self._on_client_message)
+        self.transport.register(self._client_endpoint, self._on_client_message)
 
     # ------------------------------------------------------------------
     # bootstrap & membership
@@ -134,7 +161,13 @@ class ProtocolEngine:
         self._install_peer(peer)
         return peer
 
-    def join_peer(self, peer_id: str, capacity: int = 10, via: Optional[str] = None) -> ProtocolPeer:
+    def join_peer(
+        self,
+        peer_id: str,
+        capacity: int = 10,
+        via: Optional[str] = None,
+        seed: Optional[str] = None,
+    ) -> ProtocolPeer:
         """Start the Algorithm 1 join of ``peer_id``.
 
         ``via`` is the label of the entry node; a random node of an
@@ -142,17 +175,29 @@ class ProtocolEngine:
         the request is delegated directly to the peer layer (there are no
         nodes to route it, cf. Section 3: routing "is mainly achieved by
         the nodes").
+
+        ``seed`` is a registry-assisted shortcut: the id of a peer believed
+        to be the joiner's ring successor (as handed out by
+        :class:`repro.net.bootstrap.BootstrapRegistry`).  The
+        ``NewPredecessor`` request is sent straight to that peer — O(1)
+        instead of a ring walk — and Algorithm 2's interval check still
+        forwards it along the ring if the registry's view was stale.
         """
         if peer_id in self.peers:
             raise ValueError(f"peer {peer_id!r} already exists")
         peer = ProtocolPeer(id=peer_id, capacity=capacity)
         self._install_peer(peer)
+        if seed is not None:
+            self.transport.send(
+                peer_id, seed, m.NewPredecessor(joiner=peer_id, capacity=capacity)
+            )
+            return peer
         if via is None:
             via = next(iter(self.locator), None)
         if via is None:
             # Empty tree: seed the NewPredecessor walk at any joined peer.
             seed = next(pid for pid in self.peers if self.peers[pid].joined)
-            self.net.send(peer_id, seed, m.NewPredecessor(joiner=peer_id, capacity=capacity))
+            self.transport.send(peer_id, seed, m.NewPredecessor(joiner=peer_id, capacity=capacity))
         else:
             self.send_to_node(
                 peer_id, via,
@@ -162,7 +207,7 @@ class ProtocolEngine:
 
     def _install_peer(self, peer: ProtocolPeer) -> None:
         self.peers[peer.id] = peer
-        self.net.register(peer.id, self._on_peer_message)
+        self.transport.register(peer.id, self._on_peer_message)
 
     def leave_peer(self, peer_id: str) -> None:
         """Graceful departure: hand ν to the successor, then disappear.
@@ -186,10 +231,10 @@ class ProtocolEngine:
             )
             for st in peer.nodes.values()
         )
-        self.net.send(peer.id, peer.succ, m.LeaveTransfer(pred=peer.pred, nodes=payloads))
-        self.net.send(peer.id, peer.pred, m.UpdateSuccessor(new_successor=peer.succ))
+        self.transport.send(peer.id, peer.succ, m.LeaveTransfer(pred=peer.pred, nodes=payloads))
+        self.transport.send(peer.id, peer.pred, m.UpdateSuccessor(new_successor=peer.succ))
         peer.nodes.clear()
-        self.net.unregister(peer.id)
+        self.transport.unregister(peer.id)
         del self.peers[peer_id]
 
     def _on_leave_transfer(self, peer: ProtocolPeer, msg: m.LeaveTransfer) -> None:
@@ -216,7 +261,7 @@ class ProtocolEngine:
             # Empty tree: fabricate the root node and find it a host.
             payload = m.NodePayload(label=key, father=None, children=frozenset(), data=(datum,))
             start = next(pid for pid in self.peers if self.peers[pid].joined)
-            self.net.send(self._client_endpoint, start, m.Host(payload=payload))
+            self.transport.send(self._client_endpoint, start, m.Host(payload=payload))
             return
         if via is None:
             via = next(iter(self.locator))
@@ -250,7 +295,7 @@ class ProtocolEngine:
         if host is None:
             self.pending_node_messages.setdefault(label, []).append((src, payload))
             return
-        self.net.send(src, host, payload)
+        self.transport.send(src, host, payload)
 
     def _on_client_message(self, env: Envelope) -> None:
         if isinstance(env.payload, m.DiscoveryReply):
@@ -264,7 +309,7 @@ class ProtocolEngine:
         if node_label is not None and node_label not in peer.nodes:
             current = self.locator.get(node_label)
             if current is not None and current != peer.id:
-                self.net.send(env.src, current, msg)
+                self.transport.send(env.src, current, msg)
             elif current is None:
                 self.pending_node_messages.setdefault(node_label, []).append(
                     (env.src, msg)
@@ -306,7 +351,7 @@ class ProtocolEngine:
                 peer.id, q, m.PeerJoin(node=q, joiner=joiner, state=1, capacity=cap)
             )
         else:
-            self.net.send(peer.id, peer.id, m.NewPredecessor(joiner=joiner, capacity=cap))
+            self.transport.send(peer.id, peer.id, m.NewPredecessor(joiner=joiner, capacity=cap))
 
     # ------------------------------------------------------------------
     # Algorithm 2 — peer insertion, on peer Q
@@ -324,12 +369,12 @@ class ProtocolEngine:
         if not in_interval_open_closed(joiner, peer.pred, peer.id):
             # Not my predecessor: forward along the ring (paper line 2.04,
             # generalised to the circular interval — see module docstring).
-            self.net.send(peer.id, peer.succ, msg)
+            self.transport.send(peer.id, peer.succ, msg)
             return
         moving = self._split_nodes(peer, joiner)
         old_pred = peer.pred
         self._send_your_information(peer, joiner, pred=old_pred, moving=moving)
-        self.net.send(peer.id, old_pred, m.UpdateSuccessor(new_successor=joiner))
+        self.transport.send(peer.id, old_pred, m.UpdateSuccessor(new_successor=joiner))
         peer.pred = joiner
 
     def _split_nodes(self, peer: ProtocolPeer, joiner: str) -> list[m.NodePayload]:
@@ -355,7 +400,7 @@ class ProtocolEngine:
     def _send_your_information(
         self, peer: ProtocolPeer, joiner: str, pred: str, moving: list[m.NodePayload]
     ) -> None:
-        self.net.send(
+        self.transport.send(
             peer.id,
             joiner,
             m.YourInformation(pred=pred, succ=peer.id, nodes=tuple(moving)),
@@ -446,7 +491,7 @@ class ProtocolEngine:
         if q is not None and q != msg.payload.label:
             self.send_to_node(peer.id, q, m.SearchingHost(node=q, payload=msg.payload))
         else:
-            self.net.send(peer.id, peer.id, m.Host(payload=msg.payload))
+            self.transport.send(peer.id, peer.id, m.Host(payload=msg.payload))
 
     def _on_host(self, peer: ProtocolPeer, msg: m.Host) -> None:
         # Peer layer: enforce the mapping rule by ring forwarding (module
@@ -456,7 +501,7 @@ class ProtocolEngine:
             self.dead_node_messages += 1
             return
         if len(self.peers) > 1 and not in_interval_open_closed(label, peer.pred, peer.id):
-            self.net.send(peer.id, peer.succ, msg)
+            self.transport.send(peer.id, peer.succ, msg)
             return
         self._install_node(peer, msg.payload)
 
@@ -476,7 +521,7 @@ class ProtocolEngine:
         parked = self.pending_node_messages.pop(payload.label, None)
         if parked:
             for src, msg in parked:
-                self.net.send(src, peer.id, msg)
+                self.transport.send(src, peer.id, msg)
 
     # ------------------------------------------------------------------
     # discovery
@@ -487,7 +532,7 @@ class ProtocolEngine:
         k = msg.key
         hops = msg.hops
         if p.label == k:
-            self.net.send(
+            self.transport.send(
                 peer.id,
                 msg.reply_to,
                 m.DiscoveryReply(key=k, found=True, data=tuple(p.data), hops=hops),
@@ -500,7 +545,7 @@ class ProtocolEngine:
                     peer.id, q, m.DiscoveryRequest(node=q, key=k, reply_to=msg.reply_to, hops=hops + 1)
                 )
                 return
-            self.net.send(
+            self.transport.send(
                 peer.id, msg.reply_to, m.DiscoveryReply(key=k, found=False, hops=hops)
             )
             return
@@ -511,15 +556,23 @@ class ProtocolEngine:
                 m.DiscoveryRequest(node=p.father, key=k, reply_to=msg.reply_to, hops=hops + 1),
             )
             return
-        self.net.send(peer.id, msg.reply_to, m.DiscoveryReply(key=k, found=False, hops=hops))
+        self.transport.send(peer.id, msg.reply_to, m.DiscoveryReply(key=k, found=False, hops=hops))
 
     # ------------------------------------------------------------------
     # verification helpers
     # ------------------------------------------------------------------
 
     def run(self) -> None:
-        """Run the simulator until the protocol quiesces."""
-        self.sim.run_until_idle()
+        """Run the simulator until the protocol quiesces (synchronous;
+        only meaningful under a :class:`~repro.net.transport.SimTransport`
+        — under an asyncio transport, ``await transport.drain()``)."""
+        runner = getattr(self.transport, "run_until_idle", None)
+        if runner is None:
+            raise RuntimeError(
+                "run() needs a SimTransport; under an asyncio transport "
+                "use `await transport.drain()`"
+            )
+        runner()
 
     def tree_edges(self) -> set[tuple[str, str]]:
         """(father, child) pairs as recorded on the hosting peers."""

@@ -11,6 +11,7 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro sweep --shard 0/4 --store /mnt/shared/repro-results
     python -m repro run --workload flash_crowd:S3L --units 120 --trace t.jsonl
     python -m repro run --replay t.jsonl --lb kc:k=8
+    python -m repro serve --peers 8 --demo
     python -m repro list
 
 Figures print an ASCII plot plus the per-unit series table; tables print
@@ -262,9 +263,13 @@ def main(argv=None) -> int:
         from ..sweeps.cli import sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..net.serve import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
-        for name in _EXPERIMENTS + ["bench", "paper", "run", "sweep"]:
+        for name in _EXPERIMENTS + ["bench", "paper", "run", "serve", "sweep"]:
             print(name)
         return 0
 

@@ -1,0 +1,51 @@
+"""``repro.net`` — the DLPT runtime behind a transport interface.
+
+The paper's system model is real asynchronous peers exchanging messages;
+everything else in this repository runs that model inside one discrete-event
+simulator process.  This package is the gateway from reproduction to
+service: a :class:`~repro.net.transport.Transport` interface extracted from
+:mod:`repro.sim.network` (endpoints, ``send``, timers, a clock) with two
+implementations —
+
+* :class:`~repro.net.transport.SimTransport` wraps the existing
+  :class:`~repro.sim.engine.Simulator` + :class:`~repro.sim.network.Network`
+  pair, byte-identical to driving them directly;
+* :class:`~repro.net.asyncio_transport.AsyncioTransport` speaks
+  length-prefixed JSON frames (schema ``repro-wire/1``,
+  :mod:`repro.net.wire`) over TCP or Unix-domain sockets on an asyncio
+  event loop, with per-endpoint inbox queues and a monotonic clock; its
+  :class:`~repro.net.asyncio_transport.LoopbackAsyncioTransport` subclass
+  keeps the event loop and the wire codec but delivers frames in-process
+  in deterministic global FIFO order (tier-1 testable).
+
+The *same* protocol objects (:class:`repro.dlpt.protocol.ProtocolEngine`)
+run unchanged on either transport.  On top sit the broker-style bootstrap
+registry (:mod:`repro.net.bootstrap`), the futures-style client library
+(:mod:`repro.net.client`), the ``python -m repro serve`` cluster launcher
+(:mod:`repro.net.serve`) and — the proof obligation — the differential
+trace-conformance harness (:mod:`repro.net.conformance`) that replays a
+recorded ``repro-trace/1`` workload through both transports and asserts
+the canonicalised outcome streams are equal.  See ``docs/runtime.md``.
+"""
+
+from .asyncio_transport import AsyncioTransport, LoopbackAsyncioTransport
+from .bootstrap import BootstrapRegistry, Broker
+from .client import DLPTClient, DLPTClientError
+from .transport import SimTransport, Transport, TransportError
+from .wire import WIRE_SCHEMA, WireError, decode_frame, encode_frame
+
+__all__ = [
+    "AsyncioTransport",
+    "BootstrapRegistry",
+    "Broker",
+    "DLPTClient",
+    "DLPTClientError",
+    "LoopbackAsyncioTransport",
+    "SimTransport",
+    "Transport",
+    "TransportError",
+    "WIRE_SCHEMA",
+    "WireError",
+    "decode_frame",
+    "encode_frame",
+]

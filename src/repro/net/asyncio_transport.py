@@ -1,0 +1,365 @@
+"""The asyncio transport: ``repro-wire/1`` frames over real sockets.
+
+:class:`AsyncioTransport` implements the :class:`~repro.net.transport.Transport`
+contract on an asyncio event loop.  One listener socket (a Unix-domain
+socket by default, TCP with ``host=``) multiplexes *all* endpoints — each
+frame names its destination endpoint, so a whole peer cluster shares one
+address, broker-style.  Internals:
+
+* ``send()`` is synchronous (protocol handlers call it mid-message): it
+  counts the message and enqueues it on a single outbound queue; a writer
+  task encodes frames and pushes them through the transport's own loopback
+  connection to the listener.  The single queue + single connection gives
+  global FIFO on the wire, strictly stronger than the per-(src, dst) FIFO
+  the contract demands.
+* The listener fans frames out to **per-endpoint inbox queues**, each
+  drained by a consumer task that runs the endpoint's handler; endpoints
+  therefore process their inboxes concurrently, so *cross*-endpoint
+  interleavings are scheduler-defined — exactly the nondeterminism the
+  conformance harness canonicalises away.
+* External processes (e.g. :class:`~repro.net.client.DLPTClient`) connect
+  to the same listener, introduce themselves with a hello frame, and get
+  per-connection **reply routing**: frames addressed to an endpoint that
+  lives on a remote connection are forwarded back over it.
+* The clock is the loop's monotonic clock (seconds since ``start()``);
+  timers are ``loop.call_later``.  There is deliberately no RNG: losses
+  and delays are the operating system's, never sampled — see the contract
+  note in :mod:`repro.net.transport`.
+* ``await drain()`` polls the counter invariant ``sent == delivered +
+  dropped + dead_lettered`` until quiescent (handler-issued sends count
+  *before* the issuing delivery completes, so the invariant cannot hold
+  transiently mid-cascade), then raises the first handler exception if
+  any handler failed.
+
+:class:`LoopbackAsyncioTransport` keeps the event loop, the counters and
+the full wire-codec round-trip, but replaces the sockets with a single
+in-process FIFO queue drained by one pump task — deterministic global
+delivery order, byte-faithful frames, runnable in tier-1 CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from ..sim.network import Envelope
+from .transport import Handler, Transport, TransportError
+from .wire import WIRE_SCHEMA, FrameReader, WireError, decode_frame, encode_frame
+
+#: Socket read chunk size; frames reassemble across chunks via FrameReader.
+_READ_CHUNK = 1 << 16
+
+#: The reserved endpoint hello frames are addressed to.
+CONTROL_ENDPOINT = "@transport"
+
+
+class AsyncioTransport(Transport):
+    """Length-prefixed JSON frames over TCP or Unix-domain sockets."""
+
+    def __init__(
+        self,
+        *,
+        path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+        drain_timeout: float = 60.0,
+    ) -> None:
+        self._handlers: Dict[Hashable, Handler] = {}
+        self._inboxes: Dict[Hashable, asyncio.Queue] = {}
+        self._consumers: Dict[Hashable, asyncio.Task] = {}
+        #: endpoint -> StreamWriter of the remote connection hosting it.
+        self._routes: Dict[Hashable, asyncio.StreamWriter] = {}
+        self._outbox: Optional[asyncio.Queue] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = 0.0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._client_writer: Optional[asyncio.StreamWriter] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._tempdir: Optional[str] = None
+        self._started = False
+        self._use_tcp = host is not None
+        self._host = host
+        self._port = port
+        self._path = path
+        #: ``("unix", path)`` or ``("tcp", host, port)`` once started.
+        self.address: Optional[tuple] = None
+        self.drain_timeout = drain_timeout
+        #: Handler/codec exceptions, surfaced by :meth:`drain`.
+        self.errors: list[BaseException] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_dead_lettered = 0
+
+    # -- endpoints ---------------------------------------------------------
+
+    def register(self, endpoint: Hashable, handler: Handler) -> None:
+        self._handlers[endpoint] = handler
+
+    def unregister(self, endpoint: Hashable) -> None:
+        self._handlers.pop(endpoint, None)
+
+    def is_registered(self, endpoint: Hashable) -> bool:
+        return endpoint in self._handlers
+
+    # -- delivery ----------------------------------------------------------
+
+    def send(self, src: Hashable, dst: Hashable, payload: Any) -> None:
+        if not self._started:
+            raise TransportError("transport is not started")
+        self.messages_sent += 1
+        self._outbox.put_nowait((src, dst, payload))
+
+    async def _write_outbox(self) -> None:
+        while True:
+            src, dst, payload = await self._outbox.get()
+            try:
+                frame = encode_frame(src, dst, payload)
+            except WireError as exc:
+                self.messages_dropped += 1
+                self.errors.append(exc)
+                continue
+            self._client_writer.write(frame)
+            await self._client_writer.drain()
+
+    # -- listener side -----------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        frames = FrameReader()
+        internal: Optional[bool] = None
+        try:
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                for env in frames.feed(chunk):
+                    if internal is None:
+                        internal = self._handle_hello(env, writer)
+                        continue
+                    if not internal:
+                        # Remote ingress: the frame enters this transport's
+                        # accounting domain here, and its origin endpoint
+                        # becomes routable back over this connection.
+                        self.messages_sent += 1
+                        self._routes[env.src] = writer
+                    self._route(env)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except WireError as exc:
+            self.errors.append(exc)
+        finally:
+            stale = [ep for ep, w in self._routes.items() if w is writer]
+            for ep in stale:
+                del self._routes[ep]
+            writer.close()
+
+    def _handle_hello(self, env: Envelope, writer: asyncio.StreamWriter) -> bool:
+        """First frame of every connection: ``{"hello": ..., "internal":
+        bool, "endpoint": optional}``.  Returns whether the connection is
+        the transport's own loopback (whose frames are already counted)."""
+        payload = env.payload
+        if (
+            env.dst != CONTROL_ENDPOINT
+            or not isinstance(payload, dict)
+            or payload.get("hello") != WIRE_SCHEMA
+        ):
+            raise WireError(f"connection did not open with a hello frame: {env!r}")
+        endpoint = payload.get("endpoint")
+        if endpoint is not None:
+            self._routes[endpoint] = writer
+        return bool(payload.get("internal"))
+
+    def _route(self, env: Envelope) -> None:
+        """Fan a decoded frame out: local inbox, remote route or dead."""
+        if env.dst in self._handlers or env.dst in self._inboxes:
+            self._ensure_consumer(env.dst).put_nowait(env)
+        elif env.dst in self._routes:
+            self._routes[env.dst].write(encode_frame(env.src, env.dst, env.payload))
+            self.messages_delivered += 1
+        else:
+            self.messages_dead_lettered += 1
+
+    def _ensure_consumer(self, endpoint: Hashable) -> asyncio.Queue:
+        inbox = self._inboxes.get(endpoint)
+        if inbox is None:
+            inbox = asyncio.Queue()
+            self._inboxes[endpoint] = inbox
+            self._consumers[endpoint] = self._loop.create_task(
+                self._consume(endpoint, inbox)
+            )
+        return inbox
+
+    async def _consume(self, endpoint: Hashable, inbox: asyncio.Queue) -> None:
+        while True:
+            env = await inbox.get()
+            self._deliver(env)
+
+    def _deliver(self, env: Envelope) -> None:
+        """Run the destination handler; registration is checked *here* (at
+        delivery time, like the simulator's network) so an endpoint that
+        unregistered with messages still inbound dead-letters them."""
+        handler = self._handlers.get(env.dst)
+        if handler is None:
+            self.messages_dead_lettered += 1
+            return
+        try:
+            handler(env)
+        except Exception as exc:  # surfaced at drain(); keep consuming
+            self.errors.append(exc)
+        self.messages_delivered += 1
+
+    # -- clock & timers ----------------------------------------------------
+
+    def now(self) -> float:
+        if self._loop is None:
+            return 0.0
+        return self._loop.time() - self._t0
+
+    def call_later(self, delay: float, action: Callable[[], Any]):
+        if self._loop is None:
+            raise TransportError("transport is not started")
+        return self._loop.call_later(delay, action)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        self._outbox = asyncio.Queue()
+        if self._use_tcp:
+            self._server = await asyncio.start_server(
+                self._on_connection, self._host, self._port
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self.address = ("tcp", sockname[0], sockname[1])
+            reader, writer = await asyncio.open_connection(sockname[0], sockname[1])
+        else:
+            if self._path is None:
+                self._tempdir = tempfile.mkdtemp(prefix="repro-net-")
+                self._path = os.path.join(self._tempdir, "dlpt.sock")
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self._path
+            )
+            self.address = ("unix", self._path)
+            reader, writer = await asyncio.open_unix_connection(self._path)
+        self._client_writer = writer
+        writer.write(
+            encode_frame(
+                CONTROL_ENDPOINT,
+                CONTROL_ENDPOINT,
+                {"hello": WIRE_SCHEMA, "internal": True},
+            )
+        )
+        await writer.drain()
+        self._writer_task = self._loop.create_task(self._write_outbox())
+        self._started = True
+
+    async def close(self) -> None:
+        self._started = False
+        tasks = [t for t in [self._writer_task, *self._consumers.values()] if t]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._writer_task = None
+        self._consumers.clear()
+        self._inboxes.clear()
+        self._routes.clear()
+        if self._client_writer is not None:
+            self._client_writer.close()
+            try:
+                await self._client_writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._client_writer = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._tempdir is not None:
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+            try:
+                os.rmdir(self._tempdir)
+            except OSError:
+                pass
+            self._tempdir = None
+
+    # -- quiescence --------------------------------------------------------
+
+    async def drain(self) -> None:
+        deadline = self._loop.time() + self.drain_timeout
+        spins = 0
+        while self.in_flight > 0:
+            if self._loop.time() > deadline:
+                raise TransportError(
+                    f"drain timed out after {self.drain_timeout}s with "
+                    f"{self.in_flight} messages in flight"
+                )
+            spins += 1
+            # Mostly bare yields (everything lives on this loop); back off
+            # to a real sleep periodically so socket I/O is never starved.
+            await asyncio.sleep(0 if spins % 64 else 0.001)
+        if self.errors:
+            errors, self.errors = self.errors, []
+            raise TransportError(
+                f"{len(errors)} handler/codec error(s) during drain"
+            ) from errors[0]
+
+
+class LoopbackAsyncioTransport(AsyncioTransport):
+    """Deterministic in-process variant: no sockets, one global FIFO.
+
+    Every message still round-trips the full ``repro-wire/1`` codec
+    (``encode_frame`` → ``decode_frame``), so serialisation bugs surface
+    in tier-1, but delivery is a single queue drained by one pump task —
+    global FIFO order, reproducible run to run, which matches the
+    simulator's zero-latency ``call_soon`` semantics exactly.
+    """
+
+    def __init__(self, *, drain_timeout: float = 60.0) -> None:
+        super().__init__(drain_timeout=drain_timeout)
+        self._queue: Optional[asyncio.Queue] = None
+        self._pump_task: Optional[asyncio.Task] = None
+
+    def send(self, src: Hashable, dst: Hashable, payload: Any) -> None:
+        if not self._started:
+            raise TransportError("transport is not started")
+        self.messages_sent += 1
+        try:
+            frame = encode_frame(src, dst, payload)
+        except WireError as exc:
+            self.messages_dropped += 1
+            self.errors.append(exc)
+            return
+        self._queue.put_nowait(decode_frame(frame))
+
+    async def _pump(self) -> None:
+        while True:
+            env = await self._queue.get()
+            self._deliver(env)
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        self._queue = asyncio.Queue()
+        self._pump_task = self._loop.create_task(self._pump())
+        self.address = ("loopback",)
+        self._started = True
+
+    async def close(self) -> None:
+        self._started = False
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            await asyncio.gather(self._pump_task, return_exceptions=True)
+            self._pump_task = None

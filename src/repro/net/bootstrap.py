@@ -1,0 +1,215 @@
+"""Bootstrap registry + broker: the cluster's well-known rendezvous.
+
+Joining a DLPT ring without help is an O(ring) walk: ``NewPredecessor``
+forwards peer to peer until Algorithm 2's interval check succeeds.  Real
+deployments (and distributed-futures brokers like SCOOP's) keep a
+rendezvous process that already knows the membership, so a joiner can be
+handed its ring position directly.  :class:`BootstrapRegistry` is that
+oracle: a deterministic view over the engine's live peers answering "who
+is my successor?" (the peer whose arc ``(pred, id]`` will contain the
+joiner) plus a bounded list of seed peers.  Joins seeded this way send
+one ``NewPredecessor`` straight to the successor — O(1) messages — and
+remain correct under staleness because Algorithm 2 still forwards along
+the ring when the interval check fails.
+
+:class:`Broker` is the serving half: a ``"@broker"`` endpoint on the
+transport accepting JSON request payloads (``op`` + ``id`` + ``reply_to``)
+and answering with correlated JSON replies.  Requests funnel through one
+queue and are served strictly one at a time, each followed by ``await
+transport.drain()`` before the reply is sent — the protocol has no
+per-operation acknowledgements, so quiescence *is* the completion signal.
+Operations: ``register``, ``discover``, ``discover_batch``, ``peer_join``,
+``peer_leave``, ``info``.  :class:`~repro.net.client.DLPTClient` is the
+matching caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+from typing import Dict, List, Optional
+
+from ..dlpt.protocol import ProtocolEngine
+from ..sim.network import Envelope
+from .transport import Transport
+
+#: The broker's well-known endpoint name.
+BROKER_ENDPOINT = "@broker"
+
+
+class BootstrapRegistry:
+    """Ring-position oracle over a :class:`ProtocolEngine`'s live peers."""
+
+    def __init__(self, engine: ProtocolEngine) -> None:
+        self.engine = engine
+
+    def live_ids(self) -> List[str]:
+        """Sorted ids of the peers currently joined to the ring."""
+        return sorted(p.id for p in self.engine.peers.values() if p.joined)
+
+    def successor_of(self, peer_id: str) -> Optional[str]:
+        """The live peer that will become ``peer_id``'s ring successor:
+        the lowest live id >= ``peer_id``, wrapping to the minimum."""
+        ids = self.live_ids()
+        if not ids:
+            return None
+        return ids[bisect.bisect_left(ids, peer_id) % len(ids)]
+
+    def admission(self, peer_id: str, n_seeds: int = 3) -> Dict[str, object]:
+        """What a joiner needs: its successor seed plus a few live peers
+        (the joiner's initial neighbour knowledge)."""
+        ids = self.live_ids()
+        successor = self.successor_of(peer_id)
+        i = bisect.bisect_left(ids, peer_id)
+        seeds = [ids[(i + k) % len(ids)] for k in range(min(n_seeds, len(ids)))]
+        return {"peer": peer_id, "successor": successor, "seeds": seeds}
+
+
+class Broker:
+    """The ``"@broker"`` RPC endpoint: serialised ops + drain-then-reply."""
+
+    def __init__(self, engine: ProtocolEngine, transport: Optional[Transport] = None) -> None:
+        self.engine = engine
+        self.transport = transport if transport is not None else engine.transport
+        self.registry = BootstrapRegistry(engine)
+        self.requests_served = 0
+        self._inbox: Optional[asyncio.Queue] = None
+        self._task: Optional[asyncio.Task] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._inbox = asyncio.Queue()
+        self.transport.register(BROKER_ENDPOINT, self._on_message)
+        self._task = asyncio.get_running_loop().create_task(self._serve())
+
+    async def close(self) -> None:
+        self.transport.unregister(BROKER_ENDPOINT)
+        if self._task is not None:
+            self._task.cancel()
+            await asyncio.gather(self._task, return_exceptions=True)
+            self._task = None
+
+    # -- serving loop ------------------------------------------------------
+
+    def _on_message(self, env: Envelope) -> None:
+        if isinstance(env.payload, dict):
+            self._inbox.put_nowait((env.src, env.payload))
+
+    async def _serve(self) -> None:
+        while True:
+            src, request = await self._inbox.get()
+            reply = await self._handle(request)
+            reply_to = request.get("reply_to", src)
+            self.transport.send(BROKER_ENDPOINT, reply_to, reply)
+            self.requests_served += 1
+
+    async def _handle(self, request: dict) -> dict:
+        reply = {"id": request.get("id")}
+        try:
+            op = request.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise ValueError(f"unknown broker op {op!r}")
+            result = await handler(self, request)
+            reply.update(ok=True, **result)
+        except Exception as exc:  # every failure becomes an error reply
+            reply.update(ok=False, error=f"{type(exc).__name__}: {exc}")
+        return reply
+
+    # -- operations --------------------------------------------------------
+
+    def _entry(self) -> Optional[str]:
+        """A deterministic entry node for client ops (lowest label)."""
+        locator = self.engine.locator
+        return min(locator) if locator else None
+
+    async def _op_register(self, request: dict) -> dict:
+        key = str(request["key"])
+        self.engine.insert_data(key, request.get("datum"), via=self._entry())
+        await self.transport.drain()
+        return {"key": key, "host": self.engine.locator.get(key)}
+
+    def _collect_replies(self, mark: int) -> list:
+        replies = self.engine.discovery_replies[mark:]
+        del self.engine.discovery_replies[mark:]
+        return replies
+
+    @staticmethod
+    def _reply_record(engine: ProtocolEngine, reply) -> dict:
+        return {
+            "key": reply.key,
+            "found": reply.found,
+            "data": sorted(reply.data, key=repr),
+            "hops": reply.hops,
+            "host": engine.locator.get(reply.key),
+        }
+
+    async def _op_discover(self, request: dict) -> dict:
+        key = str(request["key"])
+        mark = len(self.engine.discovery_replies)
+        self.engine.discover(key, via=self._entry())
+        await self.transport.drain()
+        replies = self._collect_replies(mark)
+        if len(replies) != 1:
+            raise RuntimeError(f"expected 1 reply for {key!r}, got {len(replies)}")
+        return self._reply_record(self.engine, replies[0])
+
+    async def _op_discover_batch(self, request: dict) -> dict:
+        keys = [str(k) for k in request["keys"]]
+        mark = len(self.engine.discovery_replies)
+        entry = self._entry()
+        for key in keys:
+            self.engine.discover(key, via=entry)
+        await self.transport.drain()
+        # Replies land in delivery order, which a live transport does not
+        # tie to issue order: re-associate by key (duplicates in the batch
+        # get identical answers, so bucket order is immaterial).
+        buckets: Dict[str, list] = {}
+        for reply in self._collect_replies(mark):
+            buckets.setdefault(reply.key, []).append(reply)
+        results = [
+            self._reply_record(self.engine, buckets[key].pop()) for key in keys
+        ]
+        return {"results": results}
+
+    async def _op_peer_join(self, request: dict) -> dict:
+        peer_id = str(request["peer"])
+        capacity = int(request.get("capacity", 10))
+        admission = self.registry.admission(peer_id)
+        if not self.engine.peers:
+            self.engine.bootstrap_peer(peer_id, capacity)
+        else:
+            self.engine.join_peer(peer_id, capacity, seed=admission["successor"])
+        await self.transport.drain()
+        peer = self.engine.peers[peer_id]
+        return {**admission, "pred": peer.pred, "succ": peer.succ}
+
+    async def _op_peer_leave(self, request: dict) -> dict:
+        peer_id = str(request["peer"])
+        self.engine.leave_peer(peer_id)
+        await self.transport.drain()
+        return {"peer": peer_id, "peers": len(self.registry.live_ids())}
+
+    async def _op_info(self, request: dict) -> dict:
+        engine = self.engine
+        keys = sorted(
+            label
+            for label, host in engine.locator.items()
+            if engine.peers[host].nodes[label].data
+        )
+        return {
+            "peers": len(self.registry.live_ids()),
+            "nodes": len(engine.locator),
+            "keys": keys,
+            "served": self.requests_served,
+        }
+
+    _OPS = {
+        "register": _op_register,
+        "discover": _op_discover,
+        "discover_batch": _op_discover_batch,
+        "peer_join": _op_peer_join,
+        "peer_leave": _op_peer_leave,
+        "info": _op_info,
+    }

@@ -1,0 +1,192 @@
+"""``DLPTClient`` — a futures-style socket client for a served cluster.
+
+The client speaks ``repro-wire/1`` directly: it connects to the cluster's
+listener (the address :class:`~repro.net.asyncio_transport.AsyncioTransport`
+printed at start), introduces its private reply endpoint with a hello
+frame, and exchanges JSON RPC payloads with the ``"@broker"`` endpoint
+(:mod:`repro.net.bootstrap`).  Every operation is *futures-style*: the
+method synchronously writes the request and returns an
+:class:`asyncio.Future`, so callers can issue many operations and await
+them together::
+
+    client = await DLPTClient.connect(address)
+    futures = [client.register(k) for k in keys]      # pipelined
+    await asyncio.gather(*futures)
+    hit = await client.discover("storage/s3")         # {"found": True, ...}
+    rows = await client.discover_batch(keys)          # one RPC, n results
+
+Replies correlate by request id; a broker-side failure resolves the
+future with :class:`DLPTClientError`.  The client is a plain peer-less
+process — it holds no ring state and can connect and disconnect freely.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+from typing import Dict, Sequence
+
+from .asyncio_transport import CONTROL_ENDPOINT
+from .wire import WIRE_SCHEMA, FrameReader, encode_frame
+
+from .bootstrap import BROKER_ENDPOINT
+
+_client_counter = itertools.count(1)
+
+
+class DLPTClientError(RuntimeError):
+    """The broker answered with an error, or the connection failed."""
+
+
+class DLPTClient:
+    """A futures-style RPC client bound to one broker connection."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        endpoint: str,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.endpoint = endpoint
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._loop = asyncio.get_event_loop()
+        self._read_task = self._loop.create_task(self._read_loop())
+
+    # -- connection --------------------------------------------------------
+
+    @classmethod
+    async def connect(cls, address) -> "DLPTClient":
+        """Connect to a served cluster.
+
+        ``address`` is what the transport reports: ``("unix", path)``,
+        ``("tcp", host, port)``, or a bare Unix-socket path string.
+        """
+        if isinstance(address, (str, os.PathLike)):
+            address = ("unix", os.fspath(address))
+        kind = address[0]
+        if kind == "unix":
+            reader, writer = await asyncio.open_unix_connection(address[1])
+        elif kind == "tcp":
+            reader, writer = await asyncio.open_connection(address[1], address[2])
+        else:
+            raise ValueError(f"unknown address {address!r}")
+        endpoint = f"@client-{os.getpid()}-{next(_client_counter)}"
+        writer.write(
+            encode_frame(
+                endpoint,
+                CONTROL_ENDPOINT,
+                {"hello": WIRE_SCHEMA, "endpoint": endpoint},
+            )
+        )
+        await writer.drain()
+        return cls(reader, writer, endpoint)
+
+    async def close(self) -> None:
+        self._read_task.cancel()
+        await asyncio.gather(self._read_task, return_exceptions=True)
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_pending(DLPTClientError("client closed"))
+
+    # -- the futures-style API ---------------------------------------------
+
+    def register(self, key: str, datum: object = None) -> asyncio.Future:
+        """Register ``key`` (with optional JSON-scalar ``datum``); resolves
+        to ``{"key": ..., "host": ...}`` once the tree has absorbed it."""
+        return self._rpc({"op": "register", "key": key, "datum": datum})
+
+    def discover(self, key: str) -> asyncio.Future:
+        """Look ``key`` up; resolves to ``{"found": bool, "data": [...],
+        "hops": int, "host": ...}``."""
+        return self._rpc({"op": "discover", "key": key})
+
+    def discover_batch(self, keys: Sequence[str]) -> asyncio.Future:
+        """Look many keys up in one RPC; resolves to a list of per-key
+        result dicts in request order."""
+        fut = self._rpc({"op": "discover_batch", "keys": list(keys)})
+        result: asyncio.Future = self._loop.create_future()
+
+        def unwrap(done: asyncio.Future) -> None:
+            if result.cancelled():
+                return
+            exc = done.exception() if not done.cancelled() else None
+            if done.cancelled():
+                result.cancel()
+            elif exc is not None:
+                result.set_exception(exc)
+            else:
+                result.set_result(done.result()["results"])
+
+        fut.add_done_callback(unwrap)
+        return result
+
+    def peer_join(self, peer_id: str, capacity: int = 10) -> asyncio.Future:
+        """Admit a new peer to the ring via the bootstrap registry."""
+        return self._rpc({"op": "peer_join", "peer": peer_id, "capacity": capacity})
+
+    def peer_leave(self, peer_id: str) -> asyncio.Future:
+        """Gracefully retire a peer from the ring."""
+        return self._rpc({"op": "peer_leave", "peer": peer_id})
+
+    def info(self) -> asyncio.Future:
+        """Cluster snapshot: peer/node counts and the registered keys."""
+        return self._rpc({"op": "info"})
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _rpc(self, body: dict) -> asyncio.Future:
+        rid = next(self._ids)
+        future = self._loop.create_future()
+        self._pending[rid] = future
+        self._writer.write(
+            encode_frame(
+                self.endpoint,
+                BROKER_ENDPOINT,
+                {**body, "id": rid, "reply_to": self.endpoint},
+            )
+        )
+        return future
+
+    async def _read_loop(self) -> None:
+        frames = FrameReader()
+        try:
+            while True:
+                chunk = await self._reader.read(1 << 16)
+                if not chunk:
+                    self._fail_pending(DLPTClientError("connection closed"))
+                    return
+                for env in frames.feed(chunk):
+                    self._settle(env.payload)
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            self._fail_pending(DLPTClientError(f"protocol error: {exc}"))
+
+    def _settle(self, payload: object) -> None:
+        if not isinstance(payload, dict):
+            return
+        future = self._pending.pop(payload.get("id"), None)
+        if future is None or future.done():
+            return
+        if payload.get("ok"):
+            future.set_result(payload)
+        else:
+            future.set_exception(DLPTClientError(payload.get("error", "unknown error")))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        for future in pending.values():
+            # Futures nobody awaits yet: mark retrieved so the loop does
+            # not log "exception was never retrieved" during teardown.
+            if future.done() and not future.cancelled():
+                future.exception()

@@ -1,0 +1,305 @@
+"""Differential trace conformance: SimTransport vs AsyncioTransport.
+
+The risk of a second execution engine is silent divergence, so the proof
+obligation is differential: replay the *same* recorded ``repro-trace/1``
+workload (:mod:`repro.workloads.traces`) through the protocol engine on
+the discrete-event transport and on a live asyncio transport, canonicalise
+both outcome streams, and assert equality.
+
+What makes the comparison sound:
+
+* **Same inputs.**  Both replays share the trace and a driver RNG seeded
+  from the trace header, so joining peers draw identical identifiers in
+  identical order.  Entry nodes are taken from the trace (they are
+  tree-structural) or chosen deterministically (lowest label).
+* **Drain between operations.**  The driver awaits transport quiescence
+  after every membership change, registration, fault and request.  Within
+  one operation a live transport interleaves endpoint handlers however the
+  scheduler likes; between operations both systems are at rest, and the
+  PGCP tree is uniquely determined by the registered key set — so the
+  at-rest states are comparable.
+* **Latency-independent projection.**  A :class:`UnitOutcome` keeps only
+  what the paper's protocols define: live-peer count, the sorted
+  registered-key set, and per-request ``(key, satisfied, responsible
+  host, logical hops)``.  Wall-clock, byte counts and cross-pair message
+  interleavings are deliberately excluded.
+
+Crashes (``["crash", index]`` trace events) are mapped onto the fail-stop
+semantics of :mod:`repro.faults`: the victim — the ``index % n``-th live
+peer in id order, exactly the trace's ring-position draw — abruptly
+unregisters its endpoint (no goodbye messages), the driver plays failure
+detector by splicing the ring pointers of its neighbours, and the
+successor adopts the victim's node replicas (the ``r=1``
+successor-replication policy), all identically on either transport.
+Partition events are out of scope for the message-level engine and raise
+:class:`ConformanceError`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..dlpt.protocol import ProtocolEngine
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import record_single
+from ..peers.churn import ChurnModel
+from ..workloads.keys import grid_service_corpus
+from ..workloads.traces import WorkloadTrace
+from .transport import Transport
+
+#: Identifier space for driver-drawn peer ids (lowercase keeps them in the
+#: same lexicographic order relation as any printable service key corpus).
+_ID_DIGITS = "abcdefghijklmnopqrstuvwxyz"
+_ID_LENGTH = 8
+
+
+class ConformanceError(RuntimeError):
+    """A trace event the conformance replay cannot express."""
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """The canonical, latency-independent outcome of one trace unit."""
+
+    unit: int
+    n_peers: int
+    n_nodes: int
+    keys: Tuple[str, ...]
+    requests: Tuple[Tuple[str, bool, Optional[str], int], ...]
+    joins: int = 0
+    leaves: int = 0
+    crashes: int = 0
+
+
+@dataclass
+class ReplayReport:
+    """Everything one replay produced: the stream plus transport totals."""
+
+    outcomes: List[UnitOutcome] = field(default_factory=list)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dead_lettered: int = 0
+
+
+def record_conformance_trace(
+    *,
+    n_peers: int = 200,
+    workload: str = "uniform",
+    faults: Optional[str] = "crash_storm:0.01:start=4:end=8",
+    n_keys: int = 240,
+    growth_units: int = 4,
+    total_units: int = 10,
+    load_fraction: float = 0.01,
+    churn: ChurnModel = ChurnModel(join_fraction=0.01, leave_fraction=0.01),
+    seed: int = 20080617,
+) -> WorkloadTrace:
+    """Record a ``repro-trace/1`` workload sized for conformance replay.
+
+    The macro experiment pipeline does the recording (so the trace format
+    and semantics are exactly what every other consumer sees); the corpus
+    is truncated to ``n_keys`` so the live-socket replay stays tractable.
+    """
+    config = ExperimentConfig(
+        n_peers=n_peers,
+        corpus=grid_service_corpus()[:n_keys],
+        workload=workload,
+        faults=faults,
+        growth_units=growth_units,
+        total_units=total_units,
+        load_fraction=load_fraction,
+        churn=churn,
+        seed=seed,
+    )
+    _, trace = record_single(config, meta={"purpose": "net-conformance"})
+    trace.meta["n_bootstrap"] = n_peers
+    return trace
+
+
+def _draw_peer_id(rng: random.Random, taken) -> str:
+    while True:
+        pid = "".join(rng.choice(_ID_DIGITS) for _ in range(_ID_LENGTH))
+        if pid not in taken:
+            return pid
+
+
+def _entry_for(engine: ProtocolEngine, preferred: Optional[str] = None) -> Optional[str]:
+    if preferred is not None and preferred in engine.locator:
+        return preferred
+    return min(engine.locator) if engine.locator else None
+
+
+def crash_peer_live(engine: ProtocolEngine, transport: Transport, victim_id: str) -> None:
+    """Fail-stop crash + ``r=1`` recovery, on any transport.
+
+    The victim's endpoint vanishes mid-air (no goodbye protocol); the
+    driver then applies what the failure detector + successor-replication
+    policy of :mod:`repro.faults` would conclude: neighbours splice their
+    ring pointers past the victim, and the successor adopts the victim's
+    node replicas (which the mapping rule now assigns to it).  Driver-side
+    state surgery only — no messages — so it is transport-independent by
+    construction.
+    """
+    transport.unregister(victim_id)
+    victim = engine.peers.pop(victim_id)
+    if victim.succ == victim_id:
+        # Last peer of the ring: everything it hosted dies with it.
+        for label in victim.nodes:
+            engine.locator.pop(label, None)
+        return
+    successor = engine.peers[victim.succ]
+    predecessor = engine.peers[victim.pred]
+    successor.pred = victim.pred if victim.pred != victim_id else successor.id
+    predecessor.succ = victim.succ
+    for label, state in victim.nodes.items():
+        successor.nodes[label] = state
+        engine.locator[label] = successor.id
+
+
+async def replay_trace(
+    trace: WorkloadTrace,
+    transport: Transport,
+    *,
+    n_bootstrap: Optional[int] = None,
+    capacity: int = 10,
+) -> ReplayReport:
+    """Replay a recorded workload through ``transport``; returns the
+    canonical outcome stream.
+
+    ``n_bootstrap`` is the initial platform size (the trace records only
+    the workload-side events; the bootstrap population comes from the
+    recording's configuration and is stored in ``trace.meta``).
+    """
+    if n_bootstrap is None:
+        n_bootstrap = int(trace.meta.get("n_bootstrap", 0))
+    if n_bootstrap < 1:
+        raise ConformanceError("n_bootstrap must be >= 1 (set trace.meta['n_bootstrap'])")
+
+    await transport.start()
+    engine = ProtocolEngine(transport=transport)
+    rng = random.Random(trace.seed ^ 0x5EED)
+    report = ReplayReport()
+
+    def live_ids() -> List[str]:
+        return sorted(p.id for p in engine.peers.values() if p.joined)
+
+    def successor_of(peer_id: str) -> str:
+        ids = live_ids()
+        return ids[bisect.bisect_left(ids, peer_id) % len(ids)]
+
+    async def join(peer_id: str, cap: int) -> None:
+        if not engine.peers:
+            engine.bootstrap_peer(peer_id, cap)
+        else:
+            engine.join_peer(peer_id, cap, seed=successor_of(peer_id))
+        await transport.drain()
+
+    # Bootstrap population: ids drawn from the driver rng, identically on
+    # every transport.
+    for _ in range(n_bootstrap):
+        await join(_draw_peer_id(rng, engine.peers), capacity)
+
+    for unit_index, unit in enumerate(trace.units):
+        crashes = 0
+
+        for cap in unit.joins:
+            await join(_draw_peer_id(rng, engine.peers), cap)
+
+        leaves = 0
+        for index in unit.leaves:
+            ids = live_ids()
+            if len(ids) <= 1:
+                continue
+            engine.leave_peer(ids[index % len(ids)])
+            await transport.drain()
+            leaves += 1
+
+        for event in unit.faults:
+            kind = event[0]
+            if kind != "crash":
+                raise ConformanceError(
+                    f"unit {unit_index}: fault kind {kind!r} is not replayable "
+                    "at the message level (crash only)"
+                )
+            ids = live_ids()
+            if len(ids) <= 1:
+                continue
+            crash_peer_live(engine, transport, ids[event[1] % len(ids)])
+            await transport.drain()
+            crashes += 1
+
+        for key in unit.registrations:
+            engine.insert_data(key, via=_entry_for(engine))
+            await transport.drain()
+
+        request_outcomes = []
+        for key, entry_label in unit.requests:
+            via = _entry_for(engine, entry_label)
+            mark = len(engine.discovery_replies)
+            if via is None:
+                request_outcomes.append((key, False, None, 0))
+                continue
+            engine.discover(key, via=via)
+            await transport.drain()
+            replies = engine.discovery_replies[mark:]
+            del engine.discovery_replies[mark:]
+            if len(replies) != 1:
+                raise ConformanceError(
+                    f"unit {unit_index}: {len(replies)} replies for one request"
+                )
+            reply = replies[0]
+            request_outcomes.append(
+                (key, reply.found, engine.locator.get(key), reply.hops)
+            )
+
+        registered = tuple(
+            sorted(
+                label
+                for label, host in engine.locator.items()
+                if engine.peers[host].nodes[label].data
+            )
+        )
+        report.outcomes.append(
+            UnitOutcome(
+                unit=unit_index,
+                n_peers=len(live_ids()),
+                n_nodes=len(engine.locator),
+                keys=registered,
+                requests=tuple(request_outcomes),
+                joins=len(unit.joins),
+                leaves=leaves,
+                crashes=crashes,
+            )
+        )
+
+    report.messages_sent = transport.messages_sent
+    report.messages_delivered = transport.messages_delivered
+    report.messages_dead_lettered = transport.messages_dead_lettered
+    await transport.close()
+    return report
+
+
+def diff_streams(a: List[UnitOutcome], b: List[UnitOutcome]) -> List[str]:
+    """Human-readable differences between two canonical streams (empty
+    when conformant) — the assertion message of the harness."""
+    problems = []
+    if len(a) != len(b):
+        problems.append(f"stream lengths differ: {len(a)} vs {len(b)}")
+    for left, right in zip(a, b):
+        if left == right:
+            continue
+        for fname in ("n_peers", "n_nodes", "keys", "joins", "leaves", "crashes"):
+            lv, rv = getattr(left, fname), getattr(right, fname)
+            if lv != rv:
+                problems.append(f"unit {left.unit}: {fname} {lv!r} != {rv!r}")
+        for k, (lr, rr) in enumerate(zip(left.requests, right.requests)):
+            if lr != rr:
+                problems.append(f"unit {left.unit} request {k}: {lr!r} != {rr!r}")
+        if len(left.requests) != len(right.requests):
+            problems.append(
+                f"unit {left.unit}: request counts {len(left.requests)} "
+                f"!= {len(right.requests)}"
+            )
+    return problems

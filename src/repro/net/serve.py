@@ -1,0 +1,164 @@
+"""``python -m repro serve`` — launch a local DLPT cluster over sockets.
+
+Brings up one :class:`~repro.net.asyncio_transport.AsyncioTransport`
+(Unix-domain socket by default, ``--tcp`` for TCP), a
+:class:`~repro.dlpt.protocol.ProtocolEngine` hosting ``--peers`` peers
+bootstrapped through the registry (each join is one seeded
+``NewPredecessor``), and the :class:`~repro.net.bootstrap.Broker` RPC
+endpoint; then serves until interrupted.  ``--demo`` instead connects a
+:class:`~repro.net.client.DLPTClient` to the listener, registers a few
+service keys, discovers them (plus one deliberate miss) over the real
+socket, prints the results and exits — the self-check of the acceptance
+criteria.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+from typing import List, Optional
+
+from ..dlpt.protocol import ProtocolEngine
+from .asyncio_transport import AsyncioTransport
+from .bootstrap import Broker
+from .client import DLPTClient
+
+#: Keys the demo registers and then discovers over the socket.
+DEMO_KEYS = (
+    "dgemm",
+    "dgemv",
+    "dtrsm",
+    "pdgemm",
+    "sgemm",
+)
+
+
+def peer_ids(n: int) -> List[str]:
+    """Deterministic, evenly spread lowercase peer ids (``pa``, ``pb``…)."""
+    digits = "abcdefghijklmnopqrstuvwxyz"
+    ids = []
+    for i in range(n):
+        label, x = "", i
+        for _ in range(max(1, (n - 1).bit_length() // 4 + 2)):
+            label += digits[x % 26]
+            x //= 26
+        ids.append("p" + label)
+    return sorted(set(ids))
+
+
+async def start_cluster(
+    n_peers: int,
+    *,
+    tcp: bool = False,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    path: Optional[str] = None,
+    capacity: int = 10,
+):
+    """Bring up transport + engine + broker + ``n_peers`` peers; returns
+    ``(transport, engine, broker)`` ready to serve."""
+    transport = AsyncioTransport(
+        host=host if tcp else None, port=port, path=None if tcp else path
+    )
+    await transport.start()
+    engine = ProtocolEngine(transport=transport)
+    broker = Broker(engine, transport)
+    await broker.start()
+    ids = peer_ids(n_peers)
+    engine.bootstrap_peer(ids[0], capacity)
+    for pid in ids[1:]:
+        engine.join_peer(pid, capacity, seed=broker.registry.successor_of(pid))
+        await transport.drain()
+    engine.check_ring()
+    return transport, engine, broker
+
+
+async def run_demo(address, out=print) -> dict:
+    """Register and discover :data:`DEMO_KEYS` through a real socket."""
+    client = await DLPTClient.connect(address)
+    try:
+        registered = await asyncio.gather(*[client.register(k) for k in DEMO_KEYS])
+        for record in registered:
+            out(f"  registered {record['key']!r} on peer {record['host']!r}")
+        results = await client.discover_batch(list(DEMO_KEYS))
+        for row in results:
+            out(
+                f"  discover {row['key']!r}: found={row['found']} "
+                f"host={row['host']!r} hops={row['hops']}"
+            )
+        miss = await client.discover("no-such-service")
+        out(f"  discover 'no-such-service': found={miss['found']}")
+        info = await client.info()
+        out(f"  cluster: {info['peers']} peers, {info['nodes']} nodes")
+        return {
+            "registered": len(registered),
+            "found": sum(1 for r in results if r["found"]),
+            "missed": 0 if miss["found"] else 1,
+            "info": info,
+        }
+    finally:
+        await client.close()
+
+
+async def serve(args, out=print) -> int:
+    transport, engine, broker = await start_cluster(
+        args.peers,
+        tcp=args.tcp,
+        host=args.host,
+        port=args.port,
+        path=args.path,
+        capacity=args.capacity,
+    )
+    try:
+        out(f"cluster up: {args.peers} peers, listening on {transport.address}")
+        if args.demo:
+            summary = await run_demo(transport.address, out=out)
+            ok = (
+                summary["registered"] == len(DEMO_KEYS)
+                and summary["found"] == len(DEMO_KEYS)
+                and summary["missed"] == 1
+            )
+            out("demo " + ("passed" if ok else "FAILED"))
+            return 0 if ok else 1
+        out("serving until interrupted (Ctrl-C to stop)")
+        with contextlib.suppress(asyncio.CancelledError, KeyboardInterrupt):
+            await asyncio.Event().wait()
+        return 0
+    finally:
+        await broker.close()
+        await transport.close()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Launch a local N-peer DLPT cluster behind a socket.",
+    )
+    parser.add_argument("--peers", type=int, default=8,
+                        help="cluster size (default 8)")
+    parser.add_argument("--capacity", type=int, default=10,
+                        help="per-peer capacity (default 10)")
+    parser.add_argument("--tcp", action="store_true",
+                        help="listen on TCP instead of a Unix-domain socket")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind host (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP bind port (default: ephemeral)")
+    parser.add_argument("--path", default=None,
+                        help="Unix-domain socket path (default: a temp dir)")
+    parser.add_argument("--demo", action="store_true",
+                        help="register+discover demo keys via a socket "
+                        "client, then exit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.peers < 1:
+        print("error: --peers must be >= 1")
+        return 2
+    try:
+        return asyncio.run(serve(args))
+    except KeyboardInterrupt:
+        return 0

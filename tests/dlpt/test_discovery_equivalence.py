@@ -8,6 +8,11 @@ point) and every peer's capacity accounting must be identical to the
 frozen seed implementation in :mod:`repro.perf.reference_routing`.  These
 property tests drive twin systems — one served by the live fast path, one
 by the seed walk — through identical operation and request sequences.
+
+All inputs come from hypothesis strategies (the shared ones in
+``tests/strategies.py``): trees, churn scripts *and* the request mixes,
+so shrinking works end to end — a failing example minimises the requests
+too, not just the tree they run against.
 """
 
 from __future__ import annotations
@@ -18,25 +23,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.alphabet import Alphabet
+import strategies
+from strategies import ALPHABET, keys_st, peer_ids_st
+
 from repro.dlpt.failures import ReplicationManager, crash_peer, repair
 from repro.dlpt.system import DLPTSystem
 from repro.peers.capacity import FixedCapacity
 from repro.perf.reference_routing import seed_discover
 from repro.workloads.dynamics import AdversarialPrefixStacking
 from repro.workloads.requests import HotSpotRequests, UniformRequests, ZipfRequests
-
-ALPHABET = Alphabet(digits=("a", "b", "c"), name="abc")
-
-keys_st = st.lists(
-    st.text(alphabet="abc", min_size=1, max_size=8), min_size=1, max_size=25
-)
-peer_ids_st = st.lists(
-    st.text(alphabet="abc", min_size=2, max_size=6),
-    min_size=2,
-    max_size=8,
-    unique=True,
-)
 
 
 def _build_twins(peer_ids, keys, capacity):
@@ -85,41 +80,24 @@ def _assert_equal_requests(fast, seed, requests, accounting="destination"):
     assert _peer_accounting(fast) == _peer_accounting(seed)
 
 
-def _request_mix(rng, system, keys, n=60):
-    """Registered keys, absent extensions, absent prefixes, foreign keys."""
-    labels = sorted(system.tree.labels())
-    requests = []
-    for i in range(n):
-        key = keys[rng.randrange(len(keys))]
-        if i % 5 == 1:
-            key = key + "ab"  # absent below a leaf
-        elif i % 5 == 2 and len(key) > 1:
-            key = key[:-1]  # possibly-absent prefix
-        elif i % 5 == 3:
-            key = "cc" + key  # likely outside dense bands
-        requests.append((key, labels[rng.randrange(len(labels))]))
-    return requests
-
-
 class TestRandomTrees:
     @settings(max_examples=60, deadline=None)
-    @given(peer_ids=peer_ids_st, keys=keys_st, seed=st.integers(0, 2**16))
-    def test_uniform_requests_equivalent(self, peer_ids, keys, seed):
+    @given(peer_ids=peer_ids_st, keys=keys_st, data=st.data())
+    def test_uniform_requests_equivalent(self, peer_ids, keys, data):
         fast, seed_sys = _build_twins(peer_ids, keys, capacity=3)
-        rng = random.Random(seed)
-        _assert_equal_requests(
-            fast, seed_sys, _request_mix(rng, fast, keys)
+        requests = data.draw(
+            strategies.request_mixes(keys, fast.tree.labels(), n=60)
         )
+        _assert_equal_requests(fast, seed_sys, requests)
 
     @settings(max_examples=30, deadline=None)
-    @given(peer_ids=peer_ids_st, keys=keys_st, seed=st.integers(0, 2**16))
-    def test_transit_accounting_equivalent(self, peer_ids, keys, seed):
+    @given(peer_ids=peer_ids_st, keys=keys_st, data=st.data())
+    def test_transit_accounting_equivalent(self, peer_ids, keys, data):
         fast, seed_sys = _build_twins(peer_ids, keys, capacity=4)
-        rng = random.Random(seed)
-        _assert_equal_requests(
-            fast, seed_sys, _request_mix(rng, fast, keys, n=40),
-            accounting="transit",
+        requests = data.draw(
+            strategies.request_mixes(keys, fast.tree.labels(), n=40)
         )
+        _assert_equal_requests(fast, seed_sys, requests, accounting="transit")
 
 
 class TestWorkloadGenerators:
@@ -134,33 +112,38 @@ class TestWorkloadGenerators:
         ids=["uniform", "zipf", "hotspot", "adversarial"],
     )
     @settings(max_examples=25, deadline=None)
-    @given(peer_ids=peer_ids_st, keys=keys_st, seed=st.integers(0, 2**16))
-    def test_generator_driven_equivalent(self, make_generator, peer_ids, keys, seed):
+    @given(
+        peer_ids=peer_ids_st,
+        keys=keys_st,
+        seed=st.integers(0, 2**16),
+        data=st.data(),
+    )
+    def test_generator_driven_equivalent(self, make_generator, peer_ids, keys, seed, data):
         fast, seed_sys = _build_twins(peer_ids, keys, capacity=3)
         generator = make_generator()
+        # The generator's own draws stay on its random.Random API (that
+        # sampling behaviour is part of what runs in production); entry
+        # nodes come from a strategy, so they shrink with the example.
         rng = random.Random(seed)
         available = sorted(set(keys))
-        labels = sorted(fast.tree.labels())
+        entries = data.draw(strategies.entry_labels(fast.tree.labels(), n=50))
         requests = [
-            (
-                generator.sample(rng, available),
-                labels[rng.randrange(len(labels))],
-            )
-            for _ in range(50)
+            (generator.sample(rng, available), entry) for entry in entries
         ]
         _assert_equal_requests(fast, seed_sys, requests)
 
 
 class TestBatchMatchesPerRequest:
     @settings(max_examples=40, deadline=None)
-    @given(peer_ids=peer_ids_st, keys=keys_st, seed=st.integers(0, 2**16))
-    def test_batch_counters_match_seed_loop(self, peer_ids, keys, seed):
+    @given(peer_ids=peer_ids_st, keys=keys_st, data=st.data())
+    def test_batch_counters_match_seed_loop(self, peer_ids, keys, data):
         """discover_batch (the runner's path) aggregates exactly what the
         seed per-request loop would: counters, hop sums, histogram, and
         the peers' capacity state."""
         fast, seed_sys = _build_twins(peer_ids, keys, capacity=2)
-        rng = random.Random(seed)
-        requests = _request_mix(rng, fast, keys, n=80)
+        requests = data.draw(
+            strategies.request_mixes(keys, fast.tree.labels(), n=80)
+        )
         batch = fast.discover_batch(requests)
         satisfied = dropped = not_found = logical = physical = 0
         hist: dict[int, int] = {}
@@ -198,9 +181,9 @@ class TestAfterChurn:
             ),
             max_size=15,
         ),
-        seed=st.integers(0, 2**16),
+        data=st.data(),
     )
-    def test_post_churn_equivalent(self, peer_ids, keys, churn, seed):
+    def test_post_churn_equivalent(self, peer_ids, keys, churn, data):
         fast, seed_sys = _build_twins(peer_ids, keys, capacity=3)
         live_keys = sorted(set(keys))
         for op in churn:
@@ -220,26 +203,23 @@ class TestAfterChurn:
                 live_keys.pop(op[1] % len(live_keys))
         if not fast.tree.labels():
             return  # churn emptied the tree: nothing to route
-        rng = random.Random(seed)
         pool = live_keys or sorted(fast.tree.labels())
-        _assert_equal_requests(
-            fast, seed_sys, _request_mix(rng, fast, pool, n=50)
+        requests = data.draw(
+            strategies.request_mixes(pool, fast.tree.labels(), n=50)
         )
+        _assert_equal_requests(fast, seed_sys, requests)
 
 
 class TestAfterFaults:
     @settings(max_examples=40, deadline=None)
     @given(
-        peer_ids=st.lists(
-            st.text(alphabet="abc", min_size=2, max_size=6),
-            min_size=3, max_size=8, unique=True,
-        ),
+        peer_ids=strategies.peer_ids_min3_st,
         keys=keys_st,
         crash_draws=st.lists(st.integers(0, 10**6), min_size=1, max_size=3),
         do_repair=st.booleans(),
-        seed=st.integers(0, 2**16),
+        data=st.data(),
     )
-    def test_post_crash_equivalent(self, peer_ids, keys, crash_draws, do_repair, seed):
+    def test_post_crash_equivalent(self, peer_ids, keys, crash_draws, do_repair, data):
         """Crash-damaged forests (and repaired trees) route identically —
         including entries inside detached fragments, which exercise the
         fast path's walking fallback."""
@@ -263,8 +243,8 @@ class TestAfterFaults:
         assert labels == sorted(seed_sys.tree.labels())
         if not labels:
             return
-        rng = random.Random(seed)
         pool = sorted(fast.tree.keys()) or labels
-        _assert_equal_requests(
-            fast, seed_sys, _request_mix(rng, fast, pool, n=50)
+        requests = data.draw(
+            strategies.request_mixes(pool, fast.tree.labels(), n=50)
         )
+        _assert_equal_requests(fast, seed_sys, requests)

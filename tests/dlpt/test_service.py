@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.queries import ExactQuery, MultiAttributeQuery, PrefixQuery, RangeQuery
+from repro.dlpt.failures import ReplicationManager, crash_peer, repair
 from repro.dlpt.service import DiscoveryService
 
 
@@ -94,6 +95,120 @@ class TestMultiAttribute:
             clauses={"lib": ExactQuery("s3l"), "prec": ExactQuery("single")}
         )
         assert service.multi_attribute_search(q) == []
+
+
+class TestSetQueriesAfterChurn:
+    """The set-returning searches on trees reshaped by peer/key churn.
+
+    The PGCP tree depends only on the registered key set, so peer churn
+    must leave every set query unchanged, while registration churn must be
+    reflected exactly — both directions are pinned here.
+    """
+
+    def _snapshot(self, service):
+        return (
+            service.complete("dgem"),
+            service.complete("S3L"),
+            service.range_search("d", "t"),
+            service.multi_attribute_search(
+                MultiAttributeQuery(clauses={"lib": ExactQuery("blas")})
+            ),
+        )
+
+    def test_peer_churn_leaves_set_queries_invariant(self, service, rng):
+        before = self._snapshot(service)
+        system = service.system
+        for pid in ("churn1", "churn2", "churn3"):
+            system.add_peer(rng, peer_id=pid, capacity=5)
+        for _ in range(4):
+            system.remove_peer(system.ring.id_at(rng.randrange(len(system.ring))))
+        system.check_invariants()
+        assert self._snapshot(service) == before
+
+    def test_registration_churn_is_reflected_exactly(self, service, rng):
+        service.register("dgetrf", attributes={"lib": "blas", "prec": "double"})
+        service.register("S3L_sort", attributes={"lib": "s3l"})
+        service.unregister("dgemv")
+        system = service.system
+        for _ in range(2):
+            system.remove_peer(system.ring.id_at(rng.randrange(len(system.ring))))
+        assert service.complete("dge") == ["dgemm", "dgetrf"]
+        assert service.range_search("S", "T") == ["S3L_fft", "S3L_sort"]
+        q = MultiAttributeQuery(
+            clauses={"lib": ExactQuery("blas"), "prec": ExactQuery("double")}
+        )
+        assert service.multi_attribute_search(q) == ["dgemm", "dgetrf"]
+        q = MultiAttributeQuery(clauses={"lib": PrefixQuery("s")})
+        assert service.multi_attribute_search(q) == ["S3L_fft", "S3L_sort"]
+        system.check_invariants()
+
+
+class TestSetQueriesAfterCrash:
+    """Set queries on crash-damaged and repaired trees.
+
+    A fail-stop crash removes the victim's filled nodes; completion, range
+    and multi-attribute answers must shrink to exactly the surviving keys
+    (never error, never resurrect), and come back after repair.
+    """
+
+    def _crashed(self, service, rng, *, factor=1):
+        system = service.system
+        replication = ReplicationManager(system, factor=factor)
+        replication.replicate_all()
+        victim = system.mapping.host_of("dgemm").id
+        report = crash_peer(system, victim)
+        replication.on_peer_removed(victim)
+        return replication, report
+
+    def _snapshot(self, service):
+        return (
+            service.complete("dgem"),
+            service.range_search("a", "z"),
+            service.multi_attribute_search(
+                MultiAttributeQuery(clauses={"prec": ExactQuery("double")})
+            ),
+        )
+
+    def test_damaged_tree_answers_with_survivors_only(self, service, rng):
+        before_multi = self._snapshot(service)[2]
+        _, report = self._crashed(service, rng)
+        lost_names = {k for k in report.lost_keys if service.record(k)}
+        assert lost_names  # the victim really hosted primary keys
+        # Key-band searches answer from the tree's surviving key nodes…
+        surviving = set(service.system.tree.keys())
+        assert not (set(service.complete("dgem")) & lost_names)
+        assert not (set(service.range_search("a", "z")) & lost_names)
+        assert set(service.complete("dgem")) <= surviving
+        assert set(service.range_search("a", "z")) <= surviving
+        # …while conjunctions answer from the attribute bands, which are
+        # independent nodes: they may still name a crashed primary (the
+        # record outlives the key node) but never invent new answers.
+        after_multi = self._snapshot(service)[2]
+        assert set(after_multi) <= set(before_multi)
+
+    def test_repair_restores_every_search_mode(self, service, rng):
+        before = self._snapshot(service)
+        assert before[0]  # the fixture must actually cover the crash band
+        replication, report = self._crashed(service, rng)
+        repair(service.system, replication, lost_keys=report.lost_keys)
+        service.system.check_invariants()
+        assert self._snapshot(service) == before
+
+    def test_attribute_band_loss_narrows_conjunctions(self, service, rng):
+        """Losing an ``attr=value`` band node drops that clause's matches
+        even when the primary names survive — the conjunction must reflect
+        the tree as it is, not the records as they were."""
+        system = service.system
+        replication = ReplicationManager(system, factor=1)
+        replication.replicate_all()
+        victim = system.mapping.host_of("lib=blas").id
+        report = crash_peer(system, victim)
+        replication.on_peer_removed(victim)
+        q = MultiAttributeQuery(clauses={"lib": ExactQuery("blas")})
+        if "lib=blas" in report.lost_keys:
+            assert service.multi_attribute_search(q) == []
+        else:
+            assert service.multi_attribute_search(q) == ["dgemm", "dgemv", "sgemm"]
 
 
 class TestCompletionCost:

@@ -58,7 +58,8 @@ class TestReadme:
     def test_readme_points_at_project_state(self):
         text = README.read_text()
         for pointer in ("ROADMAP.md", "CHANGES.md", "BENCH_micro.json",
-                        "docs/benchmarks.md", "docs/reproduction.md"):
+                        "docs/benchmarks.md", "docs/reproduction.md",
+                        "docs/runtime.md"):
             assert pointer in text, f"README.md should point at {pointer}"
 
     def test_readme_code_blocks_run(self):
@@ -137,6 +138,47 @@ class TestReproductionDoc:
         assert "REPRO_WORKERS" in README.read_text(), (
             "README.md must document the REPRO_WORKERS override"
         )
+
+
+class TestRuntimeDoc:
+    """docs/runtime.md: the transport seam, the wire schema and the
+    conformance methodology must stay documented as the runtime grows."""
+
+    DOC = REPO_ROOT / "docs" / "runtime.md"
+
+    def test_guide_exists(self):
+        assert self.DOC.exists(), (
+            "docs/runtime.md must document the Transport interface, the "
+            "repro-wire/1 schema and the conformance methodology"
+        )
+
+    def test_interface_schema_and_methodology_are_documented(self):
+        doc = self.DOC.read_text()
+        for needle in ("Transport", "repro-wire/1", "drain", "dead-letter",
+                       "SimTransport", "AsyncioTransport",
+                       "LoopbackAsyncioTransport", "conformance",
+                       "python -m repro serve", "pytest -m net",
+                       "@broker", "DLPTClient"):
+            assert needle in doc, f"docs/runtime.md must document {needle}"
+
+    def test_documented_schema_tag_matches_the_code(self):
+        from repro.net.wire import WIRE_SCHEMA
+
+        assert WIRE_SCHEMA in self.DOC.read_text()
+
+    def test_every_wire_message_type_is_documented(self):
+        """The schema reference must enumerate exactly the dataclasses the
+        codec accepts — silently adding one would fork doc from code."""
+        from repro.net.wire import MESSAGE_TYPES
+
+        doc = self.DOC.read_text()
+        for name in MESSAGE_TYPES:
+            assert f"`{name}`" in doc, (
+                f"docs/runtime.md's repro-wire/1 reference omits {name}"
+            )
+
+    def test_counter_invariant_is_stated(self):
+        assert "messages_sent == messages_delivered" in self.DOC.read_text()
 
 
 class TestExamples:

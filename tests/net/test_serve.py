@@ -1,0 +1,71 @@
+"""``python -m repro serve``: cluster launcher and the --demo self-check."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.experiments.cli import main as repro_main
+from repro.net.serve import DEMO_KEYS, build_parser, peer_ids, run_demo, start_cluster
+
+pytestmark = pytest.mark.asyncio
+
+
+class TestPeerIds:
+    def test_deterministic_unique_sorted(self):
+        ids = peer_ids(8)
+        assert ids == peer_ids(8)
+        assert len(ids) == 8 == len(set(ids))
+        assert ids == sorted(ids)
+
+    @pytest.mark.parametrize("n", [1, 2, 26, 100])
+    def test_scales_without_collisions(self, n):
+        assert len(peer_ids(n)) == n
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.peers == 8 and not args.tcp and not args.demo
+
+    def test_cli_rejects_empty_cluster(self):
+        assert repro_main(["serve", "--peers", "0"]) == 2
+
+
+@pytest.mark.net
+class TestDemo:
+    def _demo(self, **kwargs):
+        async def body():
+            transport, engine, broker = await start_cluster(8, **kwargs)
+            try:
+                lines = []
+                summary = await run_demo(transport.address, out=lines.append)
+                return engine, summary, lines
+            finally:
+                await broker.close()
+                await transport.close()
+
+        return asyncio.run(body())
+
+    def test_demo_over_unix_socket(self):
+        engine, summary, lines = self._demo()
+        assert summary["registered"] == len(DEMO_KEYS)
+        assert summary["found"] == len(DEMO_KEYS)
+        assert summary["missed"] == 1
+        assert summary["info"]["peers"] == 8
+        # Every demo key landed on the peer the mapping rule names: the
+        # lowest peer id >= the key (wrapped) — the paper's Def. 3 rule.
+        ids = sorted(engine.peers)
+        for key in DEMO_KEYS:
+            expected = next((p for p in ids if p >= key), ids[0])
+            assert engine.locator[key] == expected
+        assert any("registered" in line for line in lines)
+
+    def test_demo_over_tcp(self):
+        engine, summary, lines = self._demo(tcp=True)
+        assert summary["found"] == len(DEMO_KEYS) and summary["missed"] == 1
+
+    def test_serve_demo_cli_exit_code(self):
+        """The acceptance command itself: python -m repro serve --demo."""
+        assert repro_main(["serve", "--peers", "8", "--demo"]) == 0

@@ -1,0 +1,264 @@
+"""The :class:`repro.net.transport.Transport` contract, on every
+implementation.
+
+One suite, parametrised over transport factories: the discrete-event
+:class:`SimTransport` and the deterministic
+:class:`LoopbackAsyncioTransport` run in tier-1; the real-socket
+:class:`AsyncioTransport` (Unix-domain and TCP) runs the *same* contract
+under the ``net`` marker.  Whatever holds here is what protocol code may
+rely on regardless of which engine carries its messages.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.dlpt import messages as m
+from repro.net.asyncio_transport import AsyncioTransport, LoopbackAsyncioTransport
+from repro.net.transport import SimTransport, TransportError
+
+pytestmark = pytest.mark.asyncio
+
+TRANSPORT_PARAMS = [
+    pytest.param(SimTransport, id="sim"),
+    pytest.param(LoopbackAsyncioTransport, id="loopback"),
+    pytest.param(AsyncioTransport, id="asyncio-unix", marks=pytest.mark.net),
+    pytest.param(
+        lambda: AsyncioTransport(host="127.0.0.1"),
+        id="asyncio-tcp",
+        marks=pytest.mark.net,
+    ),
+]
+
+
+@pytest.fixture(params=TRANSPORT_PARAMS)
+def transport_factory(request):
+    return request.param
+
+
+def _msg(n: int) -> m.DataInsertion:
+    """A wire-encodable payload with a sequence number riding in it."""
+    return m.DataInsertion(node="a", key="ab", datum=n)
+
+
+class TestContract:
+    def test_delivery_and_counters(self, transport_factory):
+        async def body():
+            t = transport_factory()
+            await t.start()
+            got = []
+            t.register("b", lambda env: got.append(env))
+            t.send("a", "b", _msg(1))
+            await t.drain()
+            assert [env.payload.datum for env in got] == [1]
+            assert (env := got[0]).src == "a" and env.dst == "b"
+            assert t.messages_sent == 1
+            assert t.messages_delivered == 1
+            assert t.in_flight == 0
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_unregistered_destination_dead_letters(self, transport_factory):
+        async def body():
+            t = transport_factory()
+            await t.start()
+            t.send("a", "nobody", _msg(1))
+            await t.drain()
+            assert t.messages_dead_lettered == 1
+            assert t.messages_delivered == 0
+            assert t.in_flight == 0
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_reregister_replaces_handler(self, transport_factory):
+        async def body():
+            t = transport_factory()
+            await t.start()
+            first, second = [], []
+            t.register("b", lambda env: first.append(env))
+            t.register("b", lambda env: second.append(env))
+            assert t.is_registered("b")
+            t.send("a", "b", _msg(1))
+            await t.drain()
+            assert not first and len(second) == 1
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_unregister_midflight_dead_letters(self, transport_factory):
+        """Registration is checked at delivery time: a message already in
+        flight to an endpoint that unregisters is dead-lettered, never
+        raised and never delivered to the stale handler."""
+
+        async def body():
+            t = transport_factory()
+            await t.start()
+            got = []
+            t.register("b", lambda env: got.append(env))
+            t.send("a", "b", _msg(1))
+            t.unregister("b")
+            assert not t.is_registered("b")
+            await t.drain()
+            assert not got
+            assert t.messages_dead_lettered == 1
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_pairwise_fifo(self, transport_factory):
+        async def body():
+            t = transport_factory()
+            await t.start()
+            got = []
+            t.register("b", lambda env: got.append(env.payload.datum))
+            for n in range(20):
+                t.send("a", "b", _msg(n))
+            await t.drain()
+            assert got == list(range(20))
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_cascading_sends_drain_transitively(self, transport_factory):
+        """drain() waits for messages sent *by handlers*, recursively."""
+
+        async def body():
+            t = transport_factory()
+            await t.start()
+            got = []
+
+            def relay(env):
+                n = env.payload.datum
+                got.append((env.dst, n))
+                if n > 0:
+                    t.send(env.dst, "b" if env.dst == "a" else "a", _msg(n - 1))
+
+            t.register("a", relay)
+            t.register("b", relay)
+            t.send("@test", "a", _msg(5))
+            await t.drain()
+            assert [n for _, n in got] == [5, 4, 3, 2, 1, 0]
+            assert t.messages_sent == 6
+            assert t.messages_delivered == 6
+            assert t.in_flight == 0
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_counter_invariant_at_quiescence(self, transport_factory):
+        async def body():
+            t = transport_factory()
+            await t.start()
+            t.register("b", lambda env: None)
+            for n in range(5):
+                t.send("a", "b", _msg(n))
+            t.send("a", "nobody", _msg(99))
+            await t.drain()
+            assert t.messages_sent == (
+                t.messages_delivered + t.messages_dropped + t.messages_dead_lettered
+            )
+            assert t.in_flight == 0
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_clock_is_monotonic(self, transport_factory):
+        async def body():
+            t = transport_factory()
+            await t.start()
+            before = t.now()
+            t.send("a", "nobody", _msg(1))
+            await t.drain()
+            assert t.now() >= before >= 0.0
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_call_later_fires_and_cancel_suppresses(self, transport_factory):
+        async def body():
+            t = transport_factory()
+            await t.start()
+            fired = []
+            t.call_later(0.01, lambda: fired.append("kept"))
+            handle = t.call_later(0.01, lambda: fired.append("cancelled"))
+            handle.cancel()
+            if isinstance(t, SimTransport):
+                t.sim.run_until_idle()
+            else:
+                await asyncio.sleep(0.05)
+            assert fired == ["kept"]
+            await t.close()
+
+        asyncio.run(body())
+
+
+class TestAsyncioSpecifics:
+    """Behaviour the event-loop transports add on top of the contract."""
+
+    def test_send_before_start_raises(self):
+        t = LoopbackAsyncioTransport()
+        with pytest.raises(TransportError, match="not started"):
+            t.send("a", "b", _msg(1))
+
+    def test_payloads_cross_the_codec(self):
+        """Loopback delivery is a full encode/decode round-trip: the
+        receiver gets an equal — but distinct — payload object, so any
+        accidental reliance on object identity breaks in tier-1."""
+
+        async def body():
+            t = LoopbackAsyncioTransport()
+            await t.start()
+            got = []
+            t.register("b", lambda env: got.append(env.payload))
+            sent = m.SearchingHost(
+                node="ab",
+                payload=m.NodePayload(
+                    label="ab", father="a", children=frozenset({"aba"}), data=(1, "x")
+                ),
+            )
+            t.send("a", "b", sent)
+            await t.drain()
+            assert got[0] == sent and got[0] is not sent
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_handler_exception_surfaces_at_drain(self):
+        async def body():
+            t = LoopbackAsyncioTransport()
+            await t.start()
+
+            def bad(env):
+                raise RuntimeError("handler exploded")
+
+            t.register("b", bad)
+            t.send("a", "b", _msg(1))
+            with pytest.raises(TransportError, match="error"):
+                await t.drain()
+            # The failure was consumed: counters are quiescent and the
+            # transport keeps working afterwards.
+            assert t.in_flight == 0
+            t.register("b", lambda env: None)
+            t.send("a", "b", _msg(2))
+            await t.drain()
+            await t.close()
+
+        asyncio.run(body())
+
+    def test_unencodable_payload_counts_as_dropped(self):
+        async def body():
+            t = LoopbackAsyncioTransport()
+            await t.start()
+            t.register("b", lambda env: None)
+            t.send("a", "b", object())
+            with pytest.raises(TransportError):
+                await t.drain()
+            assert t.messages_dropped == 1
+            assert t.in_flight == 0
+            await t.close()
+
+        asyncio.run(body())

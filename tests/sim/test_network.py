@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.sim.engine import Simulator
-from repro.sim.network import ConstantLatency, Network, UniformLatency
+from repro.sim.network import ConstantLatency, LatencyModel, Network, UniformLatency
 
 
 def make_net(**kwargs):
@@ -105,3 +105,86 @@ class TestLoss:
         sim.run_until_idle()
         assert net.messages_dropped > 150
         assert net.messages_dropped + net.messages_delivered == 200
+
+
+class _RecordingLatency(LatencyModel):
+    """A latency model that records every draw it is asked for."""
+
+    def __init__(self, inner: LatencyModel) -> None:
+        self.inner = inner
+        self.samples = []
+
+    def sample(self, src, dst) -> float:
+        value = self.inner.sample(src, dst)
+        self.samples.append(value)
+        return value
+
+
+class TestLossLatencyRngIndependence:
+    """Regression: the loss decision and the latency draw are independent
+    random streams.
+
+    The :class:`repro.net.transport.Transport` contract (and any experiment
+    whose loss rate is swept at fixed latency seed, or vice versa) relies on
+    two properties of :meth:`Network.send`: the drop decision comes from the
+    network's own loss RNG *before* any latency sampling, and the latency
+    model's RNG is consumed exactly once per *surviving* message — dropped
+    messages must not advance it.  A refactor that samples latency first
+    (or for every message) would silently reshuffle every seeded experiment
+    that mixes loss and stochastic latency.
+    """
+
+    def _drop_pattern(self, latency, n=300, seed=42):
+        sim = Simulator()
+        net = Network(sim, latency=latency, loss_rate=0.3, rng=random.Random(seed))
+        net.register("b", lambda env: None)
+        pattern = []
+        for i in range(n):
+            before = net.messages_dropped
+            net.send("a", "b", i)
+            pattern.append(net.messages_dropped > before)
+        sim.run_until_idle()
+        return net, pattern
+
+    def test_latency_sampled_only_for_survivors(self):
+        latency = _RecordingLatency(ConstantLatency(1.0))
+        net, pattern = self._drop_pattern(latency)
+        assert 0 < net.messages_dropped < net.messages_sent
+        assert len(latency.samples) == net.messages_sent - net.messages_dropped
+
+    def test_drop_pattern_is_independent_of_the_latency_model(self):
+        """Same loss seed, different latency models: identical drops."""
+        _, constant = self._drop_pattern(ConstantLatency(1.0))
+        _, uniform = self._drop_pattern(UniformLatency(random.Random(7), 0.5, 1.5))
+        _, zero = self._drop_pattern(LatencyModel())
+        assert constant == uniform == zero
+        assert any(constant) and not all(constant)
+
+    def test_latency_stream_is_consumed_in_send_order_survivors_only(self):
+        """The k-th surviving message gets the k-th draw of the latency
+        RNG — byte-for-byte what a loss-free run of the same seed would
+        produce, truncated to the survivor count."""
+        latency = _RecordingLatency(UniformLatency(random.Random(7), 0.5, 1.5))
+        net, pattern = self._drop_pattern(latency)
+        survivors = pattern.count(False)
+        oracle = random.Random(7)
+        assert latency.samples == [oracle.uniform(0.5, 1.5) for _ in range(survivors)]
+
+    def test_counter_invariant_under_loss_and_churn(self):
+        sim = Simulator()
+        net = Network(
+            sim,
+            latency=UniformLatency(random.Random(3), 0.5, 1.5),
+            loss_rate=0.2,
+            rng=random.Random(4),
+        )
+        net.register("b", lambda env: None)
+        for i in range(100):
+            net.send("a", "b", i)
+            if i == 50:
+                net.unregister("b")  # in-flight messages dead-letter
+        sim.run_until_idle()
+        assert net.messages_sent == 100
+        assert net.messages_sent == (
+            net.messages_delivered + net.messages_dropped + net.messages_dead_lettered
+        )

@@ -1,0 +1,139 @@
+"""Shared hypothesis strategies for the property-test suites.
+
+One home for the input generators the equivalence suites
+(``tests/dlpt/test_discovery_equivalence.py``) and the runtime suites
+(``tests/net/``) draw from, so "a random PGCP workload" means the same
+thing everywhere: keys and peer ids over the small ``abc`` alphabet
+(dense shared prefixes → deep trees at tiny sizes), request mixes that
+cover registered keys, absent extensions, absent prefixes and foreign
+keys, and wire-encodable protocol messages for codec round-trips.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.alphabet import Alphabet
+from repro.dlpt import messages as m
+
+#: The three-digit alphabet every equivalence suite builds trees over.
+ALPHABET = Alphabet(digits=("a", "b", "c"), name="abc")
+
+#: Service-key corpora: short strings over "abc", duplicates allowed
+#: (re-registration must be equivalent too).
+keys_st = st.lists(
+    st.text(alphabet="abc", min_size=1, max_size=8), min_size=1, max_size=25
+)
+
+#: Peer-identifier sets: unique, same id space as the keys.
+peer_ids_st = st.lists(
+    st.text(alphabet="abc", min_size=2, max_size=6),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+#: Larger peer pools for fault suites that need crash survivors.
+peer_ids_min3_st = st.lists(
+    st.text(alphabet="abc", min_size=2, max_size=6),
+    min_size=3,
+    max_size=8,
+    unique=True,
+)
+
+
+def request_mixes(keys, labels, n: int = 60) -> st.SearchStrategy:
+    """``n`` ``(key, entry_label)`` request pairs over a built tree.
+
+    Every fifth request is perturbed the way the original hand-rolled
+    mixer did: an absent extension below a (possible) leaf, a
+    possibly-absent prefix, or a key outside the dense bands — so the
+    mix exercises hits, misses above, misses below and misses sideways.
+    """
+    keys = sorted(set(keys))
+    labels = sorted(labels)
+
+    def perturb(draws):
+        requests = []
+        for i, (key, label) in enumerate(draws):
+            if i % 5 == 1:
+                key = key + "ab"  # absent below a leaf
+            elif i % 5 == 2 and len(key) > 1:
+                key = key[:-1]  # possibly-absent prefix
+            elif i % 5 == 3:
+                key = "cc" + key  # likely outside dense bands
+            requests.append((key, label))
+        return requests
+
+    pairs = st.tuples(st.sampled_from(keys), st.sampled_from(labels))
+    return st.lists(pairs, min_size=n, max_size=n).map(perturb)
+
+
+def entry_labels(labels, n: int) -> st.SearchStrategy:
+    """``n`` request entry points drawn from a built tree's labels."""
+    return st.lists(st.sampled_from(sorted(labels)), min_size=n, max_size=n)
+
+
+# -- wire-encodable protocol messages (for codec round-trip properties) ----
+
+_label_st = st.text(alphabet="abc", min_size=1, max_size=8)
+_datum_st = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**31), 2**31),
+    st.text(max_size=12),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+node_payloads_st = st.builds(
+    m.NodePayload,
+    label=_label_st,
+    father=st.one_of(st.none(), _label_st),
+    children=st.frozensets(_label_st, max_size=4),
+    data=st.lists(_datum_st, max_size=3).map(tuple),
+)
+
+#: Any protocol message the ``repro-wire/1`` codec must round-trip.
+wire_messages_st = st.one_of(
+    st.builds(
+        m.PeerJoin,
+        node=_label_st,
+        joiner=_label_st,
+        state=st.sampled_from([0, 1]),
+        capacity=st.integers(1, 100),
+    ),
+    st.builds(
+        m.NewPredecessor, joiner=_label_st, capacity=st.integers(1, 100)
+    ),
+    st.builds(
+        m.YourInformation,
+        pred=_label_st,
+        succ=_label_st,
+        nodes=st.lists(node_payloads_st, max_size=3).map(tuple),
+    ),
+    st.builds(m.UpdateSuccessor, new_successor=_label_st),
+    st.builds(
+        m.LeaveTransfer,
+        pred=_label_st,
+        nodes=st.lists(node_payloads_st, max_size=3).map(tuple),
+    ),
+    st.builds(m.UpdatePredecessor, new_predecessor=_label_st),
+    st.builds(m.DataInsertion, node=_label_st, key=_label_st, datum=_datum_st),
+    st.builds(m.SearchingHost, node=_label_st, payload=node_payloads_st),
+    st.builds(m.Host, payload=node_payloads_st),
+    st.builds(m.UpdateChild, node=_label_st, old=_label_st, new=_label_st),
+    st.builds(
+        m.DiscoveryRequest,
+        node=_label_st,
+        key=_label_st,
+        reply_to=_label_st,
+        hops=st.integers(0, 50),
+    ),
+    st.builds(
+        m.DiscoveryReply,
+        key=_label_st,
+        found=st.booleans(),
+        data=st.lists(_datum_st, max_size=3).map(tuple),
+        hops=st.integers(0, 50),
+    ),
+)
