@@ -3,5 +3,16 @@
 from .dlpt_dht import HashedMapping
 from .pgrid import PGrid, PGridPeer
 from .pht import PHTLookupResult, PrefixHashTree
+from .query_cost import QueryCostMismatch, QueryCostResult, QueryCostRow, measure_query_cost
 
-__all__ = ["HashedMapping", "PrefixHashTree", "PHTLookupResult", "PGrid", "PGridPeer"]
+__all__ = [
+    "HashedMapping",
+    "PrefixHashTree",
+    "PHTLookupResult",
+    "PGrid",
+    "PGridPeer",
+    "QueryCostMismatch",
+    "QueryCostResult",
+    "QueryCostRow",
+    "measure_query_cost",
+]

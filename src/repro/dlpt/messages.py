@@ -144,3 +144,39 @@ class DiscoveryReply:
     found: bool
     data: Tuple[object, ...] = ()
     hops: int = 0
+
+
+@dataclass(frozen=True)
+class SetQueryRequest:
+    """A set query (prefix completion or lexicographic range) walking the
+    tree as a *scan token*: it climbs from its entry node to the node
+    covering the query band's anchor, then traverses the scan subtree in
+    DFS order, carrying the accumulated matches and the labels still to
+    visit.  One message forward = one hop, so the reply's hop count equals
+    the macro model's climb + descent + scan-forward accounting.
+
+    ``kind`` is ``"prefix"`` or ``"range"``; for a prefix query ``lo`` is
+    the prefix and ``hi`` is unused (``""``).  ``phase`` 0 = routing
+    (climb/descend), 1 = scanning.
+    """
+
+    node: str
+    kind: str
+    lo: str
+    hi: str
+    reply_to: str
+    phase: int = 0
+    pending: Tuple[str, ...] = ()
+    keys: Tuple[str, ...] = ()
+    hops: int = 0
+
+
+@dataclass(frozen=True)
+class SetQueryReply:
+    """Response to a :class:`SetQueryRequest`: the sorted matched keys."""
+
+    kind: str
+    lo: str
+    hi: str
+    keys: Tuple[str, ...] = ()
+    hops: int = 0

@@ -145,6 +145,7 @@ class ProtocolEngine:
         #: the Host message creating its target); flushed on install.
         self.pending_node_messages: Dict[str, list] = {}
         self.discovery_replies: list[m.DiscoveryReply] = []
+        self.query_replies: list[m.SetQueryReply] = []
         self.dead_node_messages = 0
         self._client_endpoint = "@client"
         self.transport.register(self._client_endpoint, self._on_client_message)
@@ -280,6 +281,28 @@ class ProtocolEngine:
             m.DiscoveryRequest(node=via, key=key, reply_to=self._client_endpoint),
         )
 
+    def search_query(
+        self, kind: str, lo: str, hi: str = "", via: Optional[str] = None
+    ) -> None:
+        """Issue an asynchronous set query (``kind`` ``"prefix"`` with the
+        prefix in ``lo``, or ``"range"`` with both bounds); the reply lands
+        in :attr:`query_replies` once the transport drains."""
+        if kind not in ("prefix", "range"):
+            raise ValueError(f"unknown set-query kind {kind!r}")
+        if kind == "range" and lo > hi:
+            raise ValueError(f"empty range: {lo!r} > {hi!r}")
+        if not self.locator:
+            raise RuntimeError("tree is empty")
+        if via is None:
+            via = next(iter(self.locator))
+        self.send_to_node(
+            self._client_endpoint,
+            via,
+            m.SetQueryRequest(
+                node=via, kind=kind, lo=lo, hi=hi, reply_to=self._client_endpoint
+            ),
+        )
+
     # ------------------------------------------------------------------
     # message plumbing
     # ------------------------------------------------------------------
@@ -300,6 +323,8 @@ class ProtocolEngine:
     def _on_client_message(self, env: Envelope) -> None:
         if isinstance(env.payload, m.DiscoveryReply):
             self.discovery_replies.append(env.payload)
+        elif isinstance(env.payload, m.SetQueryReply):
+            self.query_replies.append(env.payload)
 
     def _on_peer_message(self, env: Envelope) -> None:
         peer = self.peers[env.dst]
@@ -559,6 +584,93 @@ class ProtocolEngine:
         self.transport.send(peer.id, msg.reply_to, m.DiscoveryReply(key=k, found=False, hops=hops))
 
     # ------------------------------------------------------------------
+    # set queries (prefix completion / lexicographic range)
+    # ------------------------------------------------------------------
+
+    def _on_set_query(self, peer: ProtocolPeer, msg: m.SetQueryRequest) -> None:
+        """Route, then scan.  Phase 0 climbs from the entry node to the
+        scan root — the *highest* node whose label extends the band's
+        anchor — descending along the anchor's spine when the entry sits
+        outside the band.  Phase 1 walks the scan subtree as a token in
+        DFS order, carrying the matches and the still-to-visit labels.
+        Every forward is one hop, so the reply's count equals the macro
+        model's climb + descent + (visited − 1) accounting."""
+        p = peer.nodes[msg.node]
+        anchor = msg.lo if msg.kind == "prefix" else gcp(msg.lo, msg.hi)
+        if msg.phase == 0:
+            if _is_prefix(anchor, p.label):
+                # Inside the band: climb while the father still extends the
+                # anchor; the highest such node is the scan root.
+                father = p.father
+                if father is not None and _is_prefix(anchor, father):
+                    self._forward_query(peer, father, msg)
+                    return
+                self._scan_step(peer, p, msg)
+                return
+            if _is_prefix(p.label, anchor):
+                # Above the band: descend toward the anchor.
+                q = p.child_sharing_longer_prefix(anchor)
+                if q is not None and (_is_prefix(q, anchor) or _is_prefix(anchor, q)):
+                    self._forward_query(peer, q, msg)
+                    return
+                self._reply_query(peer, msg, ())  # nothing under the anchor
+                return
+            if p.father is not None:
+                self._forward_query(peer, p.father, msg)
+                return
+            self._reply_query(peer, msg, ())  # root diverges from the anchor
+            return
+        self._scan_step(peer, p, msg)
+
+    def _scan_step(self, peer: ProtocolPeer, p: NodeState, msg: m.SetQueryRequest) -> None:
+        """Process one scan visit at ``p``: collect its label if filled and
+        matching, push its in-band children onto the pending stack, and
+        forward the token to the next label — or reply when done."""
+        kind, lo, hi = msg.kind, msg.lo, msg.hi
+        keys = list(msg.keys)
+        if p.data and (p.label.startswith(lo) if kind == "prefix" else lo <= p.label <= hi):
+            keys.append(p.label)
+        pending = list(msg.pending)
+        kids = p._index()
+        if kind == "range":
+            kids = [c for c in kids if not (c > hi or (c < lo and not lo.startswith(c)))]
+        pending.extend(sorted(kids, reverse=True))
+        if pending:
+            nxt = pending.pop()
+            self.send_to_node(
+                peer.id,
+                nxt,
+                m.SetQueryRequest(
+                    node=nxt, kind=kind, lo=lo, hi=hi, reply_to=msg.reply_to,
+                    phase=1, pending=tuple(pending), keys=tuple(keys),
+                    hops=msg.hops + 1,
+                ),
+            )
+            return
+        self._reply_query(peer, msg, keys)
+
+    def _forward_query(self, peer: ProtocolPeer, label: str, msg: m.SetQueryRequest) -> None:
+        self.send_to_node(
+            peer.id,
+            label,
+            m.SetQueryRequest(
+                node=label, kind=msg.kind, lo=msg.lo, hi=msg.hi,
+                reply_to=msg.reply_to, phase=msg.phase, pending=msg.pending,
+                keys=msg.keys, hops=msg.hops + 1,
+            ),
+        )
+
+    def _reply_query(self, peer: ProtocolPeer, msg: m.SetQueryRequest, keys) -> None:
+        self.transport.send(
+            peer.id,
+            msg.reply_to,
+            m.SetQueryReply(
+                kind=msg.kind, lo=msg.lo, hi=msg.hi,
+                keys=tuple(sorted(keys)), hops=msg.hops,
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # verification helpers
     # ------------------------------------------------------------------
 
@@ -657,4 +769,5 @@ ProtocolEngine._HANDLERS = {
     m.Host: ProtocolEngine._on_host,
     m.UpdateChild: ProtocolEngine._on_update_child,
     m.DiscoveryRequest: ProtocolEngine._on_discovery,
+    m.SetQueryRequest: ProtocolEngine._on_set_query,
 }

@@ -171,7 +171,8 @@ class DiscoveryRouter:
     """
 
     __slots__ = ("tree", "mapping", "_tree_version", "_map_version",
-                 "_spines", "_info", "_warmed", "_spines_warmed",
+                 "_spines", "_info", "_scans", "_fragments",
+                 "_warmed", "_spines_warmed",
                  "served_since_invalidate", "batches_since_invalidate")
 
     def __init__(self, tree: PGCPTree, mapping) -> None:
@@ -182,6 +183,16 @@ class DiscoveryRouter:
         #: key -> (spine labels, found)
         self._spines: Dict[str, Tuple[tuple, bool]] = {}
         self._info: Dict[str, _NodeInfo] = {}
+        #: (anchor, lo, hi) -> (scan-root label or None, DFS-ordered visited
+        #: labels).  Purely structural (labels, never data), so it shares
+        #: the tree-version guard with the spine memo; matched *keys* are
+        #: recomputed per query because data-only inserts do not bump the
+        #: version.
+        self._scans: Dict[Tuple[str, Optional[str], Optional[str]],
+                          Tuple[Optional[str], Tuple[str, ...]]] = {}
+        #: Labels of all fragment roots (parentless nodes) — length 1 on a
+        #: healthy tree, more after crash damage; None until first use.
+        self._fragments: Optional[Tuple[str, ...]] = None
         self._warmed = False
         self._spines_warmed = False
         #: Requests served since the node-info cache was last invalidated —
@@ -202,6 +213,8 @@ class DiscoveryRouter:
         if tv != self._tree_version:
             self._spines.clear()
             self._info.clear()
+            self._scans.clear()
+            self._fragments = None
             self._tree_version = tv
             self._map_version = mv
             self._warmed = False
@@ -322,6 +335,47 @@ class DiscoveryRouter:
             info_map[n.label] = (depth, changes, peer, root_label)
         return info_map[label]
 
+    # -- set queries -------------------------------------------------------
+
+    def fragment_roots(self) -> Tuple[str, ...]:
+        """Sorted labels of all parentless nodes — exactly one on a healthy
+        tree, several while crash damage leaves orphan fragments.  Memoised
+        per tree version (crash surgery bumps it per lost node, so damage
+        always invalidates)."""
+        frags = self._fragments
+        if frags is None:
+            frags = tuple(sorted(
+                n.label for n in self.tree.nodes() if n.parent is None
+            ))
+            self._fragments = frags
+        return frags
+
+    def subtree_scan(
+        self, anchor: str, lo: Optional[str] = None, hi: Optional[str] = None
+    ) -> Tuple[Optional[str], Tuple[str, ...]]:
+        """Structural scan for the band anchored at ``anchor`` in the root's
+        fragment: ``(scan-root label, DFS-ordered visited labels)``.
+
+        ``lo``/``hi`` of ``None`` means prefix mode (every node under the
+        scan root is visited); a range band prunes branches exactly like
+        :meth:`PGCPTree.range_query`.  The result is label-only — which
+        visited nodes are *filled* is the caller's per-query concern —
+        so it is safe to memoise under the structural version guard:
+        data-only inserts never change it, node creation/removal clears it
+        via :meth:`sync`.  ``(None, ())`` when no node covers ``anchor``.
+        """
+        key = (anchor, lo, hi)
+        cached = self._scans.get(key)
+        if cached is None:
+            root = self.tree.root
+            node = None if root is None else _covering_node(root, anchor)
+            if node is None:
+                cached = (None, ())
+            else:
+                cached = (node.label, _pruned_dfs(node, lo, hi))
+            self._scans[key] = cached
+        return cached
+
     # -- resolution --------------------------------------------------------
 
     def resolve(self, key: str, entry_label: str):
@@ -365,12 +419,12 @@ class DiscoveryRouter:
         return dest, dest_peer, found, logical, physical
 
 
-def subtree_root_for_prefix(tree: PGCPTree, prefix: str) -> Optional[PGCPNode]:
-    """The highest node whose subtree contains every key extending
-    ``prefix`` (used by completion and hot-spot request generation)."""
-    if tree.root is None:
-        return None
-    node = tree.root
+def _covering_node(start: PGCPNode, prefix: str) -> Optional[PGCPNode]:
+    """Descend from ``start`` to the highest node of its fragment whose
+    subtree contains every key extending ``prefix`` (``None`` when the
+    fragment has no such node).  Definition 1 makes the descent digit
+    unique, so the covering node — and hence every scan root — is unique."""
+    node = start
     if common_prefix_len(node.label, prefix) < min(len(node.label), len(prefix)):
         return None
     while len(node.label) < len(prefix):
@@ -381,3 +435,95 @@ def subtree_root_for_prefix(tree: PGCPTree, prefix: str) -> Optional[PGCPNode]:
             return None
         node = child
     return node
+
+
+def subtree_root_for_prefix(tree: PGCPTree, prefix: str) -> Optional[PGCPNode]:
+    """The highest node whose subtree contains every key extending
+    ``prefix`` (used by completion and hot-spot request generation)."""
+    if tree.root is None:
+        return None
+    return _covering_node(tree.root, prefix)
+
+
+def _pruned_dfs(node: PGCPNode, lo: Optional[str], hi: Optional[str]) -> Tuple[str, ...]:
+    """Pre-order DFS labels under ``node`` (children in label order),
+    pruned to the ``[lo, hi]`` band when given — the same subtree-band
+    argument as :meth:`PGCPTree.range_query`: every key under a node
+    extends its label, so a branch whose label is ``> hi``, or ``< lo``
+    without prefixing ``lo``, cannot contain a match."""
+    out = []
+    stack = [node]
+    while stack:
+        n = stack.pop()
+        lbl = n.label
+        if lo is not None and (lbl > hi or (lbl < lo and not lo.startswith(lbl))):
+            continue
+        out.append(lbl)
+        if n.children:
+            stack.extend(sorted(
+                n.children.values(), key=lambda c: c.label, reverse=True
+            ))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Result of one set query (completion / range / multi-attribute)
+    against the live system.
+
+    ``results`` is the complete sorted answer — the macro model has global
+    knowledge, so capacity exhaustion degrades *satisfaction*, never
+    completeness (``dropped_at`` names the first exhausted host).  Hop
+    accounting: ``logical_hops`` = climb edges + descent edges + scan
+    forwards (visited nodes minus one per scanned fragment);
+    ``physical_hops`` counts the hops whose endpoints live on different
+    peers, plus one jump per extra fragment on a damaged forest.
+    """
+
+    query: str
+    results: Tuple[str, ...]
+    satisfied: bool
+    logical_hops: int
+    physical_hops: int
+    nodes_scanned: int
+    dropped_at: Optional[str] = None
+
+    @property
+    def dropped(self) -> bool:
+        return self.dropped_at is not None
+
+
+@dataclass
+class QueryBatchOutcome:
+    """Aggregated counters of one batch of set queries — the count-dict
+    mirror of :class:`BatchOutcome` for :meth:`DLPTSystem.search_batch`.
+
+    ``empty`` counts queries whose (complete) answer had no keys; the hop
+    totals and histogram cover satisfied queries only, matching how
+    request hops feed :class:`repro.experiments.metrics.UnitStats`."""
+
+    issued: int = 0
+    satisfied: int = 0
+    dropped: int = 0
+    empty: int = 0
+    results_total: int = 0
+    logical_hops: int = 0
+    physical_hops: int = 0
+    nodes_scanned: int = 0
+    #: hops → number of satisfied queries taking that many logical hops.
+    hop_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def absorb(self, outcome: QueryOutcome) -> None:
+        self.issued += 1
+        self.results_total += len(outcome.results)
+        self.nodes_scanned += outcome.nodes_scanned
+        if not outcome.results:
+            self.empty += 1
+        if outcome.dropped_at is not None:
+            self.dropped += 1
+            return
+        self.satisfied += 1
+        self.logical_hops += outcome.logical_hops
+        self.physical_hops += outcome.physical_hops
+        h = outcome.logical_hops
+        self.hop_histogram[h] = self.hop_histogram.get(h, 0) + 1

@@ -8,9 +8,12 @@ trie overlays with (Section 1).
 
 Exact discovery goes through the full routed/capacity-accounted path of
 :class:`~repro.dlpt.system.DLPTSystem` (what the figures measure); the
-set-returning searches (completion / range / multi-attribute) are resolved
-on the logical tree and also report the logical hops a routed resolution
-would cost (entry → subtree root + subtree traversal).
+set-returning searches (completion / range / multi-attribute) ride the
+same routed path via :meth:`DLPTSystem.search` — climb to the scan root,
+fan out over the scan subtree, charge every scanned node's host — and
+:meth:`DiscoveryService.execute` exposes the full
+:class:`~repro.dlpt.routing.QueryOutcome` (hop counts, scan size,
+capacity verdict) for callers that need more than the name list.
 """
 
 from __future__ import annotations
@@ -26,7 +29,12 @@ from ..core.queries import (
     SingleAttributeQuery,
     attribute_key,
 )
-from .routing import RequestOutcome, route_up_only, subtree_root_for_prefix
+from .routing import (
+    QueryOutcome,
+    RequestOutcome,
+    route_up_only,
+    subtree_root_for_prefix,
+)
 from .system import DLPTSystem
 
 
@@ -79,55 +87,60 @@ class DiscoveryService:
         """Exact discovery through the routed, capacity-accounted path."""
         return self.system.discover(name, entry_label=entry_label, rng=rng)
 
-    def complete(self, partial: str) -> list[str]:
+    def execute(
+        self,
+        query,
+        entry_label: Optional[str] = None,
+        rng=None,
+    ) -> QueryOutcome:
+        """Run any query (object or spec) through the routed,
+        capacity-accounted path and return the full outcome — result set,
+        hop counts, scan size and the capacity verdict."""
+        return self.system.search(query, entry_label=entry_label, rng=rng)
+
+    def complete(
+        self, partial: str, entry_label: Optional[str] = None, rng=None
+    ) -> list[str]:
         """All registered primary names extending ``partial`` (automatic
-        completion of partial search strings)."""
-        return [
-            k for k in self.system.tree.complete(partial) if k in self._records
-        ]
+        completion of partial search strings), served by the routed scan."""
+        outcome = self.execute(PrefixQuery(partial), entry_label, rng)
+        return [k for k in outcome.results if k in self._records]
 
-    def range_search(self, lo: str, hi: str) -> list[str]:
+    def range_search(
+        self, lo: str, hi: str, entry_label: Optional[str] = None, rng=None
+    ) -> list[str]:
         """Registered primary names within the lexicographic range."""
-        return [
-            k for k in self.system.tree.range_query(lo, hi) if k in self._records
-        ]
+        outcome = self.execute(RangeQuery(lo, hi), entry_label, rng)
+        return [k for k in outcome.results if k in self._records]
 
-    def search(self, query: SingleAttributeQuery) -> list[str]:
+    def search(
+        self,
+        query: SingleAttributeQuery,
+        entry_label: Optional[str] = None,
+        rng=None,
+    ) -> list[str]:
         """Evaluate a single query object against primary names."""
-        if isinstance(query, ExactQuery):
-            node = self.system.tree.lookup(query.key)
-            return [query.key] if node is not None and node.data and query.key in self._records else []
-        if isinstance(query, PrefixQuery):
-            return self.complete(query.prefix)
-        if isinstance(query, RangeQuery):
-            return self.range_search(query.lo, query.hi)
+        if isinstance(query, (ExactQuery, PrefixQuery, RangeQuery)):
+            outcome = self.execute(query, entry_label, rng)
+            return [k for k in outcome.results if k in self._records]
         raise TypeError(f"unsupported query type {type(query)!r}")
 
-    def multi_attribute_search(self, query: MultiAttributeQuery) -> list[str]:
+    def multi_attribute_search(
+        self,
+        query: MultiAttributeQuery,
+        entry_label: Optional[str] = None,
+        rng=None,
+    ) -> list[str]:
         """Conjunction over attributes: intersect per-attribute matches.
 
-        Each clause is evaluated in its ``attr=value`` key band; the data
-        stored there are primary service names, so the intersection of the
-        per-clause result sets is exactly the conjunctive answer.
+        Each clause is evaluated as a routed scan in its ``attr=value`` key
+        band; the data stored there are primary service names, so the
+        intersection of the per-clause result sets — what
+        :meth:`DLPTSystem.search` returns for a multi-attribute query — is
+        exactly the conjunctive answer.
         """
-        result: Optional[set[str]] = None
-        tree = self.system.tree
-        for attr, sub in query.attribute_queries().items():
-            names: set[str] = set()
-            if isinstance(sub, ExactQuery):
-                node = tree.lookup(sub.key)
-                if node is not None:
-                    names.update(d for d in node.data if isinstance(d, str))
-            elif isinstance(sub, PrefixQuery):
-                for key in tree.complete(sub.prefix):
-                    names.update(d for d in tree.lookup(key).data if isinstance(d, str))
-            elif isinstance(sub, RangeQuery):
-                for key in tree.range_query(sub.lo, sub.hi):
-                    names.update(d for d in tree.lookup(key).data if isinstance(d, str))
-            result = names if result is None else (result & names)
-            if not result:
-                return []
-        return sorted(result or ())
+        outcome = self.execute(query, entry_label, rng)
+        return [k for k in outcome.results if k in self._records]
 
     # -- cost estimation ----------------------------------------------------
 

@@ -17,13 +17,30 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.alphabet import PRINTABLE, Alphabet
+from ..core.ids import gcp
 from ..core.pgcp import PGCPTree
+from ..core.queries import (
+    ExactQuery,
+    MultiAttributeQuery,
+    PrefixQuery,
+    RangeQuery,
+    parse_query,
+)
 from ..peers.capacity import CapacityModel, UniformCapacity
 from ..peers.peer import Peer
 from ..peers.ring import Ring
 from ..util.sortedlist import SortedList
 from .mapping import LexicographicMapping
-from .routing import BatchOutcome, DiscoveryRouter, RequestOutcome, route_path
+from .routing import (
+    BatchOutcome,
+    DiscoveryRouter,
+    QueryBatchOutcome,
+    QueryOutcome,
+    RequestOutcome,
+    _covering_node,
+    _pruned_dfs,
+    route_path,
+)
 
 #: Default length of randomly drawn peer identifiers.  Long enough that
 #: collisions among ~10^4 peers are negligible for any alphabet size >= 2.
@@ -549,6 +566,304 @@ class DLPTSystem:
         out.logical_hops = logical_total
         out.physical_hops = physical_total
         return out
+
+    # -- set queries (completion / range / multi-attribute) ---------------------
+
+    def search(self, query, entry_label: Optional[str] = None, rng=None) -> QueryOutcome:
+        """Execute one set query (prefix completion, lexicographic range,
+        exact, or multi-attribute conjunction) through the routed path.
+
+        ``query`` may be a query object or any spec :func:`parse_query`
+        accepts; validation against the system alphabet happens here, so
+        executors never see a malformed query.  The route mirrors
+        :meth:`discover`: climb from the entry node to the deepest ancestor
+        covering the query band's anchor (the prefix itself, or the GCP of
+        the range bounds), descend to the scan root, then fan out over the
+        scan subtree — charging every *scanned* node's host, one logical
+        hop per scan forward.  On a crash-damaged forest the indexed scan
+        gives way to the walking resolver, which additionally sweeps every
+        orphan fragment (one extra jump each) so the answer stays complete.
+
+        ``results`` is always the full sorted answer over the registered
+        key set — capacity exhaustion affects ``satisfied``/``dropped_at``
+        only.  With neither ``entry_label`` nor ``rng`` the query enters at
+        the scan root (zero routing hops); a multi-attribute query draws a
+        fresh entry per clause when given only ``rng``.
+        """
+        query = parse_query(query, self.alphabet)
+        if isinstance(query, MultiAttributeQuery):
+            return self._search_multi(query, entry_label, rng)
+        outcome, _ = self._execute_single(query, entry_label, rng)
+        return outcome
+
+    def search_batch(self, items, rng=None) -> QueryBatchOutcome:
+        """Serve a batch of ``(query, entry_label)`` set queries; returns
+        the aggregated :class:`QueryBatchOutcome` counters (the count-dict
+        twin of :meth:`discover_batch` — per-query outcomes are absorbed,
+        never kept).  ``entry_label`` of ``None`` draws from ``rng``."""
+        out = QueryBatchOutcome()
+        for query, entry_label in items:
+            out.absorb(self.search(query, entry_label=entry_label, rng=rng))
+        return out
+
+    @staticmethod
+    def _query_band(query):
+        """``(anchor, lo, hi)`` of a single query's label band; a ``None``
+        band means prefix mode (everything under the anchor matches)."""
+        if isinstance(query, PrefixQuery):
+            return query.prefix, None, None
+        if isinstance(query, RangeQuery):
+            return gcp(query.lo, query.hi), query.lo, query.hi
+        if isinstance(query, ExactQuery):
+            return query.key, query.key, query.key
+        raise TypeError(f"unsupported query type {type(query).__name__}")
+
+    def _search_multi(self, query, entry_label, rng) -> QueryOutcome:
+        """Conjunction: one routed scan per rebased ``attr=value`` clause,
+        intersecting the primary names stored as data; hop and scan totals
+        sum over the clauses (they are independent sub-requests)."""
+        names: Optional[set] = None
+        logical = physical = scanned = 0
+        dropped_at = None
+        for _attr, sub in sorted(query.attribute_queries().items()):
+            outcome, data = self._execute_single(sub, entry_label, rng)
+            logical += outcome.logical_hops
+            physical += outcome.physical_hops
+            scanned += outcome.nodes_scanned
+            if dropped_at is None:
+                dropped_at = outcome.dropped_at
+            matched = {d for d in data if isinstance(d, str)}
+            names = matched if names is None else (names & matched)
+        return QueryOutcome(
+            query=query.describe(),
+            results=tuple(sorted(names or ())),
+            satisfied=dropped_at is None,
+            logical_hops=logical,
+            physical_hops=physical,
+            nodes_scanned=scanned,
+            dropped_at=dropped_at,
+        )
+
+    def _execute_single(self, query, entry_label, rng):
+        """Run one single-attribute query; returns ``(QueryOutcome,
+        union-of-data of matched nodes)`` (the data feed multi-attribute
+        intersection)."""
+        anchor, lo, hi = self._query_band(query)
+        tree = self.tree
+        router = self.router
+        router.sync()
+        fragments = router.fragment_roots()
+        if not fragments:
+            return QueryOutcome(
+                query=query.describe(), results=(), satisfied=True,
+                logical_hops=0, physical_hops=0, nodes_scanned=0,
+            ), set()
+        if len(fragments) > 1 or tree.root is None:
+            # Crash-damaged forest (orphan fragments, or a destroyed root
+            # with survivors): the frozen walking resolver sweeps every
+            # fragment so the answer stays oracle-complete.
+            return self._search_walk(query, anchor, lo, hi, entry_label, rng)
+        if entry_label is None and rng is not None:
+            entry_label = self.random_entry_label(rng)
+        scan_root, visited = router.subtree_scan(anchor, lo, hi)
+
+        # -- routing leg: entry -> join -> scan root ------------------------
+        logical = physical = 0
+        dropped_at = None
+        if entry_label is not None:
+            e_depth, e_rpc, _, frag = router.node_info(entry_label)
+            if frag != tree.root.label:  # pragma: no cover - defensive
+                return self._search_walk(query, anchor, lo, hi, entry_label, rng)
+            if scan_root is None:
+                # No node covers the anchor: the request still climbs to
+                # its join with the anchor's spine and descends the spine,
+                # dying at its tip — the deepest node that could have had
+                # a band-compatible child (a distributed scan token only
+                # discovers the band is empty by walking there).  The
+                # tip's host is charged.
+                labels, _ = router.spine(anchor)
+                j = 0
+                last = len(labels) - 1
+                while j < last and entry_label.startswith(labels[j + 1]):
+                    j += 1
+                if labels:
+                    j_depth, j_rpc, _, _ = router.node_info(labels[j])
+                    tip_depth, tip_rpc, tip_peer, _ = router.node_info(labels[-1])
+                    tip_label = labels[-1]
+                else:
+                    # Root label diverges from the anchor: the climb dead-
+                    # ends at the root itself.
+                    j_depth = j_rpc = tip_depth = tip_rpc = 0
+                    tip_label = tree.root.label
+                    _, _, tip_peer, _ = router.node_info(tip_label)
+                if not tip_peer.try_process(tip_label):
+                    dropped_at = tip_peer.id
+                return QueryOutcome(
+                    query=query.describe(), results=(),
+                    satisfied=dropped_at is None,
+                    logical_hops=(e_depth - j_depth) + (tip_depth - j_depth),
+                    physical_hops=(e_rpc - j_rpc) + (tip_rpc - j_rpc),
+                    nodes_scanned=0, dropped_at=dropped_at,
+                ), set()
+            sr_depth, sr_rpc, _, _ = router.node_info(scan_root)
+            if entry_label.startswith(scan_root):
+                # Entry inside the scan subtree: the route is the straight
+                # climb to the scan root (the first ancestor whose subtree
+                # covers the whole band).
+                logical = e_depth - sr_depth
+                physical = e_rpc - sr_rpc
+            else:
+                labels, _ = router.spine(anchor)
+                j = 0
+                last = len(labels) - 1
+                while j < last and entry_label.startswith(labels[j + 1]):
+                    j += 1
+                if labels:
+                    j_depth, j_rpc, _, _ = router.node_info(labels[j])
+                else:
+                    # Root label extends the anchor: the scan root *is* the
+                    # root, and the climb runs the entry's whole root path.
+                    j_depth = j_rpc = 0
+                logical = (e_depth - j_depth) + (sr_depth - j_depth)
+                physical = (e_rpc - j_rpc) + (sr_rpc - j_rpc)
+        elif scan_root is None:
+            return QueryOutcome(
+                query=query.describe(), results=(), satisfied=True,
+                logical_hops=0, physical_hops=0, nodes_scanned=0,
+            ), set()
+
+        # -- scan leg: charge every visited node's host ----------------------
+        results, data, scan_logical, scan_physical, drop = self._run_scan(
+            query, visited
+        )
+        if dropped_at is None:
+            dropped_at = drop
+        return QueryOutcome(
+            query=query.describe(),
+            results=tuple(sorted(results)),
+            satisfied=dropped_at is None,
+            logical_hops=logical + scan_logical,
+            physical_hops=physical + scan_physical,
+            nodes_scanned=len(visited),
+            dropped_at=dropped_at,
+        ), data
+
+    def _run_scan(self, query, visited):
+        """Charge the hosts of ``visited`` (in DFS order) and collect the
+        filled labels matching ``query``: ``(results, data, logical,
+        physical, dropped_at)``.  One logical hop per scan forward; a
+        physical hop whenever consecutive visits change peers."""
+        host_of = self.mapping.host_of
+        node_of = self.tree.node
+        matches = query.matches
+        results: list[str] = []
+        data: set = set()
+        physical = 0
+        prev_peer = None
+        dropped_at = None
+        for lbl in visited:
+            peer = host_of(lbl)
+            if prev_peer is not None and peer is not prev_peer:
+                physical += 1
+            prev_peer = peer
+            if not peer.try_process(lbl) and dropped_at is None:
+                dropped_at = peer.id
+            node = node_of(lbl)
+            if node.data and matches(lbl):
+                results.append(lbl)
+                data.update(node.data)
+        logical = max(0, len(visited) - 1)
+        return results, data, logical, physical, dropped_at
+
+    def _search_walk(self, query, anchor, lo, hi, entry_label, rng):
+        """Walking set-query resolver for damaged forests: climb within the
+        entry's fragment, then sweep *every* fragment whose band overlaps
+        the query (one extra logical+physical jump per additional
+        fragment), so orphaned keys still appear in the answer."""
+        tree = self.tree
+        router = self.router
+        if entry_label is None and rng is not None:
+            entry_label = self.random_entry_label(rng)
+        logical = physical = 0
+        climb_top = None
+        if entry_label is not None:
+            node = tree.node(entry_label)
+            if node is None:
+                raise KeyError(f"entry node {entry_label!r} not in the tree")
+            host_of = self.mapping.host_of
+            prev_peer = host_of(node.label)
+            # Climb until this node's subtree covers the band (its label
+            # prefixes the anchor, or extends it)...
+            while (
+                not (anchor.startswith(node.label) or node.label.startswith(anchor))
+                and node.parent is not None
+            ):
+                node = node.parent
+                peer = host_of(node.label)
+                if peer is not prev_peer:
+                    physical += 1
+                prev_peer = peer
+                logical += 1
+            # ...then, if the entry started *inside* the scan subtree, keep
+            # climbing to the highest covering node (the scan root) so the
+            # scan sweeps the whole band, not just the entry's subtree.
+            while node.parent is not None and node.parent.label.startswith(anchor):
+                node = node.parent
+                peer = host_of(node.label)
+                if peer is not prev_peer:
+                    physical += 1
+                prev_peer = peer
+                logical += 1
+            climb_top = node
+
+        results: list[str] = []
+        data: set = set()
+        scanned = 0
+        dropped_at = None
+        fragments = 0
+        for frag_label in router.fragment_roots():
+            frag_root = tree.node(frag_label)
+            if climb_top is not None and router.node_info(entry_label)[3] == frag_label:
+                covers = anchor.startswith(climb_top.label) or climb_top.label.startswith(
+                    anchor
+                )
+                start = climb_top if covers else frag_root
+            else:
+                start = frag_root
+            cover = _covering_node(start, anchor)
+            if cover is None:
+                continue
+            # Descent edges from ``start`` down to the covering node.
+            depth_start = router.node_info(start.label)[0]
+            depth_cover = router.node_info(cover.label)[0]
+            fragments += 1
+            if fragments > 1:
+                logical += 1  # cross-fragment jump (no tree edge)
+                physical += 1
+            logical += depth_cover - depth_start
+            physical += (
+                router.node_info(cover.label)[1] - router.node_info(start.label)[1]
+            )
+            visited = _pruned_dfs(cover, lo, hi)
+            scanned += len(visited)
+            frag_results, frag_data, s_log, s_phys, drop = self._run_scan(
+                query, visited
+            )
+            results.extend(frag_results)
+            data.update(frag_data)
+            logical += s_log
+            physical += s_phys
+            if dropped_at is None:
+                dropped_at = drop
+        return QueryOutcome(
+            query=query.describe(),
+            results=tuple(sorted(results)),
+            satisfied=dropped_at is None,
+            logical_hops=logical,
+            physical_hops=physical,
+            nodes_scanned=scanned,
+            dropped_at=dropped_at,
+        ), data
 
     # -- time bookkeeping -------------------------------------------------------
 

@@ -99,6 +99,10 @@ def _run_parser() -> argparse.ArgumentParser:
                         "with --replay the trace supplies the events and "
                         "only the spec's r=/repair_every= policy applies "
                         "(omit it to replay with no replication)")
+    parser.add_argument("--queries", default=None,
+                        help="set-query spec (see docs/queries.md), e.g. "
+                        "mixed, mixed:n=6, prefix:n=4:len=2, "
+                        "range:n=4:span=16, exact:n=2")
     parser.add_argument("--churn", choices=("stable", "dynamic", "frozen"),
                         default=None, help="churn model (default stable)")
     parser.add_argument("--accounting", choices=("destination", "transit"),
@@ -143,6 +147,7 @@ def _run_main(argv) -> int:
         for flag, value in (("--units", args.units), ("--growth", args.growth),
                             ("--run-index", args.run_index),
                             ("--workload", args.workload), ("--load", args.load),
+                            ("--queries", args.queries),
                             ("--churn", args.churn), ("--seed", args.seed)):
             if value is not None:
                 parser.error(f"{flag} conflicts with --replay: the trace "
@@ -157,6 +162,7 @@ def _run_main(argv) -> int:
         load_fraction=args.load if args.load is not None else 0.10,
         workload=args.workload,
         faults=args.faults,
+        queries=args.queries,
         churn=churn,
         accounting=args.accounting,
     )
@@ -199,6 +205,7 @@ def _run_main(argv) -> int:
     print(f"\ntotal: {result.total_satisfied}/{result.total_issued} "
           f"satisfied ({pct:.1f}%) in {elapsed:.1f}s")
     _print_fault_summary(result)
+    _print_query_summary(result)
     if args.metrics_out:
         # Label with the system side only (balancer), never the workload
         # source: a recorded run and its replay must serialise identically.
@@ -208,6 +215,33 @@ def _run_main(argv) -> int:
             fh.write("\n")
         print(f"[run] wrote metrics -> {args.metrics_out}")
     return 0
+
+
+def _print_query_summary(result) -> None:
+    """Set-query report of a run with a ``--queries`` axis (silent when no
+    set query was issued)."""
+    from .metrics import percentile_from_counts
+
+    units = result.units
+    issued = sum(u.queries_issued for u in units)
+    if issued == 0:
+        return
+    satisfied = sum(u.queries_satisfied for u in units)
+    results = sum(u.query_results for u in units)
+    logical = sum(u.query_logical_hops for u in units)
+    physical = sum(u.query_physical_hops for u in units)
+    hist: dict[int, int] = {}
+    for u in units:
+        for hops, count in u.query_hop_histogram.items():
+            hist[hops] = hist.get(hops, 0) + count
+    print("\nqueries:")
+    print(f"  issued: {issued} | satisfied: {satisfied} "
+          f"({100.0 * satisfied / issued:.1f}%) | results: {results}")
+    if satisfied:
+        print(f"  hops/query: {logical / satisfied:.2f} logical, "
+              f"{physical / satisfied:.2f} physical"
+              + (f" | logical p95: {percentile_from_counts(hist, 95.0):.0f}"
+                 if hist else ""))
 
 
 def _print_fault_summary(result) -> None:

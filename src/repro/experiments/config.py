@@ -21,6 +21,7 @@ from ..lb.base import LoadBalancer
 from ..peers.capacity import UniformCapacity
 from ..peers.churn import STABLE, ChurnModel
 from ..workloads.keys import grid_service_corpus
+from ..workloads.queries import parse_queries, queries_signature
 from ..workloads.requests import PhasedSchedule, Phase, UniformRequests, generator_name
 from ..workloads.spec import parse_workload, workload_signature
 
@@ -54,6 +55,11 @@ class ExperimentConfig:
     #: construct ``schedule`` directly only for pre-built objects.
     workload: Optional[object] = None
     schedule: PhasedSchedule = field(default_factory=default_schedule)
+    #: A set-query spec (string, dict, or :class:`QueryWorkload` — see
+    #: :mod:`repro.workloads.queries`), or ``None`` for no query axis.
+    #: Parsed at config time into ``query_plan``; the runner issues the
+    #: per-unit prefix/range/exact stream from it.
+    queries: Optional[object] = None
     #: Capacity accounting: "destination" charges the destination peer only
     #: (the model consistent with the paper's min(L,C)+min(L,C) objective);
     #: "transit" charges every peer along the route (ablation).
@@ -115,6 +121,8 @@ class ExperimentConfig:
         # Fault specs are validated here too (FaultSpecError on bad input);
         # the runner consumes the parsed plan, never the raw spec.
         self.fault_plan = parse_faults(self.faults)
+        # Query specs likewise (QuerySpecError on bad input).
+        self.query_plan = parse_queries(self.queries)
         if self.discovery not in ("indexed", "seed"):
             raise ValueError(
                 f"unknown discovery implementation {self.discovery!r} "
@@ -201,6 +209,10 @@ class ExperimentConfig:
             # the pre-fault signature bytes, so sweep-store cells computed
             # before this axis existed stay addressable.
             signature["faults"] = faults_signature(self.fault_plan)
+        if self.query_plan is not None:
+            # Added only when a query axis exists: query-free configs keep
+            # the pre-query signature bytes (same rule as ``faults``).
+            signature["queries"] = queries_signature(self.query_plan)
         if self.discovery != "indexed":
             # Same back-compat rule: the default implementation keeps the
             # pre-existing signature bytes.  "seed" runs are distinguished

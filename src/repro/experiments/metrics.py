@@ -103,6 +103,20 @@ class UnitStats:
     #: crash-to-repair delay (units) → number of crashes repaired at that
     #: delay this unit: the distribution behind time-to-repair tails.
     ttr_histogram: Dict[int, int] = field(default_factory=dict)
+    # Set-query accounting (all zero without a query axis).
+    #: Set queries (prefix/range/exact scans) issued this unit.
+    queries_issued: int = 0
+    #: Set queries fully served within every scanned host's budget.
+    queries_satisfied: int = 0
+    #: Set queries that exhausted some scanned host's budget.
+    queries_dropped: int = 0
+    #: Total result-set size over this unit's queries.
+    query_results: int = 0
+    #: Logical / physical hops over *satisfied* queries.
+    query_logical_hops: int = 0
+    query_physical_hops: int = 0
+    #: hops → number of satisfied queries that took that many logical hops.
+    query_hop_histogram: Dict[int, int] = field(default_factory=dict)
 
     def absorb_requests(self, batch) -> None:
         """Fold a batch of served requests into this unit's counters.
@@ -123,6 +137,19 @@ class UnitStats:
         for hops, count in batch.hop_histogram.items():
             hist[hops] = hist.get(hops, 0) + count
 
+    def absorb_queries(self, batch) -> None:
+        """Fold a batch of served set queries into this unit's counters
+        (``batch`` is a :class:`repro.dlpt.routing.QueryBatchOutcome`)."""
+        self.queries_issued += batch.issued
+        self.queries_satisfied += batch.satisfied
+        self.queries_dropped += batch.dropped
+        self.query_results += batch.results_total
+        self.query_logical_hops += batch.logical_hops
+        self.query_physical_hops += batch.physical_hops
+        hist = self.query_hop_histogram
+        for hops, count in batch.hop_histogram.items():
+            hist[hops] = hist.get(hops, 0) + count
+
     @property
     def satisfied_pct(self) -> float:
         return 100.0 * self.satisfied / self.issued if self.issued else 0.0
@@ -134,6 +161,18 @@ class UnitStats:
     @property
     def mean_physical_hops(self) -> float:
         return self.physical_hops / self.satisfied if self.satisfied else 0.0
+
+    @property
+    def queries_satisfied_pct(self) -> float:
+        if not self.queries_issued:
+            return 0.0
+        return 100.0 * self.queries_satisfied / self.queries_issued
+
+    @property
+    def mean_query_hops(self) -> float:
+        if not self.queries_satisfied:
+            return 0.0
+        return self.query_logical_hops / self.queries_satisfied
 
     @property
     def p95_hops(self) -> float:
@@ -352,6 +391,12 @@ def run_metrics_dict(result: RunResult, label: str = "") -> Dict[str, Any]:
                 "keys_present": u.keys_present,
                 "keys_expected": u.keys_expected,
                 "p95_ttr": u.p95_ttr,
+                "queries_issued": u.queries_issued,
+                "queries_satisfied": u.queries_satisfied,
+                "queries_dropped": u.queries_dropped,
+                "query_results": u.query_results,
+                "query_logical_hops": u.query_logical_hops,
+                "query_physical_hops": u.query_physical_hops,
             }
             for u in result.units
         ],
@@ -389,6 +434,15 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
                 "keys_present": u.keys_present,
                 "keys_expected": u.keys_expected,
                 "ttr_histogram": {str(k): v for k, v in sorted(u.ttr_histogram.items())},
+                "queries_issued": u.queries_issued,
+                "queries_satisfied": u.queries_satisfied,
+                "queries_dropped": u.queries_dropped,
+                "query_results": u.query_results,
+                "query_logical_hops": u.query_logical_hops,
+                "query_physical_hops": u.query_physical_hops,
+                "query_hop_histogram": {
+                    str(k): v for k, v in sorted(u.query_hop_histogram.items())
+                },
             }
             for u in result.units
         ],
@@ -401,7 +455,7 @@ def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
     units = []
     for u in doc["units"]:
         fields = dict(u)
-        for histogram in ("hop_histogram", "ttr_histogram"):
+        for histogram in ("hop_histogram", "ttr_histogram", "query_hop_histogram"):
             fields[histogram] = {
                 int(k): v for k, v in fields.get(histogram, {}).items()
             }

@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Tuple
 from ..dlpt.system import DLPTSystem, corpus_peer_id_sampler
 from ..faults.injector import REPLAY_POLICY_PLAN, FaultInjector
 from ..util.rng import RngStreams
+from ..workloads.queries import query_from_event
 from ..workloads.traces import TraceRecorder, WorkloadTrace
 from .config import ExperimentConfig
 from .metrics import ExperimentSeries, RunResult, UnitStats
@@ -148,6 +149,11 @@ def run_single(
     lb_rng = streams.stream("lb")
     req_rng = streams.stream("requests")
     entry_rng = streams.stream("entry")
+    # The "queries" stream exists only when the config carries a query
+    # plan: query-free runs consume exactly the streams they always did,
+    # so their results stay bit-identical with or without this axis.
+    query_plan = config.query_plan
+    query_rng = streams.stream("queries") if query_plan is not None else None
 
     available: List[str] = []
     result = RunResult()
@@ -292,6 +298,34 @@ def run_single(
                 for key, entry in pairs:
                     recorder.request(key, entry)
             serve_requests(pairs, stats)
+
+        # (5b) set queries — prefix completions, ranges and exact probes
+        # through the routed scan path.  Replay serves the trace's query
+        # events whenever present (even under a query-free config); live
+        # runs draw from the dedicated "queries" stream.
+        if trace_unit is not None:
+            query_events = trace_unit.queries
+        elif query_plan is not None and available and system.n_nodes:
+            query_events = query_plan.sample_unit(query_rng, available)
+            entries = system.random_entry_labels(query_rng, len(query_events))
+            query_events = [
+                event + [entry] for event, entry in zip(query_events, entries)
+            ]
+            if recorder is not None:
+                for event in query_events:
+                    recorder.query(event)
+        else:
+            query_events = []
+        if query_events:
+            items = []
+            for event in query_events:
+                query, entry = query_from_event(event)
+                if system.tree.node(entry) is None:
+                    # The recorded entry node does not exist in *this*
+                    # system (cross-config replay): enter at the scan root.
+                    entry = None
+                items.append((query, entry))
+            stats.absorb_queries(system.search_batch(items))
 
         stats.peers = system.n_peers
         stats.nodes = system.n_nodes

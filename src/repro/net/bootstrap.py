@@ -18,9 +18,9 @@ and answering with correlated JSON replies.  Requests funnel through one
 queue and are served strictly one at a time, each followed by ``await
 transport.drain()`` before the reply is sent — the protocol has no
 per-operation acknowledgements, so quiescence *is* the completion signal.
-Operations: ``register``, ``discover``, ``discover_batch``, ``peer_join``,
-``peer_leave``, ``info``.  :class:`~repro.net.client.DLPTClient` is the
-matching caller.
+Operations: ``register``, ``discover``, ``discover_batch``, ``search``,
+``peer_join``, ``peer_leave``, ``info``.
+:class:`~repro.net.client.DLPTClient` is the matching caller.
 """
 
 from __future__ import annotations
@@ -173,6 +173,30 @@ class Broker:
         ]
         return {"results": results}
 
+    async def _op_search(self, request: dict) -> dict:
+        """One set query (``kind`` ``"prefix"`` or ``"range"``) served by
+        the scan-token walk; the reply carries the sorted matched keys."""
+        kind = str(request["kind"])
+        lo = str(request["lo"])
+        hi = str(request.get("hi", ""))
+        mark = len(self.engine.query_replies)
+        self.engine.search_query(kind, lo, hi, via=self._entry())
+        await self.transport.drain()
+        replies = self.engine.query_replies[mark:]
+        del self.engine.query_replies[mark:]
+        if len(replies) != 1:
+            raise RuntimeError(
+                f"expected 1 reply for {kind} query {lo!r}, got {len(replies)}"
+            )
+        reply = replies[0]
+        return {
+            "kind": reply.kind,
+            "lo": reply.lo,
+            "hi": reply.hi,
+            "keys": list(reply.keys),
+            "hops": reply.hops,
+        }
+
     async def _op_peer_join(self, request: dict) -> dict:
         peer_id = str(request["peer"])
         capacity = int(request.get("capacity", 10))
@@ -209,6 +233,7 @@ class Broker:
         "register": _op_register,
         "discover": _op_discover,
         "discover_batch": _op_discover_batch,
+        "search": _op_search,
         "peer_join": _op_peer_join,
         "peer_leave": _op_peer_leave,
         "info": _op_info,

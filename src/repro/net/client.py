@@ -127,6 +127,16 @@ class DLPTClient:
         fut.add_done_callback(unwrap)
         return result
 
+    def complete(self, prefix: str) -> asyncio.Future:
+        """Prefix completion: resolves to ``{"keys": [...], "hops": int}``
+        with every registered key extending ``prefix``, sorted."""
+        return self._rpc({"op": "search", "kind": "prefix", "lo": prefix})
+
+    def range_search(self, lo: str, hi: str) -> asyncio.Future:
+        """Lexicographic range query: resolves to ``{"keys": [...],
+        "hops": int}`` with every registered key in ``[lo, hi]``, sorted."""
+        return self._rpc({"op": "search", "kind": "range", "lo": lo, "hi": hi})
+
     def peer_join(self, peer_id: str, capacity: int = 10) -> asyncio.Future:
         """Admit a new peer to the ring via the bootstrap registry."""
         return self._rpc({"op": "peer_join", "peer": peer_id, "capacity": capacity})

@@ -72,6 +72,8 @@ class UnitOutcome:
     joins: int = 0
     leaves: int = 0
     crashes: int = 0
+    #: Per set query: ``(kind, lo, hi, sorted result keys, logical hops)``.
+    queries: Tuple[Tuple[str, str, str, Tuple[str, ...], int], ...] = ()
 
 
 @dataclass
@@ -88,6 +90,7 @@ def record_conformance_trace(
     *,
     n_peers: int = 200,
     workload: str = "uniform",
+    queries: Optional[str] = None,
     faults: Optional[str] = "crash_storm:0.01:start=4:end=8",
     n_keys: int = 240,
     growth_units: int = 4,
@@ -106,6 +109,7 @@ def record_conformance_trace(
         n_peers=n_peers,
         corpus=grid_service_corpus()[:n_keys],
         workload=workload,
+        queries=queries,
         faults=faults,
         growth_units=growth_units,
         total_units=total_units,
@@ -254,6 +258,33 @@ async def replay_trace(
                 (key, reply.found, engine.locator.get(key), reply.hops)
             )
 
+        query_outcomes = []
+        for event in unit.queries:
+            kind = event[0]
+            lo = event[1]
+            hi = event[2] if kind == "range" else ""
+            entry_label = event[-1]
+            via = _entry_for(engine, entry_label)
+            if via is None:
+                query_outcomes.append((kind, lo, hi, (), 0))
+                continue
+            mark = len(engine.query_replies)
+            if kind == "exact":
+                # The engine's scan walk serves exact probes as the
+                # degenerate range [key, key].
+                engine.search_query("range", lo, lo, via=via)
+            else:
+                engine.search_query(kind, lo, hi, via=via)
+            await transport.drain()
+            replies = engine.query_replies[mark:]
+            del engine.query_replies[mark:]
+            if len(replies) != 1:
+                raise ConformanceError(
+                    f"unit {unit_index}: {len(replies)} replies for one query"
+                )
+            reply = replies[0]
+            query_outcomes.append((kind, lo, hi, tuple(reply.keys), reply.hops))
+
         registered = tuple(
             sorted(
                 label
@@ -271,6 +302,7 @@ async def replay_trace(
                 joins=len(unit.joins),
                 leaves=leaves,
                 crashes=crashes,
+                queries=tuple(query_outcomes),
             )
         )
 
@@ -301,5 +333,13 @@ def diff_streams(a: List[UnitOutcome], b: List[UnitOutcome]) -> List[str]:
             problems.append(
                 f"unit {left.unit}: request counts {len(left.requests)} "
                 f"!= {len(right.requests)}"
+            )
+        for k, (lq, rq) in enumerate(zip(left.queries, right.queries)):
+            if lq != rq:
+                problems.append(f"unit {left.unit} query {k}: {lq!r} != {rq!r}")
+        if len(left.queries) != len(right.queries):
+            problems.append(
+                f"unit {left.unit}: query counts {len(left.queries)} "
+                f"!= {len(right.queries)}"
             )
     return problems

@@ -59,7 +59,15 @@ MESSAGE_TYPES = {
         m.UpdateChild,
         m.DiscoveryRequest,
         m.DiscoveryReply,
+        m.SetQueryRequest,
+        m.SetQueryReply,
     )
+}
+
+#: Fields holding a tuple of strings, per type (lists on the wire).
+_STRING_TUPLE_FIELDS = {
+    "SetQueryRequest": ("pending", "keys"),
+    "SetQueryReply": ("keys",),
 }
 
 #: Fields holding one NodePayload / a tuple of NodePayloads, per type.
@@ -120,6 +128,9 @@ def encode_payload(payload: Any) -> Tuple[str, Any]:
             fields["datum"] = _require_scalar(fields["datum"])
         elif name == "DiscoveryReply":
             fields["data"] = [_require_scalar(d) for d in fields["data"]]
+        elif name in _STRING_TUPLE_FIELDS:
+            for key in _STRING_TUPLE_FIELDS[name]:
+                fields[key] = list(fields[key])
         return name, fields
     if isinstance(payload, (dict, list, str, int, float, bool)) or payload is None:
         return "json", payload
@@ -145,6 +156,9 @@ def decode_payload(name: str, fields: Any) -> Any:
             fields[key] = tuple(_decode_node_payload(p) for p in fields[key])
         elif name == "DiscoveryReply":
             fields["data"] = tuple(fields["data"])
+        elif name in _STRING_TUPLE_FIELDS:
+            for key in _STRING_TUPLE_FIELDS[name]:
+                fields[key] = tuple(str(v) for v in fields[key])
         return cls(**fields)
     except WireError:
         raise

@@ -180,6 +180,20 @@ def _table1_build(profile: SweepProfile, run_series: Optional[SeriesRunner]) -> 
     )
 
 
+def _query_cost_build(profile: SweepProfile, run_series: Optional[SeriesRunner]) -> str:
+    # Like table2, query_cost measures live baseline instances —
+    # deterministic, sub-second, not an ExperimentSeries — so it bypasses
+    # the store.  Every result set is oracle-checked before rendering.
+    from ..baselines.query_cost import measure_query_cost
+
+    result = measure_query_cost(seed=profile.seed)
+    return (
+        "# query_cost: set-query cost of DLPT vs P-Grid vs PHT "
+        "(measured, oracle-checked)\n\n"
+        f"{result.as_text()}\n"
+    )
+
+
 def _table2_build(profile: SweepProfile, run_series: Optional[SeriesRunner]) -> str:
     # Table 2 measures live P-Grid/PHT/DLPT instances — deterministic,
     # sub-second, and not an ExperimentSeries, so it bypasses the store.
@@ -245,6 +259,11 @@ ARTIFACTS: Dict[str, PaperArtifact] = {
             "table2", "Complexities of close trie-structured approaches",
             "Table 2, Section 2 (P-Grid / PHT / DLPT complexities)",
             lambda profile: [], _table2_build,
+        ),
+        PaperArtifact(
+            "query_cost", "Set-query cost of DLPT vs P-Grid vs PHT",
+            "Section 2, beyond the paper (range/prefix query cost)",
+            lambda profile: [], _query_cost_build,
         ),
     )
 }

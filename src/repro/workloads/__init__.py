@@ -30,6 +30,14 @@ from .requests import (
     figure8_schedule,
     generator_name,
 )
+from .queries import (
+    QUERY_KINDS,
+    QueryWorkload,
+    parse_queries,
+    parse_query_event,
+    queries_signature,
+    query_from_event,
+)
 from .spec import (
     WORKLOAD_KINDS,
     WorkloadSpecError,
@@ -55,6 +63,8 @@ __all__ = [
     "MixedSchedule", "SchedulePhase", "SteadySchedule", "as_schedule",
     "WORKLOAD_KINDS", "WorkloadSpecError", "parse_workload",
     "workload_signature",
+    "QUERY_KINDS", "QueryWorkload", "parse_queries", "parse_query_event",
+    "queries_signature", "query_from_event",
     "TRACE_SCHEMA", "TraceError", "TraceRecorder", "TraceUnit",
     "WorkloadTrace",
 ]

@@ -18,6 +18,12 @@ records:
   tree node where the request entered.  Entry labels are tree-structural
   (the PGCP tree depends only on the registered keys, never on peers), so
   they remain valid under any balancer or mapping.
+* ``queries`` — the set queries issued this unit (see
+  :mod:`repro.workloads.queries`): ``["prefix", prefix, entry]``,
+  ``["range", lo, hi, entry]`` or ``["exact", key, entry]``.  Like entry
+  labels, query bands are tree-structural, so a recorded query stream is
+  valid under any balancer or mapping.  Traces recorded before the query
+  axis existed load with no query events.
 * ``faults`` — the fault events the injector applied this unit (see
   :mod:`repro.faults.injector`): ``["crash", index]`` records a fail-stop
   crash as a ring-position draw (applied modulo the live ring size on
@@ -57,6 +63,7 @@ class TraceUnit:
     registrations: List[str] = field(default_factory=list)
     requests: List[Tuple[str, str]] = field(default_factory=list)
     faults: List[list] = field(default_factory=list)
+    queries: List[list] = field(default_factory=list)
 
     def as_record(self, unit: int) -> Dict[str, Any]:
         record = {
@@ -70,6 +77,9 @@ class TraceUnit:
             # Emitted only when present: fault-free traces keep the exact
             # byte layout of recordings made before the fault axis existed.
             record["faults"] = [list(e) for e in self.faults]
+        if self.queries:
+            # Same back-compat rule as ``faults``.
+            record["queries"] = [list(e) for e in self.queries]
         return record
 
     #: Known fault-event kinds and their payload arity (ints after the kind).
@@ -98,14 +108,20 @@ class TraceUnit:
 
     @classmethod
     def from_record(cls, record: Dict[str, Any]) -> "TraceUnit":
+        # Local import: repro.workloads.queries imports repro.core only,
+        # but keeping it out of module scope mirrors the lazy fault parse.
+        from .queries import parse_query_event
+
         try:
             faults = [cls._parse_fault(e) for e in record.get("faults", [])]
+            queries = [parse_query_event(e) for e in record.get("queries", [])]
             return cls(
                 joins=[int(c) for c in record["joins"]],
                 leaves=[int(i) for i in record["leaves"]],
                 registrations=[str(k) for k in record["reg"]],
                 requests=[(str(k), str(e)) for k, e in record["req"]],
                 faults=faults,
+                queries=queries,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise TraceError(f"malformed trace unit record: {exc}") from exc
@@ -228,6 +244,11 @@ class TraceRecorder:
         """Record one applied fault event (a JSON-able list whose first
         element names the event kind — see the module docstring)."""
         self._current.faults.append(list(event))
+
+    def query(self, event: list) -> None:
+        """Record one issued set-query event (a JSON-able list whose first
+        element names the query kind — see the module docstring)."""
+        self._current.queries.append(list(event))
 
     def trace(self) -> WorkloadTrace:
         return WorkloadTrace(

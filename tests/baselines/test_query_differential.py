@@ -1,0 +1,130 @@
+"""Cross-system set-query differential: P-Grid and PHT vs DLPT.
+
+All three overlays answer the same prefix/range queries over one
+fixed-width binary corpus; the result sets must be identical (and equal
+to the brute-force oracle).  This is the proof obligation behind the
+``query_cost`` paper artifact — the artifact itself re-runs it on every
+regeneration, but the suite pins it at tier-1 granularity with
+independent seeds and direct per-system calls.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.pgrid import PGrid
+from repro.baselines.pht import PrefixHashTree
+from repro.baselines.query_cost import (
+    QueryCostMismatch,
+    _band,
+    measure_query_cost,
+)
+from repro.core.alphabet import BINARY
+from repro.core.queries import PrefixQuery, RangeQuery
+from repro.dht.chord import ChordRing
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity
+from repro.workloads.keys import random_binary_keys
+
+KEY_BITS = 10
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return random_binary_keys(random.Random(5), 250, length=KEY_BITS)
+
+
+@pytest.fixture(scope="module")
+def systems(corpus):
+    dlpt = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(10**9))
+    dlpt.build(random.Random(5), 24)
+    dlpt.register_batch(corpus)
+    peer_ids = [f"peer-{i:04d}" for i in range(24)]
+    pgrid = PGrid(peer_ids, corpus, key_bits=KEY_BITS, rng=random.Random(5))
+    chord = ChordRing()
+    chord.add_peers(peer_ids)
+    pht = PrefixHashTree(chord, key_bits=KEY_BITS, leaf_capacity=4)
+    for k in corpus:
+        pht.insert(k)
+    return dlpt, pgrid, pht
+
+
+def answers(systems, corpus, family, lo, hi):
+    """Each system's sorted result set for one query, oracle first."""
+    dlpt, pgrid, pht = systems
+    band_lo, band_hi = _band(family, lo, hi, KEY_BITS)
+    oracle = [k for k in corpus if band_lo <= k <= band_hi]
+    query = PrefixQuery(lo) if family == "prefix" else RangeQuery(lo, hi)
+    dlpt_keys = list(dlpt.search(query, rng=random.Random(1)).results)
+    pgrid_keys, _ = pgrid.range_query(band_lo, band_hi)
+    pht_keys, _ = pht.range_query(band_lo, band_hi)
+    return oracle, dlpt_keys, pgrid_keys, pht_keys
+
+
+class TestCrossSystemResultSets:
+    def test_prefix_queries_agree(self, systems, corpus):
+        rng = random.Random(77)
+        for _ in range(30):
+            prefix = corpus[rng.randrange(len(corpus))][: rng.randint(1, 5)]
+            oracle, dlpt_keys, pgrid_keys, pht_keys = answers(
+                systems, corpus, "prefix", prefix, ""
+            )
+            assert dlpt_keys == oracle
+            assert pgrid_keys == oracle
+            assert pht_keys == oracle
+
+    def test_range_queries_agree(self, systems, corpus):
+        rng = random.Random(78)
+        for _ in range(30):
+            lo_i = rng.randrange(len(corpus))
+            hi_i = min(lo_i + rng.randint(1, 40), len(corpus) - 1)
+            oracle, dlpt_keys, pgrid_keys, pht_keys = answers(
+                systems, corpus, "range", corpus[lo_i], corpus[hi_i]
+            )
+            assert dlpt_keys == oracle
+            assert pgrid_keys == oracle
+            assert pht_keys == oracle
+
+    def test_empty_band_agrees(self, systems, corpus):
+        # A band below the smallest key: everyone must return nothing.
+        lo = "0" * KEY_BITS
+        if lo in corpus:
+            pytest.skip("corpus contains the all-zero key")
+        oracle, dlpt_keys, pgrid_keys, pht_keys = answers(
+            systems, corpus, "range", lo, lo
+        )
+        assert oracle == dlpt_keys == pgrid_keys == pht_keys == []
+
+    def test_whole_space_agrees(self, systems, corpus):
+        oracle, dlpt_keys, pgrid_keys, pht_keys = answers(
+            systems, corpus, "range", "0" * KEY_BITS, "1" * KEY_BITS
+        )
+        assert dlpt_keys == pgrid_keys == pht_keys == oracle == list(corpus)
+
+
+class TestQueryCostArtifact:
+    def test_measurement_is_deterministic(self):
+        a = measure_query_cost(n_keys=120, n_peers=12, key_bits=10, n_per_family=8)
+        b = measure_query_cost(n_keys=120, n_peers=12, key_bits=10, n_per_family=8)
+        assert a.as_text() == b.as_text()
+
+    def test_every_cell_present(self):
+        result = measure_query_cost(
+            n_keys=120, n_peers=12, key_bits=10, n_per_family=8
+        )
+        cells = {(r.system, r.family) for r in result.rows}
+        assert cells == {
+            (s, f)
+            for s in ("DLPT", "P-Grid", "PHT")
+            for f in ("prefix", "range")
+        }
+        assert result.checks_passed == 3 * 2 * 8
+        assert all(r.n_queries == 8 for r in result.rows)
+
+    def test_mismatch_raises(self):
+        from repro.baselines.query_cost import _check
+
+        with pytest.raises(QueryCostMismatch):
+            _check("PHT", "range", "00", "01", ["0011"], ["0011", "0100"])

@@ -1,15 +1,23 @@
-"""Query model: match predicates and multi-attribute composition."""
+"""Query model: match predicates, multi-attribute composition, and the
+spec layer (parse / validate / canonical signature)."""
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.core.alphabet import BINARY
 from repro.core.queries import (
     ExactQuery,
     MultiAttributeQuery,
     PrefixQuery,
+    QuerySpecError,
     RangeQuery,
     attribute_key,
+    parse_query,
+    query_signature,
+    validate_query,
 )
 
 
@@ -77,3 +85,97 @@ class TestMultiAttribute:
             clauses={"b": ExactQuery("2"), "a": ExactQuery("1")}
         )
         assert q.describe() == "multi:{a~exact:1, b~exact:2}"
+
+
+class TestParseQuery:
+    def test_string_specs(self):
+        assert parse_query("exact:dgemm") == ExactQuery("dgemm")
+        assert parse_query("prefix:dge") == PrefixQuery("dge")
+        assert parse_query("range:a:b") == RangeQuery("a", "b")
+
+    def test_dict_specs(self):
+        assert parse_query({"kind": "prefix", "prefix": "dg"}) == PrefixQuery("dg")
+        multi = parse_query(
+            {"kind": "multi", "clauses": {"os": "exact:linux", "mem": "range:1:2"}}
+        )
+        assert multi.clauses["os"] == ExactQuery("linux")
+        assert multi.clauses["mem"] == RangeQuery("1", "2")
+
+    def test_query_objects_pass_through(self):
+        q = PrefixQuery("dg")
+        assert parse_query(q) is q
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "noseparator",
+            "glob:x*",
+            "range:only-one-bound",
+            {"kind": "range", "lo": "a"},  # missing hi
+            {"kind": "glob"},
+            {"kind": "multi", "clauses": {}},
+            {"kind": "multi", "clauses": {"os": 42}},
+            object(),
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(QuerySpecError):
+            parse_query(spec)
+
+    def test_empty_range_fails_at_parse_time(self):
+        """Inverted bounds surface as a spec error when the spec is built,
+        not as an arbitrary ValueError mid-walk."""
+        with pytest.raises(QuerySpecError, match="empty range"):
+            parse_query("range:z:a")
+        with pytest.raises(QuerySpecError, match="empty range"):
+            parse_query({"kind": "range", "lo": "z", "hi": "a"})
+
+    def test_alphabet_moves_bound_validation_to_parse_time(self):
+        assert parse_query("range:00:11", BINARY) == RangeQuery("00", "11")
+        with pytest.raises(QuerySpecError):
+            parse_query("range:00:2a", BINARY)
+        with pytest.raises(QuerySpecError):
+            parse_query("exact:xyz", BINARY)
+        # The empty prefix (match everything) stays legal under any alphabet.
+        assert parse_query("prefix:", BINARY) == PrefixQuery("")
+
+
+class TestValidateQuery:
+    def test_no_alphabet_checks_structure_only(self):
+        q = ExactQuery("anything-at-all")
+        assert validate_query(q) is q
+
+    def test_multi_clauses_validated_through_rebasing(self):
+        # The rebased key "os=0" contains '=' and 'o', both outside BINARY:
+        # validation must reject the composed keys, not the raw values.
+        q = MultiAttributeQuery(clauses={"os": ExactQuery("0")})
+        with pytest.raises(QuerySpecError):
+            validate_query(q, BINARY)
+
+
+class TestQuerySignature:
+    def test_canonical_forms(self):
+        assert query_signature(ExactQuery("k")) == {"kind": "exact", "key": "k"}
+        assert query_signature(PrefixQuery("p")) == {"kind": "prefix", "prefix": "p"}
+        assert query_signature(RangeQuery("a", "b")) == {
+            "kind": "range",
+            "lo": "a",
+            "hi": "b",
+        }
+
+    def test_multi_signature_sorts_clauses_and_serialises(self):
+        q = MultiAttributeQuery(
+            clauses={"b": ExactQuery("2"), "a": PrefixQuery("1")}
+        )
+        sig = query_signature(q)
+        assert list(sig["clauses"]) == ["a", "b"]
+        json.dumps(sig)  # must be JSON-serialisable as-is
+
+    def test_signature_round_trips_through_parse(self):
+        for q in (
+            ExactQuery("k"),
+            PrefixQuery(""),
+            RangeQuery("a", "b"),
+            MultiAttributeQuery(clauses={"os": ExactQuery("linux")}),
+        ):
+            assert parse_query(query_signature(q)) == q

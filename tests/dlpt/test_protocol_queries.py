@@ -1,0 +1,151 @@
+"""Engine set queries: the scan token vs the macro model vs the oracle.
+
+The message-level engine serves :class:`SetQueryRequest` scan tokens; the
+macro model (:meth:`DLPTSystem.search`) serves the same queries with
+global knowledge.  After any quiesced build the two must return identical
+result sets — and both must equal the brute-force filter over the
+inserted keys.  The engine's hop counter (one message forward per hop)
+must equal the macro model's logical climb + descent + scan accounting.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from strategies import keys_st, prefix_queries, range_queries
+
+from repro.core.queries import PrefixQuery
+from repro.dlpt.protocol import ProtocolEngine
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity
+
+from test_protocol import engine_with_peers
+
+
+def issue(eng: ProtocolEngine, kind: str, lo: str, hi: str = "", via=None):
+    mark = len(eng.query_replies)
+    eng.search_query(kind, lo, hi, via=via)
+    eng.run()
+    replies = eng.query_replies[mark:]
+    del eng.query_replies[mark:]
+    assert len(replies) == 1, f"{len(replies)} replies for one query"
+    return replies[0]
+
+
+def build_engine(keys):
+    eng = engine_with_peers(["dddd", "hhhh", "pppp", "tttt"])
+    for key in keys:
+        eng.insert_data(key)
+        eng.run()
+    return eng
+
+
+class TestEngineAnswers:
+    def test_prefix_completion(self):
+        eng = build_engine(["dgemm", "dgemv", "dgetrf", "sgemm"])
+        reply = issue(eng, "prefix", "dge")
+        assert list(reply.keys) == ["dgemm", "dgemv", "dgetrf"]
+
+    def test_range(self):
+        eng = build_engine(["dgemm", "dgemv", "dgetrf", "sgemm"])
+        reply = issue(eng, "range", "dgemv", "sgemm")
+        assert list(reply.keys) == ["dgemv", "dgetrf", "sgemm"]
+
+    def test_empty_prefix_returns_everything(self):
+        keys = ["dgemm", "dgemv", "sgemm"]
+        eng = build_engine(keys)
+        assert list(issue(eng, "prefix", "").keys) == sorted(keys)
+
+    def test_foreign_prefix_returns_nothing(self):
+        eng = build_engine(["dgemm", "dgemv"])
+        reply = issue(eng, "prefix", "zz")
+        assert reply.keys == ()
+
+    def test_exact_probe_as_degenerate_range(self):
+        eng = build_engine(["dgemm", "dgemv"])
+        assert list(issue(eng, "range", "dgemm", "dgemm").keys) == ["dgemm"]
+        assert issue(eng, "range", "dgemx", "dgemx").keys == ()
+
+    def test_entry_node_does_not_change_answer(self):
+        eng = build_engine(["dgemm", "dgemv", "dgetrf", "sgemm", "ssyrk"])
+        answers = {
+            issue(eng, "prefix", "dge", via=label).keys
+            for label in list(eng.locator)
+        }
+        assert answers == {("dgemm", "dgemv", "dgetrf")}
+
+
+class TestEngineValidation:
+    def test_unknown_kind_rejected(self):
+        eng = build_engine(["dgemm"])
+        with pytest.raises(ValueError, match="kind"):
+            eng.search_query("glob", "d*")
+
+    def test_empty_range_rejected(self):
+        eng = build_engine(["dgemm"])
+        with pytest.raises(ValueError, match="empty range"):
+            eng.search_query("range", "z", "a")
+
+    def test_empty_tree_raises(self):
+        eng = engine_with_peers(["dddd", "pppp"])
+        with pytest.raises(RuntimeError, match="empty"):
+            eng.search_query("prefix", "d")
+
+
+class TestEngineVsMacroVsOracle:
+    """The differential triangle on a common key set.
+
+    Node labels are tree-structural, so the engine's locator and the
+    macro tree hold the same labels; issuing the same query from the same
+    entry node must yield identical result sets (both equal to the
+    brute-force oracle) and identical hop counts — one message forward in
+    the engine per logical hop in the macro accounting.
+    """
+
+    def _systems(self, keys, seed=0):
+        eng = build_engine(keys)
+        macro = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        macro.build(random.Random(seed), 6)
+        macro.register_batch(keys)
+        assert set(eng.locator) == {n.label for n in macro.tree.nodes()}
+        return eng, macro
+
+    def _compare(self, eng, macro, query):
+        kind = "prefix" if isinstance(query, PrefixQuery) else "range"
+        lo = query.prefix if kind == "prefix" else query.lo
+        hi = "" if kind == "prefix" else query.hi
+        oracle = sorted(
+            k for k in eng.locator if self._filled(eng, k) and query.matches(k)
+        )
+        entries = sorted(eng.locator)
+        picked = entries[:: max(1, len(entries) // 5)][:5]
+        for entry in picked:
+            out = macro.search(query, entry_label=entry)
+            reply = issue(eng, kind, lo, hi, via=entry)
+            assert list(reply.keys) == list(out.results) == oracle
+            assert reply.hops == out.logical_hops
+
+    @staticmethod
+    def _filled(eng, label):
+        host = eng.locator[label]
+        return bool(eng.peers[host].nodes[label].data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=keys_st.flatmap(
+        lambda keys: prefix_queries(keys).map(lambda q: (keys, q))
+    ))
+    def test_prefix_triangle(self, data):
+        keys, query = data
+        eng, macro = self._systems(keys)
+        self._compare(eng, macro, query)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=keys_st.flatmap(
+        lambda keys: range_queries(keys).map(lambda q: (keys, q))
+    ))
+    def test_range_triangle(self, data):
+        keys, query = data
+        eng, macro = self._systems(keys)
+        self._compare(eng, macro, query)

@@ -1,0 +1,246 @@
+"""Set queries vs a brute-force oracle — the differential proof.
+
+Every result set :meth:`DLPTSystem.search` returns is compared against
+the trivially-correct answer (filter the registered key set with the
+query's own ``matches`` predicate): on hypothesis-random trees, on a
+1000+-key corpus, after peer churn, after crashes that shatter the tree
+into a forest, and after repair.  Routed scans, walking-resolver
+fallbacks and the subtree memo layer must all be invisible in the
+results — only the hop counters may differ between code paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from strategies import (
+    ALPHABET,
+    keys_st,
+    multi_attribute_queries,
+    peer_ids_min3_st,
+    set_queries,
+)
+
+from repro.core.queries import (
+    ExactQuery,
+    MultiAttributeQuery,
+    PrefixQuery,
+    RangeQuery,
+    attribute_key,
+)
+from repro.dlpt.failures import ReplicationManager, crash_peer, repair
+from repro.dlpt.system import DLPTSystem
+from repro.peers.capacity import FixedCapacity
+from repro.workloads.keys import grid_service_corpus
+
+
+def oracle(system: DLPTSystem, query) -> list[str]:
+    """The ground truth: the query predicate over the registered keys."""
+    if isinstance(query, MultiAttributeQuery):
+        per_attr = query.attribute_queries()
+        keys = system.registered_keys()
+        return sorted(
+            set.intersection(*(set(k for k in keys if q.matches(k)) for q in per_attr.values()))
+        )
+    return sorted(k for k in system.registered_keys() if query.matches(k))
+
+
+def assert_oracle_equal(system: DLPTSystem, query, rng=None) -> None:
+    out = system.search(query, rng=rng)
+    assert list(out.results) == oracle(system, query), query.describe()
+
+
+#: A panel of fixed probes run against every reshaped tree; spans chosen
+#: to straddle subtree (and, post-crash, fragment) boundaries.
+def probe_panel(keys) -> list:
+    keys = sorted(set(keys))
+    n = len(keys)
+    panel = [
+        PrefixQuery(""),  # whole tree
+        PrefixQuery(keys[0][:1]),
+        PrefixQuery(keys[n // 2][: max(1, len(keys[n // 2]) // 2)]),
+        PrefixQuery("zz"),  # outside the corpus alphabet band
+        RangeQuery(keys[0], keys[-1]),
+        RangeQuery(keys[n // 4], keys[min(n - 1, n // 4 + n // 2)]),
+        ExactQuery(keys[n // 3]),
+        ExactQuery(keys[n // 3] + "xx"),  # miss below a leaf
+    ]
+    return panel
+
+
+class TestHypothesisRandomTrees:
+    @settings(max_examples=60, deadline=None)
+    @given(data=keys_st.flatmap(
+        lambda keys: peer_ids_min3_st.flatmap(
+            lambda pids: set_queries(keys).map(lambda q: (keys, pids, q))
+        )
+    ))
+    def test_search_matches_oracle(self, data):
+        keys, peer_ids, query = data
+        system = DLPTSystem(alphabet=ALPHABET, capacity_model=FixedCapacity(10**9))
+        system.add_peers(random.Random(1), peer_ids=peer_ids)
+        system.register_batch(keys)
+        assert_oracle_equal(system, query, rng=random.Random(7))
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=keys_st.flatmap(
+        lambda keys: peer_ids_min3_st.flatmap(
+            lambda pids: set_queries(keys).map(lambda q: (keys, pids, q))
+        )
+    ))
+    def test_search_matches_oracle_after_crash(self, data):
+        keys, peer_ids, query = data
+        system = DLPTSystem(alphabet=ALPHABET, capacity_model=FixedCapacity(10**9))
+        system.add_peers(random.Random(1), peer_ids=peer_ids)
+        system.register_batch(keys)
+        victim = sorted(p.id for p in system.ring)[len(peer_ids) // 2]
+        crash_peer(system, victim)
+        out = system.search(query, rng=random.Random(7))
+        # Post-crash ground truth: whatever keys survived the crash.
+        expected = sorted(k for k in system.registered_keys() if query.matches(k))
+        assert list(out.results) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=keys_st.flatmap(
+        lambda keys: multi_attribute_queries(
+            {"lib": set(keys), "os": set(k[::-1] or "a" for k in keys)}
+        ).map(lambda q: (keys, q))
+    ))
+    def test_multi_attribute_matches_oracle(self, data):
+        keys, query = data
+        pairs = [attribute_key("lib", k) for k in keys]
+        pairs += [attribute_key("os", k[::-1] or "a") for k in keys]
+        # Composed ``attr=value`` keys need the full printable alphabet.
+        system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        system.build(random.Random(1), 6)
+        system.register_batch(pairs)
+        assert_oracle_equal(system, query, rng=random.Random(7))
+
+
+@pytest.fixture(scope="module")
+def big_keys():
+    """A 1000+-key corpus over the service-name distribution (the base
+    729-name corpus plus versioned variants — deeper shared prefixes)."""
+    corpus = grid_service_corpus()
+    corpus = sorted(set(corpus) | {k + ".2" for k in corpus})
+    assert len(corpus) >= 1000
+    return corpus[:1200]
+
+
+class TestLargeTree:
+    def test_probe_panel_matches_oracle(self, big_keys):
+        system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        system.build(random.Random(11), 50)
+        system.register_batch(big_keys)
+        rng = random.Random(23)
+        for query in probe_panel(big_keys):
+            assert_oracle_equal(system, query, rng=rng)
+
+    def test_random_entries_do_not_change_results(self, big_keys):
+        """The entry node affects hops, never the answer."""
+        system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        system.build(random.Random(11), 50)
+        system.register_batch(big_keys)
+        query = PrefixQuery(big_keys[17][:4])
+        baseline = system.search(query).results  # enters at the scan root
+        rng = random.Random(5)
+        for _ in range(10):
+            assert system.search(query, rng=rng).results == baseline
+
+
+class TestAfterChurnCrashRepair:
+    """The acceptance matrix: oracle equality on every reshaped tree."""
+
+    def _probe(self, system, keys):
+        rng = random.Random(99)
+        for query in probe_panel(keys):
+            assert_oracle_equal(system, query, rng=rng)
+
+    def test_after_peer_churn(self, big_keys):
+        system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        system.build(random.Random(3), 40)
+        system.register_batch(big_keys[:1000])
+        churn_rng = random.Random(44)
+        for _ in range(10):
+            system.add_peer(churn_rng)
+        for pid in sorted(p.id for p in system.ring)[::7][:5]:
+            system.remove_peer(pid)
+        system.check_invariants()
+        self._probe(system, big_keys[:1000])
+
+    def test_after_crashes_damaged_forest(self, big_keys):
+        # The seed-2 recipe shatters the tree into several fragments
+        # (including, at some seeds, a rootless forest) — the walking
+        # resolver must still sweep every surviving key.
+        system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        system.build(random.Random(2), 50)
+        system.register_batch(big_keys[:500])
+        crash_rng = random.Random(2 + 100)
+        for _ in range(6):
+            ids = sorted(p.id for p in system.ring)
+            crash_peer(system, ids[crash_rng.randrange(len(ids))])
+        self._probe(system, sorted(system.registered_keys() or {"a"}))
+
+    def test_after_repair(self, big_keys):
+        system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        system.build(random.Random(2), 50)
+        system.register_batch(big_keys[:500])
+        replication = ReplicationManager(system, factor=1)
+        crash_rng = random.Random(102)
+        lost = set()
+        for _ in range(4):
+            ids = sorted(p.id for p in system.ring)
+            report = crash_peer(system, ids[crash_rng.randrange(len(ids))])
+            lost |= set(report.lost_keys)
+        repair(system, replication, lost_keys=frozenset(lost))
+        system.check_invariants()
+        self._probe(system, sorted(system.registered_keys()))
+
+
+class TestMemoInvalidationUnderBatches:
+    """Interleaved bulk registration and scans: the router's version
+    counters must invalidate any spine/subtree memo, so a scan issued
+    after a batch sees exactly the post-batch key set."""
+
+    def test_results_track_each_batch(self, big_keys):
+        system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        system.build(random.Random(17), 30)
+        rng = random.Random(31)
+        chunks = [big_keys[i : i + 100] for i in range(0, 600, 100)]
+        query = PrefixQuery("")
+        for chunk in chunks:
+            system.register_batch(chunk)
+            # Scan immediately after the batch, twice (a stale memo would
+            # poison the second scan even if the first recomputed).
+            for _ in range(2):
+                assert_oracle_equal(system, query, rng=rng)
+                for probe in probe_panel(sorted(system.registered_keys())):
+                    assert_oracle_equal(system, probe, rng=rng)
+
+    def test_unregister_between_scans(self, big_keys):
+        system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        system.build(random.Random(17), 30)
+        system.register_batch(big_keys[:200])
+        rng = random.Random(31)
+        query = RangeQuery(big_keys[0], big_keys[199])
+        assert_oracle_equal(system, query, rng=rng)
+        for key in big_keys[50:150:10]:
+            system.unregister(key)
+            assert_oracle_equal(system, query, rng=rng)
+
+    def test_matched_sets_never_served_from_structural_memo(self, big_keys):
+        """Registering a key under an already-scanned band must appear in
+        the very next scan (filled-count changes without any label-level
+        structure changing when the node already existed)."""
+        system = DLPTSystem(capacity_model=FixedCapacity(10**9))
+        system.build(random.Random(17), 30)
+        system.register_batch(big_keys[:100])
+        probe = PrefixQuery(big_keys[0][:2])
+        before = list(system.search(probe).results)
+        fresh = big_keys[0][:2] + ".fresh.service"
+        system.register(fresh)
+        after = list(system.search(probe).results)
+        assert fresh in after
+        assert sorted(before + [fresh]) == after

@@ -59,7 +59,7 @@ class TestReadme:
         text = README.read_text()
         for pointer in ("ROADMAP.md", "CHANGES.md", "BENCH_micro.json",
                         "docs/benchmarks.md", "docs/reproduction.md",
-                        "docs/runtime.md"):
+                        "docs/runtime.md", "docs/queries.md"):
             assert pointer in text, f"README.md should point at {pointer}"
 
     def test_readme_code_blocks_run(self):
@@ -179,6 +179,48 @@ class TestRuntimeDoc:
 
     def test_counter_invariant_is_stated(self):
         assert "messages_sent == messages_delivered" in self.DOC.read_text()
+
+
+class TestQueriesDoc:
+    """docs/queries.md: the set-query model, its hop accounting and the
+    queries: workload axis must stay documented as the feature grows."""
+
+    DOC = REPO_ROOT / "docs" / "queries.md"
+
+    def test_guide_exists(self):
+        assert self.DOC.exists(), (
+            "docs/queries.md must document the query model, the hop "
+            "accounting rules and the queries: workload axis"
+        )
+
+    def test_model_accounting_and_axis_are_documented(self):
+        doc = self.DOC.read_text()
+        for needle in ("ExactQuery", "PrefixQuery", "RangeQuery",
+                       "MultiAttributeQuery", "parse_query",
+                       "QuerySpecError", "logical_hops", "physical_hops",
+                       "Empty band", "SetQueryRequest", "SetQueryReply",
+                       "search_query", "query_cost", "queries_issued",
+                       "query_hop_histogram", "mixed:n="):
+            assert needle in doc, f"docs/queries.md must document {needle}"
+
+    def test_every_spec_kind_is_documented(self):
+        from repro.workloads.queries import QUERY_KINDS
+
+        doc = self.DOC.read_text()
+        for kind in QUERY_KINDS:
+            assert f'"{kind}' in doc, (
+                f"docs/queries.md must document the {kind!r} query spec kind"
+            )
+
+    def test_cross_links(self):
+        doc = self.DOC.read_text()
+        assert "runtime.md" in doc and "reproduction.md" in doc
+        assert "queries.md" in (REPO_ROOT / "docs" / "runtime.md").read_text(), (
+            "docs/runtime.md should cross-link docs/queries.md"
+        )
+        assert "queries.md" in (REPO_ROOT / "docs" / "reproduction.md").read_text(), (
+            "docs/reproduction.md should cross-link docs/queries.md"
+        )
 
 
 class TestExamples:

@@ -156,6 +156,43 @@ class TestBrokerLoopback:
 
         asyncio.run(body())
 
+    def test_search_prefix_and_range(self):
+        async def body():
+            transport, engine, broker = await self._cluster()
+            client = _LoopbackClient(transport)
+            for key in ("dgemm", "dgemv", "dgetrf", "ggen", "pal"):
+                assert (await client.call(op="register", key=key))["ok"]
+            hit = await client.call(op="search", kind="prefix", lo="dge")
+            assert hit["ok"] and hit["keys"] == ["dgemm", "dgemv", "dgetrf"]
+            assert hit["hops"] >= 0
+            band = await client.call(
+                op="search", kind="range", lo="dgemv", hi="ggen"
+            )
+            assert band["ok"] and band["keys"] == ["dgemv", "dgetrf", "ggen"]
+            empty = await client.call(op="search", kind="prefix", lo="zz")
+            assert empty["ok"] and empty["keys"] == []
+            await broker.close()
+            await transport.close()
+
+        asyncio.run(body())
+
+    def test_bad_search_is_an_error_reply(self):
+        async def body():
+            transport, engine, broker = await self._cluster()
+            client = _LoopbackClient(transport)
+            assert (await client.call(op="register", key="dgemm"))["ok"]
+            bad_kind = await client.call(op="search", kind="glob", lo="d*")
+            assert not bad_kind["ok"] and "kind" in bad_kind["error"]
+            bad_range = await client.call(op="search", kind="range", lo="z", hi="a")
+            assert not bad_range["ok"] and "empty range" in bad_range["error"]
+            # The broker survives rejected queries and keeps serving.
+            again = await client.call(op="search", kind="prefix", lo="dg")
+            assert again["ok"] and again["keys"] == ["dgemm"]
+            await broker.close()
+            await transport.close()
+
+        asyncio.run(body())
+
     def test_unknown_op_is_an_error_reply(self):
         async def body():
             transport, engine, broker = await self._cluster()
@@ -222,6 +259,23 @@ class TestSocketClient:
                 await client.close()
 
         self._with_cluster(scenario, tcp=True)
+
+    def test_prefix_completion_and_range_over_socket(self):
+        async def scenario(transport, engine):
+            client = await DLPTClient.connect(transport.address)
+            try:
+                keys = ["dgemm", "dgemv", "dgetrf", "sgemm"]
+                await asyncio.gather(*[client.register(k) for k in keys])
+                done = await client.complete("dge")
+                assert done["keys"] == ["dgemm", "dgemv", "dgetrf"]
+                band = await client.range_search("dgemv", "sgemm")
+                assert band["keys"] == ["dgemv", "dgetrf", "sgemm"]
+                with pytest.raises(DLPTClientError, match="empty range"):
+                    await client.range_search("z", "a")
+            finally:
+                await client.close()
+
+        self._with_cluster(scenario)
 
     def test_client_driven_membership(self):
         async def scenario(transport, engine):

@@ -71,6 +71,41 @@ class TestTier1Conformance:
         assert sum(len(o.requests) for o in report.outcomes) >= 10
         assert any(o.keys for o in report.outcomes)
 
+    def test_query_traces_conform_sim_vs_loopback(self):
+        """Traces carrying set-query events (prefix/range/exact scans)
+        replay to equal outcome streams — including the per-query result
+        sets and hop counts folded into each unit's outcome."""
+        trace = _small_trace(queries="mixed:n=2")
+        assert any(u.queries for u in trace.units)
+        sim = asyncio.run(replay_trace(trace, SimTransport()))
+        loop = asyncio.run(replay_trace(trace, LoopbackAsyncioTransport()))
+        assert diff_streams(sim.outcomes, loop.outcomes) == []
+        served = [q for o in sim.outcomes for q in o.queries]
+        assert served, "the fixture must actually exercise the query path"
+        assert any(q[3] for q in served), "some query must match keys"
+
+    def test_diff_streams_flags_query_divergence(self):
+        trace = _small_trace(queries="mixed:n=2")
+        a = asyncio.run(replay_trace(trace, SimTransport())).outcomes
+        b = list(a)
+        target = next(i for i, o in enumerate(b) if o.queries)
+        broken = b[target]
+        q = broken.queries[0]
+        b[target] = type(broken)(
+            unit=broken.unit,
+            n_peers=broken.n_peers,
+            n_nodes=broken.n_nodes,
+            keys=broken.keys,
+            requests=broken.requests,
+            joins=broken.joins,
+            leaves=broken.leaves,
+            crashes=broken.crashes,
+            queries=((q[0], q[1], q[2], q[3] + ("phantom",), q[4]),)
+            + broken.queries[1:],
+        )
+        problems = diff_streams(a, b)
+        assert problems and "query" in problems[0]
+
     def test_diff_streams_pinpoints_divergence(self):
         trace = _small_trace()
         a = asyncio.run(replay_trace(trace, SimTransport())).outcomes

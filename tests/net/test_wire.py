@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from strategies import wire_messages_st
+from strategies import wire_message_builders, wire_messages_st
 
 from repro.dlpt import messages as m
 from repro.net.wire import (
@@ -23,6 +23,14 @@ from repro.net.wire import (
 
 
 class TestRoundTrip:
+    def test_every_message_type_has_a_round_trip_builder(self):
+        """The strategy registry and the codec's type registry must list
+        the same dataclasses — a message type added to the wire without a
+        generator would silently escape the round-trip property."""
+        from repro.net.wire import MESSAGE_TYPES
+
+        assert set(wire_message_builders) == set(MESSAGE_TYPES)
+
     @settings(max_examples=200, deadline=None)
     @given(message=wire_messages_st)
     def test_protocol_messages_round_trip(self, message):

@@ -14,6 +14,12 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.core.alphabet import Alphabet
+from repro.core.queries import (
+    ExactQuery,
+    MultiAttributeQuery,
+    PrefixQuery,
+    RangeQuery,
+)
 from repro.dlpt import messages as m
 
 #: The three-digit alphabet every equivalence suite builds trees over.
@@ -74,6 +80,83 @@ def entry_labels(labels, n: int) -> st.SearchStrategy:
     return st.lists(st.sampled_from(sorted(labels)), min_size=n, max_size=n)
 
 
+# -- set queries over a built tree (for the oracle differential suites) ----
+
+
+def prefix_queries(keys) -> st.SearchStrategy:
+    """Prefix completions anchored on registered keys (non-empty answers
+    are common) plus the occasional foreign prefix (empty answers)."""
+    keys = sorted(set(keys))
+    anchored = st.builds(
+        lambda key, n: PrefixQuery(key[: max(1, n % (len(key) + 1))]),
+        st.sampled_from(keys),
+        st.integers(0, 8),
+    )
+    foreign = st.text(alphabet="abc", min_size=1, max_size=6).map(PrefixQuery)
+    return st.one_of(anchored, anchored, foreign)
+
+
+def range_queries(keys) -> st.SearchStrategy:
+    """Lexicographic ranges whose bounds straddle the registered corpus:
+    spans of the sorted key list (crossing subtree — and, on a damaged
+    forest, fragment — boundaries) plus arbitrary sorted bound pairs."""
+    keys = sorted(set(keys))
+
+    def span(lo_i: int, width: int) -> RangeQuery:
+        lo = keys[lo_i % len(keys)]
+        hi = keys[min(lo_i % len(keys) + width, len(keys) - 1)]
+        return RangeQuery(min(lo, hi), max(lo, hi))
+
+    spans = st.builds(span, st.integers(0, 200), st.integers(0, 12))
+    arbitrary = st.builds(
+        lambda a, b: RangeQuery(min(a, b), max(a, b)),
+        st.text(alphabet="abc", min_size=1, max_size=6),
+        st.text(alphabet="abc", min_size=1, max_size=6),
+    )
+    return st.one_of(spans, spans, arbitrary)
+
+
+def set_queries(keys) -> st.SearchStrategy:
+    """Any single-attribute set query over a registered corpus."""
+    keys = sorted(set(keys))
+    return st.one_of(
+        prefix_queries(keys),
+        range_queries(keys),
+        st.sampled_from(keys).map(ExactQuery),
+    )
+
+
+def multi_attribute_queries(attributes) -> st.SearchStrategy:
+    """Conjunctions over ``attributes`` — a mapping of attribute name to
+    the values registered for it (via :func:`attribute_key`)."""
+    clause_sts = {
+        attr: st.one_of(
+            st.sampled_from(sorted(values)).map(ExactQuery),
+            st.builds(
+                lambda v, n: PrefixQuery(v[: max(1, n % (len(v) + 1))]),
+                st.sampled_from(sorted(values)),
+                st.integers(0, 8),
+            ),
+            st.builds(
+                lambda a, b: RangeQuery(min(a, b), max(a, b)),
+                st.sampled_from(sorted(values)),
+                st.sampled_from(sorted(values)),
+            ),
+        )
+        for attr, values in attributes.items()
+    }
+    names = sorted(attributes)
+    return (
+        st.lists(st.sampled_from(names), min_size=1, unique=True)
+        .flatmap(
+            lambda chosen: st.fixed_dictionaries(
+                {attr: clause_sts[attr] for attr in chosen}
+            )
+        )
+        .map(MultiAttributeQuery)
+    )
+
+
 # -- wire-encodable protocol messages (for codec round-trip properties) ----
 
 _label_st = st.text(alphabet="abc", min_size=1, max_size=8)
@@ -93,47 +176,76 @@ node_payloads_st = st.builds(
     data=st.lists(_datum_st, max_size=3).map(tuple),
 )
 
-#: Any protocol message the ``repro-wire/1`` codec must round-trip.
-wire_messages_st = st.one_of(
-    st.builds(
+_labels_tuple_st = st.lists(_label_st, max_size=4).map(tuple)
+
+#: One builder per wire-encodable dataclass, keyed by type name.  The
+#: codec suite asserts this registry covers ``MESSAGE_TYPES`` exactly, so
+#: adding a message type without a round-trip generator fails loudly.
+wire_message_builders = {
+    "PeerJoin": st.builds(
         m.PeerJoin,
         node=_label_st,
         joiner=_label_st,
         state=st.sampled_from([0, 1]),
         capacity=st.integers(1, 100),
     ),
-    st.builds(
+    "NewPredecessor": st.builds(
         m.NewPredecessor, joiner=_label_st, capacity=st.integers(1, 100)
     ),
-    st.builds(
+    "YourInformation": st.builds(
         m.YourInformation,
         pred=_label_st,
         succ=_label_st,
         nodes=st.lists(node_payloads_st, max_size=3).map(tuple),
     ),
-    st.builds(m.UpdateSuccessor, new_successor=_label_st),
-    st.builds(
+    "UpdateSuccessor": st.builds(m.UpdateSuccessor, new_successor=_label_st),
+    "LeaveTransfer": st.builds(
         m.LeaveTransfer,
         pred=_label_st,
         nodes=st.lists(node_payloads_st, max_size=3).map(tuple),
     ),
-    st.builds(m.UpdatePredecessor, new_predecessor=_label_st),
-    st.builds(m.DataInsertion, node=_label_st, key=_label_st, datum=_datum_st),
-    st.builds(m.SearchingHost, node=_label_st, payload=node_payloads_st),
-    st.builds(m.Host, payload=node_payloads_st),
-    st.builds(m.UpdateChild, node=_label_st, old=_label_st, new=_label_st),
-    st.builds(
+    "UpdatePredecessor": st.builds(m.UpdatePredecessor, new_predecessor=_label_st),
+    "DataInsertion": st.builds(
+        m.DataInsertion, node=_label_st, key=_label_st, datum=_datum_st
+    ),
+    "SearchingHost": st.builds(m.SearchingHost, node=_label_st, payload=node_payloads_st),
+    "Host": st.builds(m.Host, payload=node_payloads_st),
+    "UpdateChild": st.builds(m.UpdateChild, node=_label_st, old=_label_st, new=_label_st),
+    "DiscoveryRequest": st.builds(
         m.DiscoveryRequest,
         node=_label_st,
         key=_label_st,
         reply_to=_label_st,
         hops=st.integers(0, 50),
     ),
-    st.builds(
+    "DiscoveryReply": st.builds(
         m.DiscoveryReply,
         key=_label_st,
         found=st.booleans(),
         data=st.lists(_datum_st, max_size=3).map(tuple),
         hops=st.integers(0, 50),
     ),
-)
+    "SetQueryRequest": st.builds(
+        m.SetQueryRequest,
+        node=_label_st,
+        kind=st.sampled_from(["prefix", "range"]),
+        lo=_label_st,
+        hi=st.one_of(st.just(""), _label_st),
+        reply_to=_label_st,
+        phase=st.sampled_from([0, 1]),
+        pending=_labels_tuple_st,
+        keys=_labels_tuple_st,
+        hops=st.integers(0, 50),
+    ),
+    "SetQueryReply": st.builds(
+        m.SetQueryReply,
+        kind=st.sampled_from(["prefix", "range"]),
+        lo=_label_st,
+        hi=st.one_of(st.just(""), _label_st),
+        keys=_labels_tuple_st,
+        hops=st.integers(0, 50),
+    ),
+}
+
+#: Any protocol message the ``repro-wire/1`` codec must round-trip.
+wire_messages_st = st.one_of(*wire_message_builders.values())
