@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Union
 
+from ..util.specs import SpecError
+
 
 @dataclass(frozen=True)
 class ExactQuery:
@@ -122,7 +124,7 @@ class MultiAttributeQuery:
 Query = Union[SingleAttributeQuery, MultiAttributeQuery]
 
 
-class QuerySpecError(ValueError):
+class QuerySpecError(SpecError):
     """A query spec is malformed or names identifiers outside the alphabet."""
 
 

@@ -112,12 +112,23 @@ class ProtocolEngine:
     :class:`~repro.net.transport.Transport` surface (``register`` /
     ``unregister`` / ``send`` plus a clock), so the same protocol code
     runs under the discrete-event simulator and under a live asyncio
-    event loop.  Constructing with ``sim``/``network`` (or nothing)
-    builds the classic :class:`~repro.net.transport.SimTransport`, and
+    event loop.  The transport-first form ``ProtocolEngine(transport=t)``
+    is the API; constructing with nothing builds a default
+    :class:`~repro.net.transport.SimTransport`, and the legacy
+    ``sim=``/``network=`` arguments still do the same but emit a
+    :class:`DeprecationWarning` (migration note: docs/runtime.md).
     ``self.sim`` / ``self.net`` stay bound to the simulator and network
     for existing callers; under a non-sim transport those aliases point
     at the transport itself and :meth:`run` defers to ``await
     transport.drain()``.
+
+    ``client_endpoint`` names the engine's reply sink (default
+    ``"@client"``); when several engine groups share one wire — the
+    multi-process runtime of :mod:`repro.net.procgroup` — each group
+    passes a unique endpoint so discovery and query replies route back
+    to the issuing process.  ``on_node_installed``, when set, fires as
+    ``hook(label, peer_id)`` after every node install/migration — the
+    seam cross-process locator replication hangs off.
     """
 
     def __init__(
@@ -125,6 +136,9 @@ class ProtocolEngine:
         sim: Optional[Simulator] = None,
         network: Optional[Network] = None,
         transport=None,
+        *,
+        client_endpoint: str = "@client",
+        on_node_installed=None,
     ) -> None:
         if transport is None:
             # Local import: repro.net.wire imports repro.dlpt for the
@@ -132,6 +146,16 @@ class ProtocolEngine:
             # module scope.
             from ..net.transport import SimTransport
 
+            if sim is not None or network is not None:
+                import warnings
+
+                warnings.warn(
+                    "ProtocolEngine(sim=..., network=...) is deprecated; "
+                    "pass transport=SimTransport(sim=..., network=...) "
+                    "instead (see docs/runtime.md)",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
             transport = SimTransport(sim=sim, network=network)
         elif sim is not None or network is not None:
             raise ValueError("pass either transport= or sim=/network=, not both")
@@ -147,7 +171,8 @@ class ProtocolEngine:
         self.discovery_replies: list[m.DiscoveryReply] = []
         self.query_replies: list[m.SetQueryReply] = []
         self.dead_node_messages = 0
-        self._client_endpoint = "@client"
+        self.on_node_installed = on_node_installed
+        self._client_endpoint = client_endpoint
         self.transport.register(self._client_endpoint, self._on_client_message)
 
     # ------------------------------------------------------------------
@@ -241,8 +266,11 @@ class ProtocolEngine:
     def _on_leave_transfer(self, peer: ProtocolPeer, msg: m.LeaveTransfer) -> None:
         for payload in msg.nodes:
             self._install_node(peer, payload)
-        if len(self.peers) == 1:
-            # Ring collapsed to one peer: point at itself.
+        if msg.pred == peer.id:
+            # The leaver's predecessor was us: the ring collapsed to one
+            # peer — point at ourselves.  (Pointer-local test, not a
+            # ``len(self.peers)`` census: under the multi-process runtime
+            # a group sees only its own peers.)
             peer.pred = peer.id
             peer.succ = peer.id
         else:
@@ -384,8 +412,11 @@ class ProtocolEngine:
 
     def _on_new_predecessor(self, peer: ProtocolPeer, msg: m.NewPredecessor) -> None:
         joiner = msg.joiner
-        if len(self.peers) == 1 or peer.pred == peer.id:
-            # Second peer of the ring: trivial two-peer ring.
+        if peer.pred == peer.id:
+            # A self-loop pointer means we are alone on the ring (the
+            # pointer-local singleton test — valid in any process of a
+            # multi-process ring): second peer makes a trivial two-peer
+            # ring.
             moving = self._split_nodes(peer, joiner)
             self._send_your_information(peer, joiner, pred=peer.id, moving=moving)
             peer.pred = joiner
@@ -525,7 +556,11 @@ class ProtocolEngine:
         if peer.pred is None:
             self.dead_node_messages += 1
             return
-        if len(self.peers) > 1 and not in_interval_open_closed(label, peer.pred, peer.id):
+        if not in_interval_open_closed(label, peer.pred, peer.id):
+            # ``(pred, pred]`` is the whole ring, so a singleton peer
+            # (self-loop pointers) accepts every label without needing a
+            # peer census — the census would be wrong in a multi-process
+            # ring anyway.
             self.transport.send(peer.id, peer.succ, msg)
             return
         self._install_node(peer, msg.payload)
@@ -542,6 +577,8 @@ class ProtocolEngine:
         )
         peer.nodes[payload.label] = st
         self.locator[payload.label] = peer.id
+        if self.on_node_installed is not None:
+            self.on_node_installed(payload.label, peer.id)
         # Flush messages that raced this node's creation/arrival.
         parked = self.pending_node_messages.pop(payload.label, None)
         if parked:

@@ -122,10 +122,8 @@ def _run_parser() -> argparse.ArgumentParser:
 
 
 def _run_main(argv) -> int:
-    from ..faults.spec import FaultSpecError
-    from ..lb import balancer_from_spec
     from ..peers import churn as churn_mod
-    from ..workloads.spec import WorkloadSpecError
+    from ..util.specs import parse_spec
     from ..workloads.traces import TraceError, WorkloadTrace
     from .config import ExperimentConfig
     from .metrics import phase_breakdown, run_metrics_dict
@@ -169,8 +167,8 @@ def _run_main(argv) -> int:
     if args.seed is not None:
         kwargs["seed"] = args.seed
     try:
-        config = ExperimentConfig(lb=balancer_from_spec(args.lb), **kwargs)
-    except (WorkloadSpecError, FaultSpecError, ValueError) as exc:
+        config = ExperimentConfig(lb=parse_spec("balancer", args.lb), **kwargs)
+    except ValueError as exc:
         parser.error(str(exc))
 
     start = time.perf_counter()

@@ -16,14 +16,12 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from ..core.alphabet import PRINTABLE, Alphabet
-from ..faults.spec import faults_signature, parse_faults
 from ..lb.base import LoadBalancer
 from ..peers.capacity import UniformCapacity
 from ..peers.churn import STABLE, ChurnModel
+from ..util.specs import parse_spec, spec_signature
 from ..workloads.keys import grid_service_corpus
-from ..workloads.queries import parse_queries, queries_signature
 from ..workloads.requests import PhasedSchedule, Phase, UniformRequests, generator_name
-from ..workloads.spec import parse_workload, workload_signature
 
 
 def default_schedule() -> PhasedSchedule:
@@ -115,14 +113,14 @@ class ExperimentConfig:
         # RequestGenerator passed as `schedule` is wrapped into a steady
         # schedule.  The runner never sees an invalid workload.
         if self.workload is not None:
-            self.schedule = parse_workload(self.workload)
+            self.schedule = parse_spec("workload", self.workload)
         else:
-            self.schedule = parse_workload(self.schedule)
+            self.schedule = parse_spec("workload", self.schedule)
         # Fault specs are validated here too (FaultSpecError on bad input);
         # the runner consumes the parsed plan, never the raw spec.
-        self.fault_plan = parse_faults(self.faults)
+        self.fault_plan = parse_spec("faults", self.faults)
         # Query specs likewise (QuerySpecError on bad input).
-        self.query_plan = parse_queries(self.queries)
+        self.query_plan = parse_spec("queries", self.queries)
         if self.discovery not in ("indexed", "seed"):
             raise ValueError(
                 f"unknown discovery implementation {self.discovery!r} "
@@ -202,17 +200,17 @@ class ExperimentConfig:
                 "n_keys": len(self.corpus),
                 "sha256": hashlib.sha256(corpus_blob).hexdigest(),
             },
-            "workload": workload_signature(self.schedule),
+            "workload": spec_signature("workload", self.schedule),
         }
         if self.fault_plan is not None:
             # Added only when a fault axis exists: fault-free configs keep
             # the pre-fault signature bytes, so sweep-store cells computed
             # before this axis existed stay addressable.
-            signature["faults"] = faults_signature(self.fault_plan)
+            signature["faults"] = spec_signature("faults", self.fault_plan)
         if self.query_plan is not None:
             # Added only when a query axis exists: query-free configs keep
             # the pre-query signature bytes (same rule as ``faults``).
-            signature["queries"] = queries_signature(self.query_plan)
+            signature["queries"] = spec_signature("queries", self.query_plan)
         if self.discovery != "indexed":
             # Same back-compat rule: the default implementation keeps the
             # pre-existing signature bytes.  "seed" runs are distinguished

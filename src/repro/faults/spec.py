@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..util.specs import parse_options, split_spec
+from ..util.specs import SpecError, parse_options, register_spec_kind, split_spec
 from .schedules import (
     CorrelatedCrash,
     CrashStorm,
@@ -45,7 +45,7 @@ FAULT_KINDS = ("crash_storm", "correlated", "partition", "mixed")
 _POLICY_OPTIONS = ("r", "repair_every")
 
 
-class FaultSpecError(ValueError):
+class FaultSpecError(SpecError):
     """A fault spec that cannot be parsed or validated."""
 
 
@@ -214,14 +214,7 @@ def _parse_schedule(spec: object, allow_policy: bool) -> Tuple[FaultSchedule, Di
     )
 
 
-def parse_faults(spec: object) -> Optional[FaultPlan]:
-    """Build and validate a :class:`FaultPlan` from any spec form.
-
-    ``None`` passes through (no faults); a ready plan is returned as-is; a
-    bare schedule is wrapped with the default policy (``r=1``,
-    ``repair_every=1``).  Raises :class:`FaultSpecError` with the offending
-    spec on any problem.
-    """
+def _parse_faults(spec: object) -> Optional[FaultPlan]:
     if spec is None:
         return None
     if isinstance(spec, FaultPlan):
@@ -233,6 +226,23 @@ def parse_faults(spec: object) -> Optional[FaultPlan]:
     if "repair_every" in policy:
         kwargs["repair_every"] = policy["repair_every"]
     return _apply(FaultPlan, {"schedule": schedule, **kwargs}, spec)
+
+
+def parse_faults(spec: object) -> Optional[FaultPlan]:
+    """Build and validate a :class:`FaultPlan` from any spec form.
+
+    ``None`` passes through (no faults); a ready plan is returned as-is; a
+    bare schedule is wrapped with the default policy (``r=1``,
+    ``repair_every=1``).  Raises :class:`FaultSpecError` with the offending
+    spec on any problem.
+
+    .. deprecated::
+        Thin shim over the unified registry; new code should call
+        ``repro.util.specs.parse_spec("faults", spec)``.
+    """
+    from ..util.specs import parse_spec
+
+    return parse_spec("faults", spec)
 
 
 def _schedule_signature(schedule: FaultSchedule) -> Dict[str, Any]:
@@ -288,3 +298,6 @@ def faults_signature(plan: Optional[FaultPlan]) -> Optional[Dict[str, Any]]:
         "replication": plan.replication,
         "repair_every": plan.repair_every,
     }
+
+
+register_spec_kind("faults", _parse_faults, faults_signature)

@@ -3,12 +3,20 @@
 :func:`balancer_from_spec` builds a heuristic from a compact spec string —
 the ablation hook the CLI and bench harnesses use to sweep balancer
 parameters (``"mlt:fraction=0.5"``, ``"kc:k=8"``) without constructing
-objects in calling code.
+objects in calling code.  The parser registers as the ``"balancer"`` kind
+of the unified spec registry (:mod:`repro.util.specs`), raising
+:class:`BalancerSpecError`; :func:`balancer_signature` is the kind's
+canonical hash structure.
 """
 
 from __future__ import annotations
 
-from ..util.specs import parse_options, split_spec
+from ..util.specs import (
+    SpecError,
+    parse_options,
+    register_spec_kind,
+    split_spec,
+)
 from .base import LoadBalancer
 from .kchoices import KChoices
 from .mlt import MLT, SplitDecision, best_split
@@ -16,20 +24,27 @@ from .nolb import NoLB
 
 __all__ = [
     "LoadBalancer", "NoLB", "MLT", "KChoices", "best_split", "SplitDecision",
-    "balancer_from_spec",
+    "balancer_from_spec", "balancer_signature", "BalancerSpecError",
 ]
 
 
-def balancer_from_spec(spec: str) -> LoadBalancer:
-    """Build a balancer from ``name[:key=value...]``.
+class BalancerSpecError(SpecError):
+    """A balancer spec that cannot be parsed or validated."""
 
-    Names (case-insensitive): ``nolb``, ``mlt``, ``kc`` (alias
-    ``kchoices``).  Options map to the constructors: ``mlt:fraction=0.5``,
-    ``mlt:allow_empty=1``, ``kc:k=8``.  Raises :class:`ValueError` naming
-    the spec on any unknown name or option.
-    """
+
+def _parse_balancer(spec: object) -> LoadBalancer:
+    if isinstance(spec, LoadBalancer):
+        return spec
+    if not isinstance(spec, str):
+        raise BalancerSpecError(
+            f"balancer spec must be a string or a LoadBalancer, "
+            f"got {type(spec).__name__}"
+        )
     name, rest = split_spec(spec)
-    options = parse_options(rest, spec, label="balancer spec")
+    try:
+        options = parse_options(rest, spec, label="balancer spec")
+    except SpecError as exc:
+        raise BalancerSpecError(str(exc)) from exc
     lowered = name.lower()
     try:
         if lowered == "nolb":
@@ -45,7 +60,47 @@ def balancer_from_spec(spec: str) -> LoadBalancer:
                 options["k"] = int(options["k"])
             return KChoices(**options)
     except (TypeError, ValueError) as exc:
-        raise ValueError(f"balancer spec {spec!r}: {exc}") from exc
-    raise ValueError(
+        raise BalancerSpecError(f"balancer spec {spec!r}: {exc}") from exc
+    raise BalancerSpecError(
         f"unknown balancer {name!r} in spec {spec!r} (known: nolb, mlt, kc)"
     )
+
+
+def balancer_from_spec(spec: str) -> LoadBalancer:
+    """Build a balancer from ``name[:key=value...]``.
+
+    Names (case-insensitive): ``nolb``, ``mlt``, ``kc`` (alias
+    ``kchoices``).  Options map to the constructors: ``mlt:fraction=0.5``,
+    ``mlt:allow_empty=1``, ``kc:k=8``.  Raises :class:`BalancerSpecError`
+    (a :class:`ValueError`) naming the spec on any unknown name or option.
+
+    .. deprecated::
+        Thin shim over the unified registry; new code should call
+        ``repro.util.specs.parse_spec("balancer", spec)``.
+    """
+    from ..util.specs import parse_spec
+
+    return parse_spec("balancer", spec)
+
+
+def balancer_signature(balancer: LoadBalancer) -> dict:
+    """Canonical, JSON-serialisable identity of a balancer heuristic.
+
+    Uniform with the other spec kinds' signatures: two balancers with the
+    same decision behaviour hash equal, any parameter change hashes
+    different; unknown heuristic classes degrade to their type name.
+    """
+    if isinstance(balancer, NoLB):
+        return {"kind": "nolb"}
+    if isinstance(balancer, MLT):
+        return {
+            "kind": "mlt",
+            "fraction": balancer.fraction,
+            "allow_empty": balancer.allow_empty,
+        }
+    if isinstance(balancer, KChoices):
+        return {"kind": "kc", "k": balancer.k}
+    return {"kind": "opaque", "type": type(balancer).__name__}
+
+
+register_spec_kind("balancer", _parse_balancer, balancer_signature)

@@ -282,11 +282,14 @@ class AsyncioTransport(Transport):
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+            if not self._use_tcp and self._path is not None:
+                # Unlink the socket file we bound — user-supplied paths
+                # included — so a restart never hits its own stale socket.
+                try:
+                    os.unlink(self._path)
+                except OSError:
+                    pass
         if self._tempdir is not None:
-            try:
-                os.unlink(self._path)
-            except OSError:
-                pass
             try:
                 os.rmdir(self._tempdir)
             except OSError:

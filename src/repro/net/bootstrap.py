@@ -14,20 +14,40 @@ the ring when the interval check fails.
 
 :class:`Broker` is the serving half: a ``"@broker"`` endpoint on the
 transport accepting JSON request payloads (``op`` + ``id`` + ``reply_to``)
-and answering with correlated JSON replies.  Requests funnel through one
-queue and are served strictly one at a time, each followed by ``await
-transport.drain()`` before the reply is sent — the protocol has no
-per-operation acknowledgements, so quiescence *is* the completion signal.
-Operations: ``register``, ``discover``, ``discover_batch``, ``search``,
-``peer_join``, ``peer_leave``, ``info``.
-:class:`~repro.net.client.DLPTClient` is the matching caller.
+and answering with correlated JSON replies.  Requests are served strictly
+one at a time, each followed by ``await transport.drain()`` before the
+reply is sent — the protocol has no per-operation acknowledgements, so
+quiescence *is* the completion signal.  Operations: ``register``,
+``discover``, ``discover_batch``, ``search``, ``peer_join``,
+``peer_leave``, ``info``.  :class:`~repro.net.client.DLPTClient` is the
+matching caller.
+
+Robustness under client floods (``inbox_limit=``):
+
+* the pending-request inbox is **bounded** — a request arriving when the
+  inbox is full is answered immediately with an explicit backpressure
+  reply ``{"ok": False, "busy": True, "retry_after": s}``, never silently
+  queued without bound or dropped;
+* pending requests are kept in **per-client queues** served round-robin,
+  so one flooding client cannot starve the others;
+* retries are **idempotent by correlation id**: a duplicate of a request
+  still queued or being served is absorbed (the original's reply answers
+  both), and a duplicate of a completed request is answered from a small
+  reply cache without re-executing the operation.
+
+:class:`RegistryJournal` persists membership changes as ``repro-registry/1``
+JSONL so a restarted broker recovers its successor oracle before any peer
+re-registers.
 """
 
 from __future__ import annotations
 
 import asyncio
 import bisect
-from typing import Dict, List, Optional
+import collections
+import json
+import os
+from typing import Dict, List, Optional, Tuple
 
 from ..dlpt.protocol import ProtocolEngine
 from ..sim.network import Envelope
@@ -35,6 +55,9 @@ from .transport import Transport
 
 #: The broker's well-known endpoint name.
 BROKER_ENDPOINT = "@broker"
+
+#: Schema tag of the registry journal's JSONL records.
+REGISTRY_SCHEMA = "repro-registry/1"
 
 
 class BootstrapRegistry:
@@ -65,21 +88,138 @@ class BootstrapRegistry:
         return {"peer": peer_id, "successor": successor, "seeds": seeds}
 
 
-class Broker:
-    """The ``"@broker"`` RPC endpoint: serialised ops + drain-then-reply."""
+class RegistryJournal:
+    """JSONL persistence for the bootstrap registry (``repro-registry/1``).
 
-    def __init__(self, engine: ProtocolEngine, transport: Optional[Transport] = None) -> None:
+    One line per membership change::
+
+        {"v": "repro-registry/1", "op": "join", "peer": "abcd", "capacity": 10}
+        {"v": "repro-registry/1", "op": "leave", "peer": "abcd"}
+        {"v": "repro-registry/1", "op": "crash", "peer": "abcd"}
+
+    Appends are flushed line-by-line, so a crash loses at most the change
+    in progress.  :meth:`replay` folds the log into the final membership;
+    a restarted broker rebuilds its successor oracle from it
+    (:meth:`successor_of`) before any peer has re-registered, and the
+    serve layer re-admits the recovered peers.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = None
+
+    # -- writing -----------------------------------------------------------
+
+    def record(self, op: str, peer: str, capacity: Optional[int] = None) -> None:
+        """Append one membership change (``join``/``leave``/``crash``)."""
+        entry: Dict[str, object] = {"v": REGISTRY_SCHEMA, "op": op, "peer": peer}
+        if capacity is not None:
+            entry["capacity"] = capacity
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- recovery ----------------------------------------------------------
+
+    def replay(self) -> Dict[str, int]:
+        """Fold the journal into live membership: ``{peer_id: capacity}``.
+
+        Unknown schemas and malformed lines raise ``ValueError`` — a
+        corrupt journal must fail loudly, not seed a wrong ring.
+        """
+        live: Dict[str, int] = {}
+        if not os.path.exists(self.path):
+            return live
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: not JSON: {exc}"
+                    ) from exc
+                if entry.get("v") != REGISTRY_SCHEMA:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: schema {entry.get('v')!r} "
+                        f"is not {REGISTRY_SCHEMA!r}"
+                    )
+                op, peer = entry.get("op"), entry.get("peer")
+                if op == "join":
+                    live[str(peer)] = int(entry.get("capacity", 10))
+                elif op in ("leave", "crash"):
+                    live.pop(str(peer), None)
+                else:
+                    raise ValueError(f"{self.path}:{lineno}: unknown op {op!r}")
+        return live
+
+    def successor_of(self, peer_id: str) -> Optional[str]:
+        """The recovered successor oracle (same rule as the live
+        :meth:`BootstrapRegistry.successor_of`): lowest recovered id >=
+        ``peer_id``, wrapping to the minimum."""
+        ids = sorted(self.replay())
+        if not ids:
+            return None
+        return ids[bisect.bisect_left(ids, peer_id) % len(ids)]
+
+
+class Broker:
+    """The ``"@broker"`` RPC endpoint: serialised ops + drain-then-reply,
+    with bounded-inbox backpressure and per-client fairness (module doc)."""
+
+    #: Completed replies kept for idempotent retries, per broker.
+    COMPLETED_CACHE = 256
+
+    def __init__(
+        self,
+        engine: Optional[ProtocolEngine],
+        transport: Optional[Transport] = None,
+        *,
+        inbox_limit: Optional[int] = None,
+        retry_after: float = 0.05,
+        journal: Optional[RegistryJournal] = None,
+    ) -> None:
+        # ``engine=None`` is for subclasses that delegate the operations
+        # elsewhere (``repro.net.serve.ClusterBroker``); they must supply
+        # ``transport`` and override every ``_OPS`` handler.
         self.engine = engine
         self.transport = transport if transport is not None else engine.transport
         self.registry = BootstrapRegistry(engine)
+        self.journal = journal
+        self.inbox_limit = inbox_limit
+        self.retry_after = retry_after
         self.requests_served = 0
-        self._inbox: Optional[asyncio.Queue] = None
+        self.requests_rejected = 0
+        self.duplicates_absorbed = 0
+        #: Pending requests right now / the high-water mark ever observed
+        #: (the flood test's bounded-memory witness).
+        self.pending = 0
+        self.max_pending = 0
+        #: client -> FIFO of its pending requests; clients with work rotate
+        #: through ``_rr`` so one flooder cannot starve the rest.
+        self._queues: Dict[object, collections.deque] = {}
+        self._rr: collections.deque = collections.deque()
+        self._available: Optional[asyncio.Event] = None
+        #: Correlation ids queued or being served, and a bounded LRU of
+        #: completed replies — the two halves of idempotent retry.
+        self._inflight: set = set()
+        self._completed: "collections.OrderedDict[Tuple[object, object], dict]" = (
+            collections.OrderedDict()
+        )
         self._task: Optional[asyncio.Task] = None
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        self._inbox = asyncio.Queue()
+        self._available = asyncio.Event()
         self.transport.register(BROKER_ENDPOINT, self._on_message)
         self._task = asyncio.get_running_loop().create_task(self._serve())
 
@@ -89,19 +229,87 @@ class Broker:
             self._task.cancel()
             await asyncio.gather(self._task, return_exceptions=True)
             self._task = None
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- admission (backpressure + idempotency) ----------------------------
+
+    def _on_message(self, env: Envelope) -> None:
+        if not isinstance(env.payload, dict):
+            return
+        request = env.payload
+        client = request.get("reply_to", env.src)
+        rid = request.get("id")
+        key = (client, rid)
+        if rid is not None:
+            cached = self._completed.get(key)
+            if cached is not None:
+                # Retry of a completed request: re-send the same reply.
+                self.duplicates_absorbed += 1
+                self.transport.send(BROKER_ENDPOINT, client, cached)
+                return
+            if key in self._inflight:
+                # Retry of a queued/in-service request: the original's
+                # reply will answer it.
+                self.duplicates_absorbed += 1
+                return
+        if self.inbox_limit is not None and self.pending >= self.inbox_limit:
+            self.requests_rejected += 1
+            self.transport.send(
+                BROKER_ENDPOINT,
+                client,
+                {
+                    "id": rid,
+                    "ok": False,
+                    "busy": True,
+                    "error": "busy: broker inbox full",
+                    "retry_after": self.retry_after,
+                },
+            )
+            return
+        if rid is not None:
+            self._inflight.add(key)
+        queue = self._queues.get(client)
+        if queue is None:
+            queue = self._queues[client] = collections.deque()
+            self._rr.append(client)
+        queue.append(request)
+        self.pending += 1
+        if self.pending > self.max_pending:
+            self.max_pending = self.pending
+        self._available.set()
 
     # -- serving loop ------------------------------------------------------
 
-    def _on_message(self, env: Envelope) -> None:
-        if isinstance(env.payload, dict):
-            self._inbox.put_nowait((env.src, env.payload))
+    def _next_request(self) -> Tuple[object, dict]:
+        """Round-robin pop: serve the head client's oldest request, then
+        move that client to the back of the rotation."""
+        client = self._rr[0]
+        queue = self._queues[client]
+        request = queue.popleft()
+        self.pending -= 1
+        if queue:
+            self._rr.rotate(-1)
+        else:
+            self._rr.popleft()
+            del self._queues[client]
+        if not self._rr:
+            self._available.clear()
+        return client, request
 
     async def _serve(self) -> None:
         while True:
-            src, request = await self._inbox.get()
+            await self._available.wait()
+            client, request = self._next_request()
             reply = await self._handle(request)
-            reply_to = request.get("reply_to", src)
-            self.transport.send(BROKER_ENDPOINT, reply_to, reply)
+            rid = request.get("id")
+            if rid is not None:
+                key = (client, rid)
+                self._inflight.discard(key)
+                self._completed[key] = reply
+                while len(self._completed) > self.COMPLETED_CACHE:
+                    self._completed.popitem(last=False)
+            self.transport.send(BROKER_ENDPOINT, client, reply)
             self.requests_served += 1
 
     async def _handle(self, request: dict) -> dict:
@@ -207,12 +415,16 @@ class Broker:
             self.engine.join_peer(peer_id, capacity, seed=admission["successor"])
         await self.transport.drain()
         peer = self.engine.peers[peer_id]
+        if self.journal is not None:
+            self.journal.record("join", peer_id, capacity)
         return {**admission, "pred": peer.pred, "succ": peer.succ}
 
     async def _op_peer_leave(self, request: dict) -> dict:
         peer_id = str(request["peer"])
         self.engine.leave_peer(peer_id)
         await self.transport.drain()
+        if self.journal is not None:
+            self.journal.record("leave", peer_id)
         return {"peer": peer_id, "peers": len(self.registry.live_ids())}
 
     async def _op_info(self, request: dict) -> dict:
@@ -227,6 +439,9 @@ class Broker:
             "nodes": len(engine.locator),
             "keys": keys,
             "served": self.requests_served,
+            "rejected": self.requests_rejected,
+            "pending": self.pending,
+            "max_pending": self.max_pending,
         }
 
     _OPS = {

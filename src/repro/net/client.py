@@ -18,6 +18,17 @@ them together::
 Replies correlate by request id; a broker-side failure resolves the
 future with :class:`DLPTClientError`.  The client is a plain peer-less
 process — it holds no ring state and can connect and disconnect freely.
+
+Resilience policy (``connect(..., timeout=, retries=, backoff=)``): with
+a timeout set, an RPC whose reply does not arrive in time is retried
+under the *same* correlation id — the broker absorbs duplicates of
+requests still in service and re-serves completed replies from cache, so
+a retry never re-executes the operation.  A broker backpressure reply
+(``busy``) raises :class:`DLPTClientBusy` when retries are exhausted;
+with retries left, the client honours the reply's ``retry_after`` hint
+(falling back to exponential ``backoff``) and retries.  Exhausted
+timeouts raise :class:`DLPTClientTimeout`.  The default policy
+(``timeout=None, retries=0``) is the bare pre-policy behaviour.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import os
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from .asyncio_transport import CONTROL_ENDPOINT
 from .wire import WIRE_SCHEMA, FrameReader, encode_frame
@@ -39,6 +50,18 @@ class DLPTClientError(RuntimeError):
     """The broker answered with an error, or the connection failed."""
 
 
+class DLPTClientBusy(DLPTClientError):
+    """The broker rejected the RPC with backpressure (inbox full)."""
+
+    def __init__(self, message: str, retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DLPTClientTimeout(DLPTClientError):
+    """No reply arrived within the RPC timeout (after all retries)."""
+
+
 class DLPTClient:
     """A futures-style RPC client bound to one broker connection."""
 
@@ -47,23 +70,43 @@ class DLPTClient:
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
         endpoint: str,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
     ) -> None:
         self._reader = reader
         self._writer = writer
         self.endpoint = endpoint
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        #: Observability: timeouts suffered and busy replies absorbed.
+        self.timeouts = 0
+        self.busy_rejections = 0
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
+        self._rpc_tasks: set = set()
         self._loop = asyncio.get_event_loop()
         self._read_task = self._loop.create_task(self._read_loop())
 
     # -- connection --------------------------------------------------------
 
     @classmethod
-    async def connect(cls, address) -> "DLPTClient":
+    async def connect(
+        cls,
+        address,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+    ) -> "DLPTClient":
         """Connect to a served cluster.
 
         ``address`` is what the transport reports: ``("unix", path)``,
         ``("tcp", host, port)``, or a bare Unix-socket path string.
+        ``timeout``/``retries``/``backoff`` set the RPC resilience policy
+        (module doc); the defaults disable it.
         """
         if isinstance(address, (str, os.PathLike)):
             address = ("unix", os.fspath(address))
@@ -83,11 +126,17 @@ class DLPTClient:
             )
         )
         await writer.drain()
-        return cls(reader, writer, endpoint)
+        return cls(
+            reader, writer, endpoint,
+            timeout=timeout, retries=retries, backoff=backoff,
+        )
 
     async def close(self) -> None:
-        self._read_task.cancel()
-        await asyncio.gather(self._read_task, return_exceptions=True)
+        tasks = [self._read_task, *self._rpc_tasks]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        self._rpc_tasks.clear()
         self._writer.close()
         try:
             await self._writer.wait_closed()
@@ -153,16 +202,79 @@ class DLPTClient:
 
     def _rpc(self, body: dict) -> asyncio.Future:
         rid = next(self._ids)
+        request = {**body, "id": rid, "reply_to": self.endpoint}
+        if self.timeout is None and self.retries == 0:
+            return self._send_attempt(rid, request)
+        result: asyncio.Future = self._loop.create_future()
+        task = self._loop.create_task(self._rpc_with_policy(rid, request, result))
+        self._rpc_tasks.add(task)
+        task.add_done_callback(self._rpc_tasks.discard)
+        return result
+
+    def _send_attempt(self, rid: int, request: dict) -> asyncio.Future:
+        """Write the request frame and register a fresh reply future.
+
+        Re-arming the same ``rid`` replaces the previous attempt's future:
+        whenever the (single) broker reply lands, it settles the *current*
+        attempt, and abandoned attempt futures are simply dropped.
+        """
         future = self._loop.create_future()
         self._pending[rid] = future
-        self._writer.write(
-            encode_frame(
-                self.endpoint,
-                BROKER_ENDPOINT,
-                {**body, "id": rid, "reply_to": self.endpoint},
-            )
-        )
+        self._writer.write(encode_frame(self.endpoint, BROKER_ENDPOINT, request))
         return future
+
+    async def _rpc_with_policy(
+        self, rid: int, request: dict, result: asyncio.Future
+    ) -> None:
+        try:
+            await self._attempt_loop(rid, request, result)
+        except asyncio.CancelledError:
+            if not result.done():
+                result.set_exception(DLPTClientError("client closed"))
+                result.exception()  # retrieved: teardown must stay quiet
+            raise
+
+    async def _attempt_loop(
+        self, rid: int, request: dict, result: asyncio.Future
+    ) -> None:
+        attempts = self.retries + 1
+        delay = self.backoff
+        last_exc: Exception = DLPTClientError("rpc never attempted")
+        for attempt in range(attempts):
+            attempt_future = self._send_attempt(rid, request)
+            try:
+                if self.timeout is not None:
+                    payload = await asyncio.wait_for(
+                        asyncio.shield(attempt_future), self.timeout
+                    )
+                else:
+                    payload = await attempt_future
+            except asyncio.TimeoutError:
+                self.timeouts += 1
+                last_exc = DLPTClientTimeout(
+                    f"rpc {request.get('op')!r} (id {rid}) timed out after "
+                    f"{self.timeout}s on attempt {attempt + 1}/{attempts}"
+                )
+                continue  # retry immediately under the same correlation id
+            except DLPTClientBusy as exc:
+                self.busy_rejections += 1
+                last_exc = exc
+                if attempt < attempts - 1:
+                    pause = exc.retry_after if exc.retry_after else delay
+                    delay *= 2
+                    await asyncio.sleep(pause)
+                continue
+            except DLPTClientError as exc:
+                # A definitive broker error (or a dead connection): no retry.
+                if not result.done():
+                    result.set_exception(exc)
+                return
+            if not result.done():
+                result.set_result(payload)
+            return
+        self._pending.pop(rid, None)
+        if not result.done():
+            result.set_exception(last_exc)
 
     async def _read_loop(self) -> None:
         frames = FrameReader()
@@ -187,6 +299,14 @@ class DLPTClient:
             return
         if payload.get("ok"):
             future.set_result(payload)
+        elif payload.get("busy"):
+            retry_after = payload.get("retry_after")
+            future.set_exception(
+                DLPTClientBusy(
+                    payload.get("error", "busy"),
+                    retry_after=retry_after if isinstance(retry_after, (int, float)) else None,
+                )
+            )
         else:
             future.set_exception(DLPTClientError(payload.get("error", "unknown error")))
 

@@ -1,10 +1,13 @@
-"""Differential trace conformance: SimTransport vs AsyncioTransport.
+"""Differential trace conformance: sim vs live sockets vs multi-process.
 
-The risk of a second execution engine is silent divergence, so the proof
-obligation is differential: replay the *same* recorded ``repro-trace/1``
-workload (:mod:`repro.workloads.traces`) through the protocol engine on
-the discrete-event transport and on a live asyncio transport, canonicalise
-both outcome streams, and assert equality.
+The risk of a second (or third) execution engine is silent divergence, so
+the proof obligation is differential: replay the *same* recorded
+``repro-trace/1`` workload (:mod:`repro.workloads.traces`) through the
+protocol engine on the discrete-event transport, on a live asyncio
+transport (:func:`replay_trace`), and on a ring spread over OS processes
+exchanging protocol messages peer-to-peer
+(:func:`replay_trace_multiprocess`), canonicalise the outcome streams,
+and assert equality.
 
 What makes the comparison sound:
 
@@ -310,6 +313,125 @@ async def replay_trace(
     report.messages_delivered = transport.messages_delivered
     report.messages_dead_lettered = transport.messages_dead_lettered
     await transport.close()
+    return report
+
+
+async def replay_trace_multiprocess(
+    trace: WorkloadTrace,
+    *,
+    processes: int = 2,
+    n_bootstrap: Optional[int] = None,
+    capacity: int = 10,
+) -> ReplayReport:
+    """Replay a recorded workload through a multi-process ring.
+
+    The third leg of the differential: the same trace, the same driver
+    RNG, the same drain-between-ops discipline as :func:`replay_trace`,
+    but every operation goes through a
+    :class:`~repro.net.procgroup.MultiProcessCluster` — engine groups in
+    separate OS processes exchanging protocol messages over peer-to-peer
+    sockets.  The canonical outcome stream must equal the sim and
+    loopback replays; message totals are the summed per-group transport
+    counters (higher than single-engine replays by exactly the locator
+    replication traffic, so only the conservation invariant — not the
+    totals — is comparable across topologies).
+    """
+    from .procgroup import MultiProcessCluster
+
+    if n_bootstrap is None:
+        n_bootstrap = int(trace.meta.get("n_bootstrap", 0))
+    if n_bootstrap < 1:
+        raise ConformanceError("n_bootstrap must be >= 1 (set trace.meta['n_bootstrap'])")
+
+    cluster = MultiProcessCluster(processes=processes)
+    await cluster.start()
+    rng = random.Random(trace.seed ^ 0x5EED)
+    report = ReplayReport()
+    try:
+        for _ in range(n_bootstrap):
+            await cluster.join(_draw_peer_id(rng, cluster.members), capacity)
+
+        for unit_index, unit in enumerate(trace.units):
+            for cap in unit.joins:
+                await cluster.join(_draw_peer_id(rng, cluster.members), cap)
+
+            leaves = 0
+            for index in unit.leaves:
+                ids = cluster.live_ids()
+                if len(ids) <= 1:
+                    continue
+                await cluster.leave(ids[index % len(ids)])
+                leaves += 1
+
+            crashes = 0
+            for event in unit.faults:
+                kind = event[0]
+                if kind != "crash":
+                    raise ConformanceError(
+                        f"unit {unit_index}: fault kind {kind!r} is not replayable "
+                        "at the message level (crash only)"
+                    )
+                ids = cluster.live_ids()
+                if len(ids) <= 1:
+                    continue
+                await cluster.crash(ids[event[1] % len(ids)])
+                crashes += 1
+
+            for key in unit.registrations:
+                await cluster.register(key)
+
+            request_outcomes = []
+            for key, entry_label in unit.requests:
+                reply = await cluster.discover(key, via=entry_label)
+                if reply is None:
+                    request_outcomes.append((key, False, None, 0))
+                else:
+                    request_outcomes.append(
+                        (key, reply["found"], reply["host"], reply["hops"])
+                    )
+
+            query_outcomes = []
+            for event in unit.queries:
+                kind = event[0]
+                lo = event[1]
+                hi = event[2] if kind == "range" else ""
+                entry_label = event[-1]
+                if kind == "exact":
+                    # Same degenerate-range mapping as ``replay_trace``.
+                    reply = await cluster.search("range", lo, lo, via=entry_label)
+                else:
+                    reply = await cluster.search(kind, lo, hi, via=entry_label)
+                if reply is None:
+                    query_outcomes.append((kind, lo, hi, (), 0))
+                else:
+                    query_outcomes.append(
+                        (kind, lo, hi, tuple(reply["keys"]), reply["hops"])
+                    )
+
+            snap = await cluster.snapshot()
+            registered = tuple(
+                sorted(label for label, filled in snap["hosted"].items() if filled)
+            )
+            report.outcomes.append(
+                UnitOutcome(
+                    unit=unit_index,
+                    n_peers=len(snap["live"]),
+                    n_nodes=len(snap["hosted"]),
+                    keys=registered,
+                    requests=tuple(request_outcomes),
+                    joins=len(unit.joins),
+                    leaves=leaves,
+                    crashes=crashes,
+                    queries=tuple(query_outcomes),
+                )
+            )
+
+        totals = await cluster.counters()
+        report.messages_sent = sum(c["sent"] for c in totals)
+        report.messages_delivered = sum(c["delivered"] for c in totals)
+        report.messages_dead_lettered = sum(c["dead_lettered"] for c in totals)
+    finally:
+        await cluster.close()
     return report
 
 

@@ -1,0 +1,467 @@
+"""Peer-to-peer asyncio transport: one listener per engine group, dialed links.
+
+:class:`AsyncioTransport` multiplexes every endpoint behind one broker
+listener — fine for a single process, but a *distributed* DLPT deployment
+(the Chord-style substrate the paper assumes, Section 2) gives each peer
+its own address and dials its neighbours directly.
+:class:`PeerAsyncioTransport` is that shape, at engine-group granularity:
+
+* **Own listener** — every transport binds its own UNIX/TCP socket; the
+  endpoints registered on it (the group's peers, its broker, its client
+  sink) are served locally, with no hop through a shared broker listener.
+* **Outbound connection cache** — frames for endpoints living on *other*
+  groups resolve through a caller-supplied ``resolve(endpoint) ->
+  address`` callback and travel over cached per-address connections:
+  **lazy dial** (a link is opened on first use), **idle reap** (links
+  silent for ``idle_timeout`` seconds are closed; the next frame redials)
+  and **reconnect with backoff** (dial failures retry with exponential
+  backoff before the queued frames are counted dropped).
+* **External clients** (:class:`~repro.net.client.DLPTClient`) connect to
+  any group's listener exactly as they would to a broker transport: the
+  hello frame names their private reply endpoint and frames addressed to
+  it are written back over that connection.
+
+Accounting: the per-transport counter invariant ``messages_sent ==
+messages_delivered + messages_dropped + messages_dead_lettered`` holds at
+quiescence *per group* — a cross-group frame counts ``delivered`` at the
+sender once written to the link and ``sent`` at the receiver on ingress,
+so cluster-wide sums also balance.  ``frames_out`` / ``frames_in`` count
+inter-group wire frames only; a cluster is globally quiescent when every
+group's ``in_flight`` is zero **and** the cluster sums satisfy
+``Σ frames_out == Σ frames_in`` (a frame can sit in a socket buffer after
+the sender counted it delivered — the frame totals catch exactly that
+window).  Endpoints whose name starts with a *control prefix* (default
+``"@ctl"``/``"@coord"``, the :mod:`repro.net.procgroup` control plane)
+bypass every counter, so coordinator polling never perturbs the
+quiescence it is measuring.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from ..sim.network import Envelope
+from .transport import Handler, Transport, TransportError
+from .wire import WIRE_SCHEMA, FrameReader, WireError, encode_frame
+
+#: Socket read chunk size; frames reassemble across chunks via FrameReader.
+_READ_CHUNK = 1 << 16
+
+#: The reserved endpoint hello frames are addressed to (shared with
+#: :mod:`repro.net.asyncio_transport` so clients speak to either).
+CONTROL_ENDPOINT = "@transport"
+
+#: Endpoint-name prefixes that mark control-plane traffic (uncounted).
+DEFAULT_CONTROL_PREFIXES = ("@ctl", "@coord")
+
+
+class _Link:
+    """One cached outbound connection: an outbox and its writer task."""
+
+    __slots__ = ("address", "outbox", "task", "last_used", "writer")
+
+    def __init__(self, address: tuple, loop: asyncio.AbstractEventLoop) -> None:
+        self.address = address
+        self.outbox: asyncio.Queue = asyncio.Queue()
+        self.task: Optional[asyncio.Task] = None
+        self.last_used: float = loop.time()
+        self.writer: Optional[asyncio.StreamWriter] = None
+
+
+async def _dial(address: tuple) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    if address[0] == "unix":
+        return await asyncio.open_unix_connection(address[1])
+    if address[0] == "tcp":
+        return await asyncio.open_connection(address[1], address[2])
+    raise TransportError(f"undialable address {address!r}")
+
+
+class PeerAsyncioTransport(Transport):
+    """Per-group listener + outbound connection cache (see module doc)."""
+
+    def __init__(
+        self,
+        *,
+        path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: int = 0,
+        resolve: Optional[Callable[[Hashable], Optional[tuple]]] = None,
+        drain_timeout: float = 60.0,
+        idle_timeout: float = 30.0,
+        dial_retries: int = 5,
+        dial_backoff: float = 0.05,
+        control_prefixes: tuple = DEFAULT_CONTROL_PREFIXES,
+    ) -> None:
+        self._handlers: Dict[Hashable, Handler] = {}
+        self._inboxes: Dict[Hashable, asyncio.Queue] = {}
+        self._consumers: Dict[Hashable, asyncio.Task] = {}
+        #: endpoint -> StreamWriter of the client connection hosting it.
+        self._routes: Dict[Hashable, asyncio.StreamWriter] = {}
+        self._links: Dict[tuple, _Link] = {}
+        self._resolve = resolve
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._t0 = 0.0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._reaper_task: Optional[asyncio.Task] = None
+        self._tempdir: Optional[str] = None
+        self._started = False
+        self._use_tcp = host is not None
+        self._host = host
+        self._port = port
+        self._path = path
+        #: ``("unix", path)`` or ``("tcp", host, port)`` once started.
+        self.address: Optional[tuple] = None
+        self.drain_timeout = drain_timeout
+        self.idle_timeout = idle_timeout
+        self.dial_retries = dial_retries
+        self.dial_backoff = dial_backoff
+        self.control_prefixes = tuple(control_prefixes)
+        #: Handler/codec/link exceptions, surfaced by :meth:`drain`.
+        self.errors: list[BaseException] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_dead_lettered = 0
+        #: Inter-group wire frames written / read (control plane excluded).
+        self.frames_out = 0
+        self.frames_in = 0
+        #: Links dialed / reaped over the transport's lifetime.
+        self.links_dialed = 0
+        self.links_reaped = 0
+
+    def _is_control(self, endpoint: Hashable) -> bool:
+        return isinstance(endpoint, str) and endpoint.startswith(self.control_prefixes)
+
+    def set_resolve(self, resolve: Optional[Callable[[Hashable], Optional[tuple]]]) -> None:
+        """Install (or replace) the endpoint resolver.  The multi-process
+        runtime can only build the full address map after every group has
+        bound its listener, so the resolver arrives post-``start()``."""
+        self._resolve = resolve
+
+    # -- endpoints ---------------------------------------------------------
+
+    def register(self, endpoint: Hashable, handler: Handler) -> None:
+        self._handlers[endpoint] = handler
+
+    def unregister(self, endpoint: Hashable) -> None:
+        self._handlers.pop(endpoint, None)
+
+    def is_registered(self, endpoint: Hashable) -> bool:
+        return endpoint in self._handlers
+
+    # -- delivery ----------------------------------------------------------
+
+    def send(self, src: Hashable, dst: Hashable, payload: Any) -> None:
+        if not self._started:
+            raise TransportError("transport is not started")
+        control = self._is_control(dst)
+        if not control:
+            self.messages_sent += 1
+        if dst in self._handlers or dst in self._inboxes:
+            self._ensure_consumer(dst).put_nowait(Envelope(src=src, dst=dst, payload=payload))
+            return
+        if dst in self._routes:
+            # An external client's reply endpoint: write straight back over
+            # its connection (it leaves the cluster's frame accounting).
+            try:
+                frame = encode_frame(src, dst, payload)
+            except WireError as exc:
+                self.messages_dropped += 1
+                self.errors.append(exc)
+                return
+            self._routes[dst].write(frame)
+            if not control:
+                self.messages_delivered += 1
+            return
+        address = self._resolve(dst) if self._resolve is not None else None
+        if address is None or address == self.address:
+            if not control:
+                self.messages_dead_lettered += 1
+            return
+        self._link_to(address).outbox.put_nowait((src, dst, payload, control))
+
+    def _link_to(self, address: tuple) -> _Link:
+        link = self._links.get(address)
+        if link is None:
+            link = _Link(address, self._loop)
+            self._links[address] = link
+            link.task = self._loop.create_task(self._run_link(link))
+        link.last_used = self._loop.time()
+        return link
+
+    async def _run_link(self, link: _Link) -> None:
+        """Dial (with backoff), then pump the link's outbox onto the wire."""
+        backoff = self.dial_backoff
+        for attempt in range(self.dial_retries + 1):
+            try:
+                _reader, writer = await _dial(link.address)
+                break
+            except OSError as exc:
+                if attempt == self.dial_retries:
+                    self._fail_link(link, exc)
+                    return
+                await asyncio.sleep(backoff)
+                backoff *= 2
+        link.writer = writer
+        self.links_dialed += 1
+        writer.write(
+            encode_frame(
+                CONTROL_ENDPOINT,
+                CONTROL_ENDPOINT,
+                {"hello": WIRE_SCHEMA, "kind": "peer"},
+            )
+        )
+        try:
+            while True:
+                src, dst, payload, control = await link.outbox.get()
+                try:
+                    frame = encode_frame(src, dst, payload)
+                except WireError as exc:
+                    self.messages_dropped += 1
+                    self.errors.append(exc)
+                    continue
+                writer.write(frame)
+                await writer.drain()
+                if not control:
+                    self.messages_delivered += 1
+                    self.frames_out += 1
+        except (ConnectionError, OSError) as exc:
+            self._fail_link(link, exc)
+        finally:
+            writer.close()
+
+    def _fail_link(self, link: _Link, exc: BaseException) -> None:
+        """The link is unusable: count its queued frames dropped, forget it
+        (a later send re-dials from scratch), and surface the error."""
+        self.errors.append(exc)
+        while not link.outbox.empty():
+            _src, _dst, _payload, control = link.outbox.get_nowait()
+            if not control:
+                self.messages_dropped += 1
+        self._links.pop(link.address, None)
+
+    async def _reap_idle(self) -> None:
+        period = max(self.idle_timeout / 4, 0.01)
+        while True:
+            await asyncio.sleep(period)
+            now = self._loop.time()
+            for address, link in list(self._links.items()):
+                if (
+                    link.outbox.empty()
+                    and now - link.last_used > self.idle_timeout
+                    and link.task is not None
+                ):
+                    link.task.cancel()
+                    self._links.pop(address, None)
+                    self.links_reaped += 1
+
+    # -- listener side -----------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        frames = FrameReader()
+        kind: Optional[str] = None
+        try:
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                for env in frames.feed(chunk):
+                    if kind is None:
+                        kind = self._handle_hello(env, writer)
+                        continue
+                    if kind == "peer":
+                        # Inter-group ingress: the frame enters this group's
+                        # accounting domain here.
+                        if not self._is_control(env.dst):
+                            self.messages_sent += 1
+                            self.frames_in += 1
+                    else:
+                        # Client ingress (broker RPCs): counted like the
+                        # broker transport's remote ingress; the client's
+                        # origin endpoint becomes routable back.
+                        if not self._is_control(env.dst):
+                            self.messages_sent += 1
+                        self._routes[env.src] = writer
+                    self._route_local(env)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels server-spawned connection tasks that
+            # were never individually awaited; exiting quietly keeps the
+            # stream protocol's done-callback from logging it.
+            pass
+        except WireError as exc:
+            self.errors.append(exc)
+        finally:
+            stale = [ep for ep, w in self._routes.items() if w is writer]
+            for ep in stale:
+                del self._routes[ep]
+            writer.close()
+
+    def _handle_hello(self, env: Envelope, writer: asyncio.StreamWriter) -> str:
+        """First frame of every connection.  Peer links say ``kind:
+        "peer"``; anything else (a :class:`~repro.net.client.DLPTClient`
+        hello, which carries ``endpoint``) is a client connection."""
+        payload = env.payload
+        if (
+            env.dst != CONTROL_ENDPOINT
+            or not isinstance(payload, dict)
+            or payload.get("hello") != WIRE_SCHEMA
+        ):
+            raise WireError(f"connection did not open with a hello frame: {env!r}")
+        if payload.get("kind") == "peer":
+            return "peer"
+        endpoint = payload.get("endpoint")
+        if endpoint is not None:
+            self._routes[endpoint] = writer
+        return "client"
+
+    def _route_local(self, env: Envelope) -> None:
+        """An ingress frame lands: local inbox, client route or dead."""
+        control = self._is_control(env.dst)
+        if env.dst in self._handlers or env.dst in self._inboxes:
+            self._ensure_consumer(env.dst).put_nowait(env)
+        elif env.dst in self._routes:
+            self._routes[env.dst].write(encode_frame(env.src, env.dst, env.payload))
+            if not control:
+                self.messages_delivered += 1
+        else:
+            if not control:
+                self.messages_dead_lettered += 1
+
+    def _ensure_consumer(self, endpoint: Hashable) -> asyncio.Queue:
+        inbox = self._inboxes.get(endpoint)
+        if inbox is None:
+            inbox = asyncio.Queue()
+            self._inboxes[endpoint] = inbox
+            self._consumers[endpoint] = self._loop.create_task(
+                self._consume(endpoint, inbox)
+            )
+        return inbox
+
+    async def _consume(self, endpoint: Hashable, inbox: asyncio.Queue) -> None:
+        while True:
+            env = await inbox.get()
+            self._deliver(env)
+
+    def _deliver(self, env: Envelope) -> None:
+        """Run the destination handler; registration is checked at delivery
+        time (like the simulator's network) so an endpoint that
+        unregistered with messages still inbound dead-letters them."""
+        control = self._is_control(env.dst)
+        handler = self._handlers.get(env.dst)
+        if handler is None:
+            if not control:
+                self.messages_dead_lettered += 1
+            return
+        try:
+            handler(env)
+        except Exception as exc:  # surfaced at drain(); keep consuming
+            self.errors.append(exc)
+        if not control:
+            self.messages_delivered += 1
+
+    # -- clock & timers ----------------------------------------------------
+
+    def now(self) -> float:
+        if self._loop is None:
+            return 0.0
+        return self._loop.time() - self._t0
+
+    def call_later(self, delay: float, action: Callable[[], Any]):
+        if self._loop is None:
+            raise TransportError("transport is not started")
+        return self._loop.call_later(delay, action)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._started:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._t0 = self._loop.time()
+        if self._use_tcp:
+            self._server = await asyncio.start_server(
+                self._on_connection, self._host, self._port
+            )
+            sockname = self._server.sockets[0].getsockname()
+            self.address = ("tcp", sockname[0], sockname[1])
+        else:
+            if self._path is None:
+                self._tempdir = tempfile.mkdtemp(prefix="repro-p2p-")
+                self._path = os.path.join(self._tempdir, "peer.sock")
+            self._server = await asyncio.start_unix_server(
+                self._on_connection, path=self._path
+            )
+            self.address = ("unix", self._path)
+        self._reaper_task = self._loop.create_task(self._reap_idle())
+        self._started = True
+
+    async def close(self) -> None:
+        self._started = False
+        tasks = [
+            t
+            for t in [
+                self._reaper_task,
+                *(link.task for link in self._links.values()),
+                *self._consumers.values(),
+            ]
+            if t
+        ]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._reaper_task = None
+        for link in self._links.values():
+            if link.writer is not None:
+                link.writer.close()
+        self._links.clear()
+        self._consumers.clear()
+        self._inboxes.clear()
+        self._routes.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if not self._use_tcp and self._path is not None:
+            # Clean shutdown never leaves a stale socket file behind.
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+        if self._tempdir is not None:
+            try:
+                os.rmdir(self._tempdir)
+            except OSError:
+                pass
+            self._tempdir = None
+
+    # -- quiescence --------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Local quiescence: no *data-plane* message of this group is in
+        flight.  Cluster-wide quiescence additionally needs the frame sums
+        (module doc) — that loop lives in :mod:`repro.net.procgroup`."""
+        deadline = self._loop.time() + self.drain_timeout
+        spins = 0
+        while self.in_flight > 0:
+            if self._loop.time() > deadline:
+                raise TransportError(
+                    f"drain timed out after {self.drain_timeout}s with "
+                    f"{self.in_flight} messages in flight"
+                )
+            spins += 1
+            # Mostly bare yields (everything lives on this loop); back off
+            # to a real sleep periodically so socket I/O is never starved.
+            await asyncio.sleep(0 if spins % 64 else 0.001)
+        if self.errors:
+            errors, self.errors = self.errors, []
+            raise TransportError(
+                f"{len(errors)} handler/codec/link error(s) during drain"
+            ) from errors[0]

@@ -1,0 +1,652 @@
+"""Multi-process engine groups: one DLPT ring spread over OS processes.
+
+The scaling step beyond one process: the ring's peers are partitioned
+into *engine groups*, each group a ``ProtocolEngine`` +
+:class:`~repro.net.p2p.PeerAsyncioTransport` pair living in its own
+worker process (``multiprocessing`` spawn).  Protocol messages between
+peers of different groups cross real sockets; a parent-side
+:class:`MultiProcessCluster` coordinates membership, placement and
+global quiescence over a control plane that never perturbs the data
+plane it measures.
+
+Topology and addressing:
+
+* **Placement** is static: peer ``p`` lives in group
+  ``zlib.crc32(p) % n_groups`` (:func:`group_of`), so every group can
+  resolve any peer id to the owning group's listener address without
+  coordination.
+* **Per-group endpoints** — group ``i`` registers its control RPC
+  endpoint ``@ctl-i`` (control plane, uncounted), its locator-sync sink
+  ``@sync-i`` (data plane, counted) and its engine's private client
+  endpoint ``@client-gi`` so discovery/query replies route back to the
+  issuing process.  The coordinator answers on ``@coord``.
+* **Locator replication** — every node install fires the engine's
+  ``on_node_installed`` hook, which broadcasts ``{label, host}`` to the
+  other groups' ``@sync`` endpoints as ordinary *data* frames: global
+  drain therefore covers locator propagation, and a group is never
+  quiescent with a stale location table.
+
+Global quiescence (the multi-process ``drain``): every group reports
+``in_flight == 0`` **and** the cluster sums satisfy ``Σ frames_out ==
+Σ frames_in`` (a frame sitting in a socket buffer has been counted
+delivered by its sender but not yet ingressed), observed stable across
+two consecutive polls.  Counter polls travel on the control plane, so
+polling cannot keep the cluster awake.
+
+Crashes are the coordinator's job (fail-stop has no goodbye protocol):
+``crash_pop`` rips the victim's endpoint out of its group and returns
+its ν, ``adopt`` installs those nodes on the successor, ``set_succ`` /
+``set_pred`` splice the neighbours' ring pointers, and a ``locator_set``
+broadcast repoints every group's location table — the exact decomposition
+of :func:`repro.net.conformance.crash_peer_live` into control RPCs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.network import Envelope
+from .p2p import PeerAsyncioTransport
+from .transport import TransportError
+from .wire import decode_node_payload, encode_node_payload
+
+#: Endpoint naming scheme (group index ``i``).
+COORD_ENDPOINT = "@coord"
+CTL_PREFIX = "@ctl-"
+SYNC_PREFIX = "@sync-"
+CLIENT_PREFIX = "@client-g"
+
+
+class ClusterError(RuntimeError):
+    """A control RPC failed, or the cluster lost a worker."""
+
+
+def group_of(peer_id: str, n_groups: int) -> int:
+    """The owning group of ``peer_id``: stable, coordination-free."""
+    return zlib.crc32(peer_id.encode("utf-8")) % n_groups
+
+
+def _make_resolver(n_groups: int, groups: List[tuple], coord: Optional[tuple]):
+    """endpoint -> listener address, per the naming scheme above."""
+
+    def resolve(endpoint) -> Optional[tuple]:
+        if not isinstance(endpoint, str):
+            return None
+        if endpoint == COORD_ENDPOINT:
+            return coord
+        for prefix in (CTL_PREFIX, SYNC_PREFIX, CLIENT_PREFIX):
+            if endpoint.startswith(prefix):
+                try:
+                    return groups[int(endpoint[len(prefix):])]
+                except (ValueError, IndexError):
+                    return None
+        return groups[group_of(endpoint, n_groups)]
+
+    return resolve
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+class _Worker:
+    """One engine group: the control RPC surface around a local engine."""
+
+    def __init__(self, index: int, n_groups: int, transport, engine, stop) -> None:
+        self.index = index
+        self.n_groups = n_groups
+        self.transport = transport
+        self.engine = engine
+        self.stop = stop
+
+    # -- locator replication ------------------------------------------------
+
+    def broadcast_install(self, label: str, host: str) -> None:
+        """The engine's ``on_node_installed`` hook: tell the other groups
+        (data frames, so global drain covers the propagation)."""
+        src = f"{SYNC_PREFIX}{self.index}"
+        for g in range(self.n_groups):
+            if g != self.index:
+                self.transport.send(src, f"{SYNC_PREFIX}{g}", {"label": label, "host": host})
+
+    def on_sync(self, env: Envelope) -> None:
+        body = env.payload
+        self._set_location(str(body["label"]), str(body["host"]))
+
+    def _set_location(self, label: str, host: str) -> None:
+        self.engine.locator[label] = host
+        # Flush messages parked for the label, exactly as a local install
+        # would (a SearchingHost can race the Host hop across groups).
+        parked = self.engine.pending_node_messages.pop(label, None)
+        if parked:
+            for src, msg in parked:
+                self.transport.send(src, host, msg)
+
+    # -- control RPCs -------------------------------------------------------
+
+    def on_control(self, env: Envelope) -> None:
+        request = env.payload
+        if not isinstance(request, dict):
+            return
+        reply = {"id": request.get("id")}
+        try:
+            handler = self._OPS[request.get("op")]
+            reply.update(ok=True, **handler(self, request))
+        except Exception as exc:
+            reply.update(ok=False, error=f"{type(exc).__name__}: {exc}")
+        self.transport.send(
+            f"{CTL_PREFIX}{self.index}",
+            request.get("reply_to", COORD_ENDPOINT),
+            reply,
+        )
+
+    def _entry_for(self, preferred: Optional[str]) -> Optional[str]:
+        locator = self.engine.locator
+        if preferred is not None and preferred in locator:
+            return preferred
+        return min(locator) if locator else None
+
+    def _op_bootstrap(self, request: dict) -> dict:
+        self.engine.bootstrap_peer(str(request["peer"]), int(request["capacity"]))
+        return {}
+
+    def _op_join(self, request: dict) -> dict:
+        self.engine.join_peer(
+            str(request["peer"]), int(request["capacity"]), seed=request["seed"]
+        )
+        return {}
+
+    def _op_leave(self, request: dict) -> dict:
+        self.engine.leave_peer(str(request["peer"]))
+        return {}
+
+    def _op_crash_pop(self, request: dict) -> dict:
+        victim_id = str(request["peer"])
+        self.transport.unregister(victim_id)
+        victim = self.engine.peers.pop(victim_id)
+        from ..dlpt import messages as m
+
+        nodes = [
+            encode_node_payload(
+                m.NodePayload(
+                    label=st.label,
+                    father=st.father,
+                    children=frozenset(st.children),
+                    data=tuple(st.data),
+                )
+            )
+            for st in victim.nodes.values()
+        ]
+        return {"pred": victim.pred, "succ": victim.succ, "nodes": nodes}
+
+    def _op_adopt(self, request: dict) -> dict:
+        from ..dlpt.protocol import NodeState
+
+        peer = self.engine.peers[str(request["peer"])]
+        for obj in request["nodes"]:
+            payload = decode_node_payload(obj)
+            peer.nodes[payload.label] = NodeState(
+                label=payload.label,
+                father=payload.father,
+                children=set(payload.children),
+                data=set(payload.data),
+            )
+            # Location broadcast is the coordinator's locator_set; no hook.
+            self.engine.locator[payload.label] = peer.id
+        return {}
+
+    def _op_ring(self, request: dict) -> dict:
+        peer = self.engine.peers[str(request["peer"])]
+        return {"pred": peer.pred, "succ": peer.succ}
+
+    def _op_locate(self, request: dict) -> dict:
+        return {"host": self.engine.locator.get(str(request["label"]))}
+
+    def _op_set_succ(self, request: dict) -> dict:
+        self.engine.peers[str(request["peer"])].succ = str(request["succ"])
+        return {}
+
+    def _op_set_pred(self, request: dict) -> dict:
+        self.engine.peers[str(request["peer"])].pred = str(request["pred"])
+        return {}
+
+    def _op_locator_set(self, request: dict) -> dict:
+        for label, host in request["entries"].items():
+            self._set_location(str(label), str(host))
+        return {}
+
+    def _op_locator_del(self, request: dict) -> dict:
+        for label in request["labels"]:
+            self.engine.locator.pop(str(label), None)
+        return {}
+
+    def _op_insert(self, request: dict) -> dict:
+        via = self._entry_for(request.get("via"))
+        self.engine.insert_data(str(request["key"]), request.get("datum"), via=via)
+        return {}
+
+    def _op_discover(self, request: dict) -> dict:
+        via = self._entry_for(request.get("via"))
+        if via is None:
+            return {"issued": False}
+        self.engine.discover(str(request["key"]), via=via)
+        return {"issued": True}
+
+    def _op_search(self, request: dict) -> dict:
+        via = self._entry_for(request.get("via"))
+        if via is None:
+            return {"issued": False}
+        self.engine.search_query(
+            str(request["kind"]), str(request["lo"]), str(request.get("hi", "")), via=via
+        )
+        return {"issued": True}
+
+    def _op_collect(self, request: dict) -> dict:
+        engine = self.engine
+        discovery = [
+            {
+                "key": r.key,
+                "found": r.found,
+                "data": sorted(r.data, key=repr),
+                "hops": r.hops,
+                "host": engine.locator.get(r.key),
+            }
+            for r in engine.discovery_replies
+        ]
+        engine.discovery_replies.clear()
+        queries = [
+            {
+                "kind": r.kind,
+                "lo": r.lo,
+                "hi": r.hi,
+                "keys": list(r.keys),
+                "hops": r.hops,
+            }
+            for r in engine.query_replies
+        ]
+        engine.query_replies.clear()
+        return {"discovery": discovery, "queries": queries}
+
+    def _op_snapshot(self, request: dict) -> dict:
+        engine = self.engine
+        hosted = {}
+        for peer in engine.peers.values():
+            for label, st in peer.nodes.items():
+                hosted[label] = bool(st.data)
+        return {
+            "live": sorted(p.id for p in engine.peers.values() if p.joined),
+            "hosted": hosted,
+            "locator_size": len(engine.locator),
+        }
+
+    def _op_counters(self, request: dict) -> dict:
+        t = self.transport
+        return {
+            "in_flight": t.in_flight,
+            "sent": t.messages_sent,
+            "delivered": t.messages_delivered,
+            "dropped": t.messages_dropped,
+            "dead_lettered": t.messages_dead_lettered,
+            "frames_out": t.frames_out,
+            "frames_in": t.frames_in,
+            "errors": len(t.errors),
+            "error_texts": [repr(e) for e in t.errors[:4]],
+        }
+
+    def _op_shutdown(self, request: dict) -> dict:
+        # Reply first; stop a beat later so the reply frame leaves the link.
+        asyncio.get_running_loop().call_later(0.05, self.stop.set)
+        return {}
+
+    _OPS = {
+        "bootstrap": _op_bootstrap,
+        "join": _op_join,
+        "leave": _op_leave,
+        "crash_pop": _op_crash_pop,
+        "adopt": _op_adopt,
+        "ring": _op_ring,
+        "locate": _op_locate,
+        "set_succ": _op_set_succ,
+        "set_pred": _op_set_pred,
+        "locator_set": _op_locator_set,
+        "locator_del": _op_locator_del,
+        "insert": _op_insert,
+        "discover": _op_discover,
+        "search": _op_search,
+        "collect": _op_collect,
+        "snapshot": _op_snapshot,
+        "counters": _op_counters,
+        "shutdown": _op_shutdown,
+    }
+
+
+async def _worker_async(index: int, n_groups: int, conn) -> None:
+    from ..dlpt.protocol import ProtocolEngine
+
+    transport = PeerAsyncioTransport()
+    await transport.start()
+    stop = asyncio.Event()
+    worker = _Worker(index, n_groups, transport, None, stop)
+    engine = ProtocolEngine(
+        transport=transport,
+        client_endpoint=f"{CLIENT_PREFIX}{index}",
+        on_node_installed=worker.broadcast_install,
+    )
+    worker.engine = engine
+    # Register every endpoint BEFORE publishing the address: the first
+    # control RPC may arrive the instant the coordinator learns it.
+    transport.register(f"{CTL_PREFIX}{index}", worker.on_control)
+    transport.register(f"{SYNC_PREFIX}{index}", worker.on_sync)
+    conn.send(transport.address)
+    while not conn.poll():
+        await asyncio.sleep(0.005)
+    handshake = conn.recv()
+    transport.set_resolve(
+        _make_resolver(n_groups, handshake["groups"], handshake["coord"])
+    )
+    try:
+        await stop.wait()
+    finally:
+        await transport.close()
+        conn.close()
+
+
+def _worker_main(index: int, n_groups: int, conn) -> None:
+    """Entry point of one engine-group process (spawn target)."""
+    asyncio.run(_worker_async(index, n_groups, conn))
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+
+
+class MultiProcessCluster:
+    """Parent-side handle on a ring spread over worker processes.
+
+    Exposes engine-shaped operations (``join`` / ``leave`` / ``crash`` /
+    ``register`` / ``discover`` / ``search``) that each end at global
+    quiescence, plus the raw :meth:`call` control RPC and the
+    :meth:`drain` loop they are built from.  Membership is tracked here —
+    the coordinator *is* the bootstrap registry of the multi-process
+    runtime (``successor_of`` seeds every join with O(1) messages).
+    """
+
+    def __init__(
+        self,
+        processes: int = 2,
+        *,
+        drain_timeout: float = 60.0,
+        rpc_timeout: float = 30.0,
+    ) -> None:
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.n_groups = processes
+        self.drain_timeout = drain_timeout
+        self.rpc_timeout = rpc_timeout
+        #: peer id -> capacity of every joined peer (insertion-ordered).
+        self.members: Dict[str, int] = {}
+        self.transport: Optional[PeerAsyncioTransport] = None
+        self._procs: list = []
+        self._conns: list = []
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._op_count = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        for index in range(self.n_groups):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(index, self.n_groups, child_conn),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        groups = []
+        for index, conn in enumerate(self._conns):
+            while not conn.poll():
+                if not self._procs[index].is_alive():
+                    raise ClusterError(f"worker {index} died during startup")
+                await asyncio.sleep(0.005)
+            groups.append(conn.recv())
+        self.transport = PeerAsyncioTransport()
+        await self.transport.start()
+        self.transport.register(COORD_ENDPOINT, self._on_reply)
+        self.transport.set_resolve(_make_resolver(self.n_groups, groups, None))
+        for conn in self._conns:
+            conn.send({"groups": groups, "coord": self.transport.address})
+        # Readiness barrier: a worker can only answer once its resolver is
+        # installed (the reply needs the coordinator's address), so one
+        # successful ping per group proves the control plane is two-way.
+        for group in range(self.n_groups):
+            for attempt in range(40):
+                try:
+                    await self.call(group, "counters", timeout=0.5)
+                    break
+                except asyncio.TimeoutError:
+                    if attempt == 39:
+                        raise ClusterError(f"worker {group} never became ready")
+
+    async def close(self) -> None:
+        for g in range(self.n_groups):
+            try:
+                await self.call(g, "shutdown", timeout=5.0)
+            except (ClusterError, asyncio.TimeoutError, TransportError):
+                pass
+        if self.transport is not None:
+            await self.transport.close()
+            self.transport = None
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._procs.clear()
+        for conn in self._conns:
+            conn.close()
+        self._conns.clear()
+
+    # -- control RPC --------------------------------------------------------
+
+    def _on_reply(self, env: Envelope) -> None:
+        payload = env.payload
+        if not isinstance(payload, dict):
+            return
+        future = self._pending.pop(payload.get("id"), None)
+        if future is None or future.done():
+            return
+        if payload.get("ok"):
+            future.set_result(payload)
+        else:
+            future.set_exception(ClusterError(payload.get("error", "unknown error")))
+
+    async def call(self, group: int, op: str, *, timeout: Optional[float] = None, **body) -> dict:
+        """One control RPC to group ``group``; raises :class:`ClusterError`
+        on an error reply, ``TimeoutError`` when the worker went silent."""
+        rid = next(self._ids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        body.update(op=op, id=rid, reply_to=COORD_ENDPOINT)
+        self.transport.send(COORD_ENDPOINT, f"{CTL_PREFIX}{group}", body)
+        try:
+            return await asyncio.wait_for(future, timeout or self.rpc_timeout)
+        finally:
+            self._pending.pop(rid, None)
+
+    # -- quiescence ---------------------------------------------------------
+
+    async def counters(self) -> List[dict]:
+        return [await self.call(g, "counters") for g in range(self.n_groups)]
+
+    async def drain(self) -> List[dict]:
+        """Wait for *global* quiescence: every group idle, frame sums
+        balanced, stable across two consecutive polls (module doc)."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        previous: Optional[Tuple] = None
+        while True:
+            snaps = await self.counters()
+            errors = sum(s["errors"] for s in snaps)
+            if errors:
+                texts = [t for s in snaps for t in s.get("error_texts", ())]
+                raise ClusterError(
+                    f"{errors} worker transport error(s): {texts[:4]}"
+                )
+            quiet = all(s["in_flight"] == 0 for s in snaps) and sum(
+                s["frames_out"] for s in snaps
+            ) == sum(s["frames_in"] for s in snaps)
+            signature = tuple(
+                (s["sent"], s["delivered"], s["frames_out"], s["frames_in"])
+                for s in snaps
+            )
+            if quiet and signature == previous:
+                return snaps
+            previous = signature if quiet else None
+            if loop.time() > deadline:
+                raise TransportError(
+                    f"cluster drain timed out after {self.drain_timeout}s: {snaps}"
+                )
+            await asyncio.sleep(0.002)
+
+    # -- membership ---------------------------------------------------------
+
+    def live_ids(self) -> List[str]:
+        return sorted(self.members)
+
+    def successor_of(self, peer_id: str) -> Optional[str]:
+        import bisect
+
+        ids = self.live_ids()
+        if not ids:
+            return None
+        return ids[bisect.bisect_left(ids, peer_id) % len(ids)]
+
+    async def join(self, peer_id: str, capacity: int = 10) -> dict:
+        """Admit ``peer_id`` (bootstrap when first), drain, and return its
+        settled ring pointers ``{"pred": ..., "succ": ...}``."""
+        group = group_of(peer_id, self.n_groups)
+        if not self.members:
+            await self.call(group, "bootstrap", peer=peer_id, capacity=capacity)
+        else:
+            await self.call(
+                group,
+                "join",
+                peer=peer_id,
+                capacity=capacity,
+                seed=self.successor_of(peer_id),
+            )
+        await self.drain()
+        self.members[peer_id] = capacity
+        ring = await self.call(group, "ring", peer=peer_id)
+        return {"pred": ring.get("pred"), "succ": ring.get("succ")}
+
+    async def leave(self, peer_id: str) -> None:
+        if peer_id not in self.members:
+            raise ClusterError(f"peer {peer_id!r} not joined")
+        await self.call(group_of(peer_id, self.n_groups), "leave", peer=peer_id)
+        await self.drain()
+        del self.members[peer_id]
+
+    async def crash(self, victim_id: str) -> None:
+        """Fail-stop crash + ``r=1`` recovery, decomposed into control
+        RPCs (the multi-process :func:`~repro.net.conformance.crash_peer_live`)."""
+        if victim_id not in self.members:
+            raise ClusterError(f"peer {victim_id!r} not joined")
+        popped = await self.call(
+            group_of(victim_id, self.n_groups), "crash_pop", peer=victim_id
+        )
+        del self.members[victim_id]
+        pred, succ, nodes = popped["pred"], popped["succ"], popped["nodes"]
+        if succ == victim_id:
+            # Last peer of the ring: everything it hosted dies with it.
+            labels = [obj["label"] for obj in nodes]
+            for g in range(self.n_groups):
+                await self.call(g, "locator_del", labels=labels)
+            return
+        await self.call(group_of(succ, self.n_groups), "adopt", peer=succ, nodes=nodes)
+        new_pred = pred if pred != victim_id else succ
+        await self.call(group_of(succ, self.n_groups), "set_pred", peer=succ, pred=new_pred)
+        await self.call(group_of(pred, self.n_groups), "set_succ", peer=pred, succ=succ)
+        entries = {obj["label"]: succ for obj in nodes}
+        if entries:
+            for g in range(self.n_groups):
+                await self.call(g, "locator_set", entries=entries)
+
+    # -- data-plane operations ---------------------------------------------
+
+    def _insert_group(self) -> int:
+        """Inserts must start where a joined peer lives (the empty-tree
+        Host walk needs a local starting peer): the min live id's group."""
+        if not self.members:
+            raise ClusterError("no peers joined")
+        return group_of(min(self.members), self.n_groups)
+
+    def _rotate_group(self) -> int:
+        self._op_count += 1
+        return self._op_count % self.n_groups
+
+    async def register(self, key: str, datum: object = None, via: Optional[str] = None) -> dict:
+        """Insert ``key`` at quiescence; returns ``{"key", "host"}`` (the
+        hosting peer per the post-drain replicated locator)."""
+        group = self._insert_group()
+        await self.call(group, "insert", key=key, datum=datum, via=via)
+        await self.drain()
+        located = await self.call(group, "locate", label=key)
+        return {"key": key, "host": located.get("host")}
+
+    async def discover(self, key: str, via: Optional[str] = None) -> Optional[dict]:
+        """One discovery at quiescence; ``None`` when the tree is empty
+        (no entry node), else the broker-shaped reply record."""
+        group = self._rotate_group()
+        issued = await self.call(group, "discover", key=key, via=via)
+        if not issued.get("issued"):
+            return None
+        await self.drain()
+        got = await self.call(group, "collect")
+        replies = got["discovery"]
+        if len(replies) != 1:
+            raise ClusterError(f"{len(replies)} replies for one discovery of {key!r}")
+        return replies[0]
+
+    async def search(
+        self, kind: str, lo: str, hi: str = "", via: Optional[str] = None
+    ) -> Optional[dict]:
+        """One set query at quiescence; ``None`` when the tree is empty."""
+        group = self._rotate_group()
+        issued = await self.call(group, "search", kind=kind, lo=lo, hi=hi, via=via)
+        if not issued.get("issued"):
+            return None
+        await self.drain()
+        got = await self.call(group, "collect")
+        replies = got["queries"]
+        if len(replies) != 1:
+            raise ClusterError(f"{len(replies)} replies for one {kind} query")
+        return replies[0]
+
+    async def snapshot(self) -> dict:
+        """The union view over all groups: live peers, hosted labels (with
+        a filled-data flag) and per-group locator sizes."""
+        live: List[str] = []
+        hosted: Dict[str, bool] = {}
+        locator_sizes = []
+        for g in range(self.n_groups):
+            snap = await self.call(g, "snapshot")
+            live.extend(snap["live"])
+            hosted.update(snap["hosted"])
+            locator_sizes.append(snap["locator_size"])
+        return {
+            "live": sorted(live),
+            "hosted": hosted,
+            "locator_sizes": locator_sizes,
+        }

@@ -1,28 +1,48 @@
 """``python -m repro serve`` — launch a local DLPT cluster over sockets.
 
-Brings up one :class:`~repro.net.asyncio_transport.AsyncioTransport`
-(Unix-domain socket by default, ``--tcp`` for TCP), a
+Single-process mode (the default) brings up one
+:class:`~repro.net.asyncio_transport.AsyncioTransport` (Unix-domain
+socket by default, ``--tcp`` for TCP), a
 :class:`~repro.dlpt.protocol.ProtocolEngine` hosting ``--peers`` peers
 bootstrapped through the registry (each join is one seeded
 ``NewPredecessor``), and the :class:`~repro.net.bootstrap.Broker` RPC
-endpoint; then serves until interrupted.  ``--demo`` instead connects a
-:class:`~repro.net.client.DLPTClient` to the listener, registers a few
-service keys, discovers them (plus one deliberate miss) over the real
-socket, prints the results and exits — the self-check of the acceptance
-criteria.
+endpoint; then serves until SIGTERM/SIGINT, draining in-flight protocol
+traffic before shutdown.
+
+``--processes N`` (N >= 2) instead spreads the ring over N engine-group
+worker processes (:class:`~repro.net.procgroup.MultiProcessCluster`,
+peer-to-peer sockets between groups) and serves clients through
+:class:`ClusterBroker` — the same ``"@broker"`` wire contract, so
+:class:`~repro.net.client.DLPTClient` cannot tell the topologies apart.
+
+``--journal PATH`` persists membership as ``repro-registry/1`` JSONL;
+on startup a non-empty journal is replayed and the recovered peers are
+re-admitted in place of the default topology — the restart-recovery half
+of the bootstrap registry.
+
+``--demo`` connects a client to the listener, registers a few service
+keys, discovers them (plus one deliberate miss) over the real socket,
+prints the results and exits — the self-check of the acceptance
+criteria.  Bind failures (port in use, stale socket path) exit non-zero
+with a one-line error instead of a traceback; the listening socket file
+is unlinked on clean shutdown.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import bisect
 import contextlib
+import os
+import signal
 from typing import List, Optional
 
 from ..dlpt.protocol import ProtocolEngine
 from .asyncio_transport import AsyncioTransport
-from .bootstrap import Broker
+from .bootstrap import Broker, RegistryJournal
 from .client import DLPTClient
+from .procgroup import MultiProcessCluster, group_of
 
 #: Keys the demo registers and then discovers over the socket.
 DEMO_KEYS = (
@@ -47,6 +67,17 @@ def peer_ids(n: int) -> List[str]:
     return sorted(set(ids))
 
 
+def _initial_members(n_peers: int, capacity: int, journal):
+    """The topology to admit at startup: the journal's recovered
+    membership when non-empty, else the default ``peer_ids`` spread.
+    Returns ``(members, recovered)`` — fresh topologies get journaled,
+    recovered ones are already on disk."""
+    replayed = journal.replay() if journal is not None else {}
+    if replayed:
+        return replayed, True
+    return {pid: capacity for pid in peer_ids(n_peers)}, False
+
+
 async def start_cluster(
     n_peers: int,
     *,
@@ -55,23 +86,186 @@ async def start_cluster(
     port: int = 0,
     path: Optional[str] = None,
     capacity: int = 10,
+    inbox_limit: Optional[int] = None,
+    retry_after: float = 0.05,
+    journal: Optional[RegistryJournal] = None,
 ):
     """Bring up transport + engine + broker + ``n_peers`` peers; returns
-    ``(transport, engine, broker)`` ready to serve."""
+    ``(transport, engine, broker)`` ready to serve.  ``inbox_limit`` /
+    ``retry_after`` / ``journal`` configure the broker's backpressure and
+    persistence (:mod:`repro.net.bootstrap`); a non-empty journal is
+    replayed and its membership re-admitted instead of the default."""
     transport = AsyncioTransport(
         host=host if tcp else None, port=port, path=None if tcp else path
     )
     await transport.start()
     engine = ProtocolEngine(transport=transport)
-    broker = Broker(engine, transport)
+    broker = Broker(
+        engine,
+        transport,
+        inbox_limit=inbox_limit,
+        retry_after=retry_after,
+        journal=journal,
+    )
     await broker.start()
-    ids = peer_ids(n_peers)
-    engine.bootstrap_peer(ids[0], capacity)
+    members, recovered = _initial_members(n_peers, capacity, journal)
+    ids = sorted(members)
+    engine.bootstrap_peer(ids[0], members[ids[0]])
     for pid in ids[1:]:
-        engine.join_peer(pid, capacity, seed=broker.registry.successor_of(pid))
+        engine.join_peer(pid, members[pid], seed=broker.registry.successor_of(pid))
         await transport.drain()
+    if journal is not None and not recovered:
+        for pid in ids:
+            journal.record("join", pid, members[pid])
     engine.check_ring()
     return transport, engine, broker
+
+
+class ClusterBroker(Broker):
+    """The ``"@broker"`` RPC surface served by a multi-process ring.
+
+    Inherits :class:`~repro.net.bootstrap.Broker`'s admission control
+    (bounded inbox with ``busy`` replies, per-client round-robin,
+    idempotent retries by correlation id) and serving loop unchanged;
+    every operation delegates to the coordinator's control plane instead
+    of a local engine, so clients get identical reply shapes from both
+    topologies.
+    """
+
+    def __init__(
+        self,
+        cluster: MultiProcessCluster,
+        transport,
+        *,
+        inbox_limit: Optional[int] = None,
+        retry_after: float = 0.05,
+        journal: Optional[RegistryJournal] = None,
+    ) -> None:
+        super().__init__(
+            None,
+            transport,
+            inbox_limit=inbox_limit,
+            retry_after=retry_after,
+            journal=journal,
+        )
+        self.cluster = cluster
+
+    async def _op_register(self, request: dict) -> dict:
+        return await self.cluster.register(str(request["key"]), request.get("datum"))
+
+    async def _op_discover(self, request: dict) -> dict:
+        key = str(request["key"])
+        reply = await self.cluster.discover(key)
+        if reply is None:
+            raise RuntimeError(f"no entry node for {key!r} (empty tree)")
+        return reply
+
+    async def _op_discover_batch(self, request: dict) -> dict:
+        results = []
+        for key in [str(k) for k in request["keys"]]:
+            reply = await self.cluster.discover(key)
+            if reply is None:
+                raise RuntimeError(f"no entry node for {key!r} (empty tree)")
+            results.append(reply)
+        return {"results": results}
+
+    async def _op_search(self, request: dict) -> dict:
+        reply = await self.cluster.search(
+            str(request["kind"]), str(request["lo"]), str(request.get("hi", ""))
+        )
+        if reply is None:
+            raise RuntimeError("no entry node (empty tree)")
+        return reply
+
+    async def _op_peer_join(self, request: dict) -> dict:
+        peer_id = str(request["peer"])
+        capacity = int(request.get("capacity", 10))
+        ids = self.cluster.live_ids()
+        successor = self.cluster.successor_of(peer_id)
+        i = bisect.bisect_left(ids, peer_id)
+        seeds = [ids[(i + k) % len(ids)] for k in range(min(3, len(ids)))]
+        ring = await self.cluster.join(peer_id, capacity)
+        if self.journal is not None:
+            self.journal.record("join", peer_id, capacity)
+        return {
+            "peer": peer_id,
+            "successor": successor,
+            "seeds": seeds,
+            "group": group_of(peer_id, self.cluster.n_groups),
+            **ring,
+        }
+
+    async def _op_peer_leave(self, request: dict) -> dict:
+        peer_id = str(request["peer"])
+        await self.cluster.leave(peer_id)
+        if self.journal is not None:
+            self.journal.record("leave", peer_id)
+        return {"peer": peer_id, "peers": len(self.cluster.members)}
+
+    async def _op_info(self, request: dict) -> dict:
+        snap = await self.cluster.snapshot()
+        keys = sorted(label for label, filled in snap["hosted"].items() if filled)
+        return {
+            "peers": len(snap["live"]),
+            "nodes": len(snap["hosted"]),
+            "keys": keys,
+            "served": self.requests_served,
+            "rejected": self.requests_rejected,
+            "pending": self.pending,
+            "max_pending": self.max_pending,
+        }
+
+    _OPS = {
+        "register": _op_register,
+        "discover": _op_discover,
+        "discover_batch": _op_discover_batch,
+        "search": _op_search,
+        "peer_join": _op_peer_join,
+        "peer_leave": _op_peer_leave,
+        "info": _op_info,
+    }
+
+
+async def start_multiprocess_cluster(
+    n_peers: int,
+    *,
+    processes: int,
+    tcp: bool = False,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    path: Optional[str] = None,
+    capacity: int = 10,
+    inbox_limit: Optional[int] = None,
+    retry_after: float = 0.05,
+    journal: Optional[RegistryJournal] = None,
+):
+    """Bring up ``processes`` engine-group workers, a client-facing
+    listener and the :class:`ClusterBroker`; returns ``(transport,
+    cluster, broker)`` ready to serve."""
+    cluster = MultiProcessCluster(processes=processes)
+    await cluster.start()
+    transport = AsyncioTransport(
+        host=host if tcp else None, port=port, path=None if tcp else path
+    )
+    try:
+        await transport.start()
+    except BaseException:
+        await cluster.close()
+        raise
+    broker = ClusterBroker(
+        cluster,
+        transport,
+        inbox_limit=inbox_limit,
+        retry_after=retry_after,
+        journal=journal,
+    )
+    await broker.start()
+    members, recovered = _initial_members(n_peers, capacity, journal)
+    for pid in sorted(members):
+        await cluster.join(pid, members[pid])
+        if journal is not None and not recovered:
+            journal.record("join", pid, members[pid])
+    return transport, cluster, broker
 
 
 async def run_demo(address, out=print) -> dict:
@@ -101,17 +295,78 @@ async def run_demo(address, out=print) -> dict:
         await client.close()
 
 
-async def serve(args, out=print) -> int:
-    transport, engine, broker = await start_cluster(
-        args.peers,
-        tcp=args.tcp,
-        host=args.host,
-        port=args.port,
-        path=args.path,
-        capacity=args.capacity,
-    )
+async def wait_for_shutdown() -> None:
+    """Block until SIGTERM or SIGINT (KeyboardInterrupt where the loop
+    cannot install signal handlers)."""
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass
     try:
-        out(f"cluster up: {args.peers} peers, listening on {transport.address}")
+        with contextlib.suppress(asyncio.CancelledError, KeyboardInterrupt):
+            await stop.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+
+
+def _bind_target(args) -> str:
+    if args.tcp:
+        return f"{args.host}:{args.port}"
+    return args.path if args.path else "a temp-dir unix socket"
+
+
+async def serve(args, out=print) -> int:
+    multiprocess = args.processes > 1
+    journal = RegistryJournal(args.journal) if args.journal else None
+    closers = []
+    try:
+        if multiprocess:
+            transport, cluster, broker = await start_multiprocess_cluster(
+                args.peers,
+                processes=args.processes,
+                tcp=args.tcp,
+                host=args.host,
+                port=args.port,
+                path=args.path,
+                capacity=args.capacity,
+                journal=journal,
+            )
+            drain = cluster.drain
+            closers = [broker.close, transport.close, cluster.close]
+        else:
+            transport, engine, broker = await start_cluster(
+                args.peers,
+                tcp=args.tcp,
+                host=args.host,
+                port=args.port,
+                path=args.path,
+                capacity=args.capacity,
+                journal=journal,
+            )
+            drain = transport.drain
+            closers = [broker.close, transport.close]
+    except OSError as exc:
+        message = f"error: cannot bind {_bind_target(args)}: {exc}"
+        if not args.tcp and args.path and os.path.exists(args.path):
+            message += " (stale socket from an unclean shutdown? remove it and retry)"
+        out(message)
+        if journal is not None:
+            journal.close()
+        return 1
+    try:
+        n_live = (
+            len(cluster.members) if multiprocess else len(broker.registry.live_ids())
+        )
+        topology = f"{n_live} peers" + (
+            f" across {args.processes} processes" if multiprocess else ""
+        )
+        out(f"cluster up: {topology}, listening on {transport.address}")
         if args.demo:
             summary = await run_demo(transport.address, out=out)
             ok = (
@@ -121,13 +376,14 @@ async def serve(args, out=print) -> int:
             )
             out("demo " + ("passed" if ok else "FAILED"))
             return 0 if ok else 1
-        out("serving until interrupted (Ctrl-C to stop)")
-        with contextlib.suppress(asyncio.CancelledError, KeyboardInterrupt):
-            await asyncio.Event().wait()
+        out("serving until SIGTERM (drains in-flight traffic on shutdown)")
+        await wait_for_shutdown()
+        out("shutdown: draining")
+        await drain()
         return 0
     finally:
-        await broker.close()
-        await transport.close()
+        for closer in closers:
+            await closer()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +395,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cluster size (default 8)")
     parser.add_argument("--capacity", type=int, default=10,
                         help="per-peer capacity (default 10)")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="spread the ring over N engine-group worker "
+                        "processes (default 1: single in-process engine)")
     parser.add_argument("--tcp", action="store_true",
                         help="listen on TCP instead of a Unix-domain socket")
     parser.add_argument("--host", default="127.0.0.1",
@@ -147,6 +406,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="TCP bind port (default: ephemeral)")
     parser.add_argument("--path", default=None,
                         help="Unix-domain socket path (default: a temp dir)")
+    parser.add_argument("--journal", default=None,
+                        help="registry journal path (repro-registry/1 JSONL); "
+                        "a non-empty journal is replayed on startup and its "
+                        "membership re-admitted")
     parser.add_argument("--demo", action="store_true",
                         help="register+discover demo keys via a socket "
                         "client, then exit")
@@ -157,6 +420,9 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.peers < 1:
         print("error: --peers must be >= 1")
+        return 2
+    if args.processes < 1:
+        print("error: --processes must be >= 1")
         return 2
     try:
         return asyncio.run(serve(args))

@@ -103,6 +103,18 @@ def _decode_node_payload(obj: Any) -> m.NodePayload:
         raise WireError(f"malformed NodePayload object: {obj!r}") from exc
 
 
+#: Public aliases: the multi-process control plane (repro.net.procgroup)
+#: ships NodePayload objects inside plain-JSON control RPCs.
+def encode_node_payload(payload: m.NodePayload) -> dict:
+    """JSON object form of one :class:`~repro.dlpt.messages.NodePayload`."""
+    return _encode_node_payload(payload)
+
+
+def decode_node_payload(obj: Any) -> m.NodePayload:
+    """Inverse of :func:`encode_node_payload`."""
+    return _decode_node_payload(obj)
+
+
 def _require_scalar(value: Any) -> Any:
     if value is None or isinstance(value, (str, int, float, bool)):
         return value

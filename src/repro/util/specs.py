@@ -1,15 +1,57 @@
-"""``name:key=value:...`` spec tokenisation.
+"""One spec surface: tokenisation, the parser registry, and ``SpecError``.
 
-One tokenizer behind both compact-spec surfaces — workload specs
-(:mod:`repro.workloads.spec`) and balancer specs
-(:func:`repro.lb.balancer_from_spec`) — so the syntax and its error
-messages cannot drift apart.  Values are returned as strings; each caller
-owns its own coercion (numbers, booleans) and error type.
+Every compact-spec syntax in the repository — workloads
+(:mod:`repro.workloads.spec`), faults (:mod:`repro.faults.spec`), set
+queries (:mod:`repro.workloads.queries`) and balancers (:mod:`repro.lb`)
+— parses through this module, at two levels:
+
+* **Tokenisation** (:func:`split_spec` / :func:`parse_options`): the
+  shared ``name:key=value:...`` syntax, so grammar and error messages
+  cannot drift between the surfaces.
+* **The registry** (:func:`parse_spec` / :func:`spec_signature` /
+  :func:`spec_hash`): each spec *kind* registers its parser and canonical
+  signature function once (:func:`register_spec_kind`); callers name the
+  kind and hand over any accepted value form (string, dict, constructed
+  object) — ``parse_spec("workload", "zipf:1.2")``,
+  ``parse_spec("faults", {"kind": "crash_storm", "rate": 0.05})``,
+  ``parse_spec("balancer", "mlt:fraction=0.5")``.  Signatures are the
+  JSON-canonical structures the sweep store hashes; :func:`spec_hash`
+  collapses one to a stable SHA-256, identically for every kind.
+
+Every parse failure raises a subclass of :class:`SpecError` (itself a
+``ValueError``, so pre-registry ``except ValueError`` callers keep
+working) naming the offending spec.  The per-kind error classes —
+``WorkloadSpecError``, ``FaultSpecError``, ``QuerySpecError``,
+``BalancerSpecError`` — all derive from it, so one ``except SpecError``
+guards any mixed configuration surface.
+
+The pre-registry entry points (``repro.workloads.spec.parse_workload``,
+``repro.faults.spec.parse_faults``, ``repro.workloads.queries
+.parse_queries``, ``repro.lb.balancer_from_spec``) remain as thin
+deprecated shims over this registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import hashlib
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class SpecError(ValueError):
+    """Base of every compact-spec parse/validation failure.
+
+    Subclasses ``ValueError`` so callers written against the pre-registry
+    per-module error types (which were bare ``ValueError`` subclasses)
+    keep catching what they caught.
+    """
+
+
+class UnknownSpecKindError(SpecError):
+    """``parse_spec`` was asked for a kind no module registered."""
+
+
+# -- tokenisation ------------------------------------------------------------
 
 
 def split_spec(spec: str) -> Tuple[str, List[str]]:
@@ -21,15 +63,119 @@ def split_spec(spec: str) -> Tuple[str, List[str]]:
 def parse_options(tokens: List[str], spec: str, label: str = "spec") -> Dict[str, str]:
     """Parse ``key=value`` tokens into a string→string dict.
 
-    Raises :class:`ValueError` naming the offending token and the full
+    Raises :class:`SpecError` naming the offending token and the full
     ``spec`` (prefixed with ``label`` for context).
     """
     options: Dict[str, str] = {}
     for token in tokens:
         key, sep, value = token.partition("=")
         if not sep:
-            raise ValueError(
+            raise SpecError(
                 f"{label} {spec!r}: expected key=value, got {token!r}"
             )
         options[key] = value
     return options
+
+
+# -- the parser registry -----------------------------------------------------
+
+
+class _SpecKind:
+    __slots__ = ("name", "parser", "signature")
+
+    def __init__(self, name: str, parser: Callable, signature: Optional[Callable]):
+        self.name = name
+        self.parser = parser
+        self.signature = signature
+
+
+_REGISTRY: Dict[str, _SpecKind] = {}
+
+#: Modules whose import registers the built-in kinds; loaded lazily so
+#: this low-level module never imports the feature packages at import
+#: time (repro.util must stay dependency-free).
+_BUILTIN_PROVIDERS = (
+    "repro.workloads.spec",
+    "repro.workloads.queries",
+    "repro.faults.spec",
+    "repro.lb",
+)
+
+
+def register_spec_kind(
+    name: str,
+    parser: Callable[[object], Any],
+    signature: Optional[Callable[[Any], Any]] = None,
+) -> None:
+    """Register (or replace) the parser for one spec ``kind``.
+
+    ``parser`` takes any accepted value form and returns the validated
+    object (raising a :class:`SpecError` subclass otherwise);
+    ``signature`` maps a parsed object to its canonical JSON-serialisable
+    structure (``None`` when the kind has no signature surface).
+    """
+    _REGISTRY[name] = _SpecKind(name, parser, signature)
+
+
+def _resolve(kind: str) -> _SpecKind:
+    entry = _REGISTRY.get(kind)
+    if entry is None:
+        import importlib
+
+        for module in _BUILTIN_PROVIDERS:
+            importlib.import_module(module)
+        entry = _REGISTRY.get(kind)
+    if entry is None:
+        raise UnknownSpecKindError(
+            f"unknown spec kind {kind!r} (registered: {', '.join(spec_kinds())})"
+        )
+    return entry
+
+
+def spec_kinds() -> List[str]:
+    """The registered spec kinds (importing the built-in providers)."""
+    import importlib
+
+    for module in _BUILTIN_PROVIDERS:
+        importlib.import_module(module)
+    return sorted(_REGISTRY)
+
+
+def parse_spec(kind: str, value: object) -> Any:
+    """Parse ``value`` as a ``kind`` spec through the registry.
+
+    The single entry point behind every compact-spec surface::
+
+        parse_spec("workload", "zipf:1.2")        -> WorkloadSchedule
+        parse_spec("faults", "crash_storm:0.02")  -> FaultPlan
+        parse_spec("queries", "mixed:n=4")        -> QueryWorkload
+        parse_spec("balancer", "mlt:fraction=0.5") -> LoadBalancer
+
+    Raises :class:`UnknownSpecKindError` for an unregistered kind and the
+    kind's own :class:`SpecError` subclass for a bad value.
+    """
+    return _resolve(kind).parser(value)
+
+
+def spec_signature(kind: str, parsed: Any) -> Any:
+    """The canonical JSON-serialisable signature of a parsed ``kind`` spec.
+
+    Uniform across kinds: this is what :class:`~repro.experiments.config.
+    ExperimentConfig.signature` embeds and what the sweep store hashes.
+    """
+    entry = _resolve(kind)
+    if entry.signature is None:
+        raise SpecError(f"spec kind {kind!r} has no signature surface")
+    return entry.signature(parsed)
+
+
+def spec_hash(kind: str, parsed: Any) -> str:
+    """A stable SHA-256 over the canonical signature, identical for any
+    two specs that parse to semantically equal objects (dict key order
+    never matters)."""
+    canonical = json.dumps(
+        {"kind": kind, "signature": spec_signature(kind, parsed)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -33,7 +33,7 @@ from ..core.queries import (
     QuerySpecError,
     RangeQuery,
 )
-from ..util.specs import parse_options, split_spec
+from ..util.specs import parse_options, register_spec_kind, split_spec
 
 #: Spec kinds accepted by :func:`parse_queries`.
 QUERY_KINDS = ("mixed", "prefix", "range", "exact")
@@ -141,14 +141,7 @@ def _int_option(value: str, spec: str) -> int:
 _OPTION_FIELDS = {"n": "n_per_unit", "len": "prefix_len", "span": "range_span"}
 
 
-def parse_queries(spec: object) -> Optional[QueryWorkload]:
-    """Build and validate a :class:`QueryWorkload` from any spec form.
-
-    Accepts ``None`` (no query axis), a spec string, a dict (string-spec
-    keys or QueryWorkload field names), or a ready :class:`QueryWorkload`.
-    Raises :class:`QuerySpecError` naming the offending spec on any
-    problem.
-    """
+def _parse_queries(spec: object) -> Optional[QueryWorkload]:
     if spec is None:
         return None
     if isinstance(spec, QueryWorkload):
@@ -183,6 +176,23 @@ def parse_queries(spec: object) -> Optional[QueryWorkload]:
     )
 
 
+def parse_queries(spec: object) -> Optional[QueryWorkload]:
+    """Build and validate a :class:`QueryWorkload` from any spec form.
+
+    Accepts ``None`` (no query axis), a spec string, a dict (string-spec
+    keys or QueryWorkload field names), or a ready :class:`QueryWorkload`.
+    Raises :class:`QuerySpecError` naming the offending spec on any
+    problem.
+
+    .. deprecated::
+        Thin shim over the unified registry; new code should call
+        ``repro.util.specs.parse_spec("queries", spec)``.
+    """
+    from ..util.specs import parse_spec
+
+    return parse_spec("queries", spec)
+
+
 def queries_signature(plan: QueryWorkload) -> dict:
     """Canonical, JSON-serialisable identity of a query plan (the
     ``queries`` component of ``ExperimentConfig.signature()``)."""
@@ -192,3 +202,6 @@ def queries_signature(plan: QueryWorkload) -> dict:
         "prefix_len": plan.prefix_len,
         "range_span": plan.range_span,
     }
+
+
+register_spec_kind("queries", _parse_queries, queries_signature)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
-from ..util.specs import parse_options, split_spec
+from ..util.specs import SpecError, parse_options, register_spec_kind, split_spec
 from .dynamics import (
     AdversarialPrefixStacking,
     DiurnalSchedule,
@@ -55,7 +55,7 @@ WORKLOAD_KINDS = (
 )
 
 
-class WorkloadSpecError(ValueError):
+class WorkloadSpecError(SpecError):
     """A workload spec that cannot be parsed or validated."""
 
 
@@ -166,13 +166,7 @@ def _parse_dict(spec: Dict[str, Any]) -> object:
     )
 
 
-def parse_workload(spec: object) -> WorkloadSchedule:
-    """Build and validate a :class:`WorkloadSchedule` from any spec form.
-
-    Accepts a spec string, a composing dict, a ready schedule, or a bare
-    generator (wrapped into a steady schedule).  Raises
-    :class:`WorkloadSpecError` with the offending spec on any problem.
-    """
+def _parse_workload(spec: object) -> WorkloadSchedule:
     if spec is None:
         built: object = UniformRequests()
     elif isinstance(spec, str):
@@ -185,6 +179,22 @@ def parse_workload(spec: object) -> WorkloadSchedule:
         return as_schedule(built)
     except TypeError as exc:
         raise WorkloadSpecError(str(exc)) from exc
+
+
+def parse_workload(spec: object) -> WorkloadSchedule:
+    """Build and validate a :class:`WorkloadSchedule` from any spec form.
+
+    Accepts a spec string, a composing dict, a ready schedule, or a bare
+    generator (wrapped into a steady schedule).  Raises
+    :class:`WorkloadSpecError` with the offending spec on any problem.
+
+    .. deprecated::
+        Thin shim over the unified registry; new code should call
+        ``repro.util.specs.parse_spec("workload", spec)``.
+    """
+    from ..util.specs import parse_spec
+
+    return parse_spec("workload", spec)
 
 
 def workload_signature(obj: object) -> object:
@@ -272,3 +282,6 @@ def workload_signature(obj: object) -> object:
         "type": type(obj).__name__,
         "name": generator_name(obj),
     }
+
+
+register_spec_kind("workload", _parse_workload, workload_signature)

@@ -18,6 +18,7 @@ from repro.core.alphabet import BINARY
 from repro.dlpt.protocol import ProtocolEngine
 from repro.dlpt.system import DLPTSystem
 from repro.lb.mlt import MLT
+from repro.net.transport import SimTransport
 from repro.peers.capacity import FixedCapacity
 from repro.sim.network import Network
 from repro.sim.engine import Simulator
@@ -27,7 +28,7 @@ class TestMessageLoss:
     def _lossy_engine(self, loss_rate: float, seed: int = 1) -> ProtocolEngine:
         sim = Simulator()
         net = Network(sim, loss_rate=loss_rate, rng=random.Random(seed))
-        return ProtocolEngine(sim=sim, network=net)
+        return ProtocolEngine(transport=SimTransport(sim=sim, network=net))
 
     def test_lossless_baseline(self):
         eng = self._lossy_engine(0.0)
@@ -95,3 +96,30 @@ class TestMappingGuards:
         system = DLPTSystem(alphabet=BINARY, capacity_model=FixedCapacity(5))
         system.build(rng, 3)
         assert system.mapping.supports_reposition
+
+
+class TestLegacyConstructor:
+    """The transport-first API: sim=/network= still works but warns."""
+
+    def test_sim_network_kwargs_warn_but_work(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.warns(DeprecationWarning, match="transport="):
+            eng = ProtocolEngine(sim=sim, network=net)
+        eng.bootstrap_peer("mmmm")
+        eng.insert_data("10")
+        eng.run()
+        assert eng.node_labels() == {"10"}
+
+    def test_transport_plus_legacy_kwargs_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(ValueError, match="not both"):
+            ProtocolEngine(sim=sim, transport=SimTransport(sim=sim, network=net))
+
+    def test_bare_constructor_stays_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ProtocolEngine()

@@ -156,15 +156,22 @@ class TestRuntimeDoc:
         doc = self.DOC.read_text()
         for needle in ("Transport", "repro-wire/1", "drain", "dead-letter",
                        "SimTransport", "AsyncioTransport",
-                       "LoopbackAsyncioTransport", "conformance",
-                       "python -m repro serve", "pytest -m net",
-                       "@broker", "DLPTClient"):
+                       "LoopbackAsyncioTransport", "PeerAsyncioTransport",
+                       "conformance", "python -m repro serve",
+                       "pytest -m net", "@broker", "DLPTClient",
+                       "--processes", "retry_after", "busy",
+                       "parse_spec", "SpecError", "DeprecationWarning"):
             assert needle in doc, f"docs/runtime.md must document {needle}"
 
     def test_documented_schema_tag_matches_the_code(self):
+        from repro.net.bootstrap import REGISTRY_SCHEMA
         from repro.net.wire import WIRE_SCHEMA
 
-        assert WIRE_SCHEMA in self.DOC.read_text()
+        doc = self.DOC.read_text()
+        assert WIRE_SCHEMA in doc
+        assert REGISTRY_SCHEMA in doc, (
+            "docs/runtime.md must document the registry journal schema"
+        )
 
     def test_every_wire_message_type_is_documented(self):
         """The schema reference must enumerate exactly the dataclasses the

@@ -1,0 +1,187 @@
+"""Multi-process engine groups: placement, control plane, global drain.
+
+Tier-1 covers the pure pieces (placement hash, endpoint resolver); the
+``net``-marked tests spawn real worker processes and drive a ring spread
+over peer-to-peer sockets through the full membership/data lifecycle,
+asserting the per-group counter invariant and cluster-wide frame balance
+at every quiescence point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.net.procgroup import (
+    CLIENT_PREFIX,
+    COORD_ENDPOINT,
+    CTL_PREFIX,
+    SYNC_PREFIX,
+    ClusterError,
+    MultiProcessCluster,
+    _make_resolver,
+    group_of,
+)
+
+pytestmark = pytest.mark.asyncio
+
+
+class TestPlacement:
+    def test_group_of_is_stable_and_in_range(self):
+        for n in (1, 2, 3, 8):
+            for pid in ("pa", "zz", "abcd1234", ""):
+                g = group_of(pid, n)
+                assert 0 <= g < n
+                assert g == group_of(pid, n)
+
+    def test_single_group_owns_everything(self):
+        assert group_of("anything", 1) == 0
+
+    def test_resolver_maps_the_naming_scheme(self):
+        groups = [("unix", "/g0"), ("unix", "/g1")]
+        coord = ("unix", "/coord")
+        resolve = _make_resolver(2, groups, coord)
+        assert resolve(COORD_ENDPOINT) == coord
+        assert resolve(f"{CTL_PREFIX}1") == groups[1]
+        assert resolve(f"{SYNC_PREFIX}0") == groups[0]
+        assert resolve(f"{CLIENT_PREFIX}1") == groups[1]
+        assert resolve("pa") == groups[group_of("pa", 2)]
+
+    def test_resolver_rejects_unmappable_endpoints(self):
+        resolve = _make_resolver(2, [("unix", "/g0"), ("unix", "/g1")], None)
+        assert resolve(f"{CTL_PREFIX}7") is None
+        assert resolve(f"{CTL_PREFIX}x") is None
+        assert resolve(123) is None
+        assert resolve(COORD_ENDPOINT) is None
+
+    def test_cluster_rejects_zero_processes(self):
+        with pytest.raises(ValueError, match="processes"):
+            MultiProcessCluster(processes=0)
+
+
+def _assert_balanced(counters):
+    """The acceptance invariant, per group and cluster-wide."""
+    for c in counters:
+        assert c["sent"] == c["delivered"] + c["dropped"] + c["dead_lettered"], c
+        assert c["in_flight"] == 0
+    assert sum(c["frames_out"] for c in counters) == (
+        sum(c["frames_in"] for c in counters)
+    )
+
+
+@pytest.mark.net
+class TestClusterLifecycle:
+    def test_full_lifecycle_two_groups(self):
+        async def body():
+            cluster = MultiProcessCluster(processes=2)
+            await cluster.start()
+            try:
+                peers = ["pa", "pd", "pg", "pj", "pm", "pq"]
+                # The fixture must actually span both groups, or nothing
+                # crosses a socket.
+                assert len({group_of(p, 2) for p in peers}) == 2
+                for pid in peers:
+                    ring = await cluster.join(pid)
+                assert ring["pred"] in peers and ring["succ"] in peers
+                assert cluster.live_ids() == sorted(peers)
+
+                record = await cluster.register("dgemm")
+                assert record["key"] == "dgemm"
+                # Def. 3 mapping rule: lowest live id >= the key, wrapped.
+                assert record["host"] == "pa"
+                await cluster.register("sgemm")
+
+                hit = await cluster.discover("dgemm")
+                assert hit["found"] and hit["host"] == "pa"
+                assert hit["data"] == ["dgemm"]
+                miss = await cluster.discover("zzz-no-such-key")
+                assert not miss["found"]
+
+                band = await cluster.search("range", "dgemm", "zz")
+                assert band["keys"] == ["dgemm", "sgemm"]
+                assert band["hops"] >= 1
+
+                snap = await cluster.snapshot()
+                assert snap["live"] == sorted(peers)
+                assert snap["hosted"]["dgemm"] is True
+                # Locator replication: every group holds the full table.
+                assert len(set(snap["locator_sizes"])) == 1
+
+                _assert_balanced(await cluster.counters())
+            finally:
+                await cluster.close()
+
+        asyncio.run(body())
+
+    def test_crash_adoption_across_groups(self):
+        async def body():
+            cluster = MultiProcessCluster(processes=2)
+            await cluster.start()
+            try:
+                for pid in ("pa", "pd", "pg", "pj"):
+                    await cluster.join(pid)
+                await cluster.register("dgemm")
+                victim = (await cluster.discover("dgemm"))["host"]
+                assert victim == "pa"
+
+                await cluster.crash(victim)
+                assert victim not in cluster.live_ids()
+                # r=1 successor replication: the key survives on the
+                # successor.
+                after = await cluster.discover("dgemm")
+                assert after["found"] and after["host"] == "pd"
+
+                _assert_balanced(await cluster.counters())
+            finally:
+                await cluster.close()
+
+        asyncio.run(body())
+
+    def test_leave_and_membership_errors(self):
+        async def body():
+            cluster = MultiProcessCluster(processes=2)
+            await cluster.start()
+            try:
+                await cluster.join("pa")
+                await cluster.join("pd")
+                await cluster.leave("pd")
+                assert cluster.live_ids() == ["pa"]
+                with pytest.raises(ClusterError, match="not joined"):
+                    await cluster.leave("pd")
+                with pytest.raises(ClusterError, match="not joined"):
+                    await cluster.crash("nobody")
+            finally:
+                await cluster.close()
+
+        asyncio.run(body())
+
+    def test_control_rpc_errors_surface_as_cluster_error(self):
+        async def body():
+            cluster = MultiProcessCluster(processes=1)
+            await cluster.start()
+            try:
+                with pytest.raises(ClusterError):
+                    await cluster.call(0, "no-such-op")
+                # The worker survives a failed RPC: the next succeeds.
+                counters = await cluster.counters()
+                assert counters[0]["ok"]
+            finally:
+                await cluster.close()
+
+        asyncio.run(body())
+
+    def test_empty_tree_has_no_entry_node(self):
+        async def body():
+            cluster = MultiProcessCluster(processes=1)
+            await cluster.start()
+            try:
+                with pytest.raises(ClusterError, match="no peers"):
+                    await cluster.register("too-early")
+                await cluster.join("pa")
+                assert await cluster.discover("anything") is None
+                assert await cluster.search("prefix", "a") is None
+            finally:
+                await cluster.close()
+
+        asyncio.run(body())

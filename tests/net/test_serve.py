@@ -7,7 +7,16 @@ import asyncio
 import pytest
 
 from repro.experiments.cli import main as repro_main
-from repro.net.serve import DEMO_KEYS, build_parser, peer_ids, run_demo, start_cluster
+from repro.net.bootstrap import RegistryJournal
+from repro.net.serve import (
+    DEMO_KEYS,
+    build_parser,
+    peer_ids,
+    run_demo,
+    serve,
+    start_cluster,
+    start_multiprocess_cluster,
+)
 
 pytestmark = pytest.mark.asyncio
 
@@ -28,9 +37,92 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args([])
         assert args.peers == 8 and not args.tcp and not args.demo
+        assert args.processes == 1 and args.journal is None
 
     def test_cli_rejects_empty_cluster(self):
         assert repro_main(["serve", "--peers", "0"]) == 2
+
+    def test_cli_rejects_zero_processes(self):
+        assert repro_main(["serve", "--processes", "0"]) == 2
+
+
+class TestBindFailure:
+    """The bugfix: bind failures exit non-zero with a one-line error."""
+
+    def test_stale_unix_socket_exits_one_with_hint(self, tmp_path):
+        stale = tmp_path / "stale.sock"
+        stale.touch()
+        args = build_parser().parse_args(["--peers", "2", "--path", str(stale)])
+        lines = []
+        rc = asyncio.run(serve(args, out=lines.append))
+        assert rc == 1
+        assert len(lines) == 1 and "cannot bind" in lines[0]
+        assert "stale socket" in lines[0]
+
+    def test_unwritable_path_exits_one(self, tmp_path):
+        args = build_parser().parse_args(
+            ["--peers", "2", "--path", str(tmp_path / "no-such-dir" / "x.sock")]
+        )
+        lines = []
+        rc = asyncio.run(serve(args, out=lines.append))
+        assert rc == 1 and "cannot bind" in lines[0]
+
+    @pytest.mark.net
+    def test_tcp_port_in_use_exits_one(self):
+        import socket
+
+        holder = socket.socket()
+        holder.bind(("127.0.0.1", 0))
+        port = holder.getsockname()[1]
+        try:
+            args = build_parser().parse_args(
+                ["--peers", "2", "--tcp", "--port", str(port)]
+            )
+            lines = []
+            rc = asyncio.run(serve(args, out=lines.append))
+            assert rc == 1 and "cannot bind" in lines[0]
+        finally:
+            holder.close()
+
+
+@pytest.mark.net
+class TestSocketLifecycle:
+    def test_clean_shutdown_unlinks_user_supplied_socket(self, tmp_path):
+        path = tmp_path / "dlpt.sock"
+
+        async def body():
+            transport, engine, broker = await start_cluster(2, path=str(path))
+            assert path.exists()
+            await broker.close()
+            await transport.close()
+
+        asyncio.run(body())
+        assert not path.exists()
+
+
+@pytest.mark.net
+class TestJournalRecovery:
+    def test_restart_readmits_journaled_membership(self, tmp_path):
+        journal_path = str(tmp_path / "registry.jsonl")
+
+        async def run_once(n_peers):
+            journal = RegistryJournal(journal_path)
+            transport, engine, broker = await start_cluster(
+                n_peers, journal=journal
+            )
+            try:
+                return sorted(engine.peers)
+            finally:
+                await broker.close()
+                await transport.close()
+
+        first = asyncio.run(run_once(4))
+        assert first == peer_ids(4)
+        # Restart asking for a different size: the journal wins.
+        second = asyncio.run(run_once(9))
+        assert second == first
+        # Idempotent recovery: re-admission did not grow the journal.
+        assert len(RegistryJournal(journal_path).replay()) == 4
 
 
 @pytest.mark.net
@@ -69,3 +161,37 @@ class TestDemo:
     def test_serve_demo_cli_exit_code(self):
         """The acceptance command itself: python -m repro serve --demo."""
         assert repro_main(["serve", "--peers", "8", "--demo"]) == 0
+
+
+@pytest.mark.net
+class TestMultiProcessServe:
+    """``--processes N``: the same client-visible surface, served by a
+    ring spread over worker processes."""
+
+    def test_demo_over_two_processes(self):
+        async def body():
+            transport, cluster, broker = await start_multiprocess_cluster(
+                6, processes=2
+            )
+            try:
+                lines = []
+                summary = await run_demo(transport.address, out=lines.append)
+                assert summary["registered"] == len(DEMO_KEYS)
+                assert summary["found"] == len(DEMO_KEYS)
+                assert summary["missed"] == 1
+                assert summary["info"]["peers"] == 6
+                assert len(cluster.members) == 6
+            finally:
+                await broker.close()
+                await transport.close()
+                await cluster.close()
+
+        asyncio.run(body())
+
+    def test_serve_demo_cli_two_processes(self):
+        assert (
+            repro_main(
+                ["serve", "--peers", "6", "--processes", "2", "--demo"]
+            )
+            == 0
+        )

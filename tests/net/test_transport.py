@@ -17,6 +17,7 @@ import pytest
 
 from repro.dlpt import messages as m
 from repro.net.asyncio_transport import AsyncioTransport, LoopbackAsyncioTransport
+from repro.net.p2p import PeerAsyncioTransport
 from repro.net.transport import SimTransport, TransportError
 
 pytestmark = pytest.mark.asyncio
@@ -28,6 +29,12 @@ TRANSPORT_PARAMS = [
     pytest.param(
         lambda: AsyncioTransport(host="127.0.0.1"),
         id="asyncio-tcp",
+        marks=pytest.mark.net,
+    ),
+    pytest.param(PeerAsyncioTransport, id="p2p-unix", marks=pytest.mark.net),
+    pytest.param(
+        lambda: PeerAsyncioTransport(host="127.0.0.1"),
+        id="p2p-tcp",
         marks=pytest.mark.net,
     ),
 ]
@@ -260,5 +267,157 @@ class TestAsyncioSpecifics:
             assert t.messages_dropped == 1
             assert t.in_flight == 0
             await t.close()
+
+        asyncio.run(body())
+
+
+async def _poll(predicate, timeout: float = 5.0) -> None:
+    """Await a cross-transport condition (two event loops' worth of socket
+    I/O means no single drain() covers it)."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while not predicate():
+        if loop.time() > deadline:
+            raise AssertionError("condition never became true")
+        await asyncio.sleep(0.005)
+
+
+@pytest.mark.net
+class TestPeerToPeerSpecifics:
+    """The p2p transport's own surface: lazy dial, link cache, idle reap,
+    reconnect-with-backoff, drop accounting, control-plane bypass."""
+
+    @staticmethod
+    async def _pair(**kwargs):
+        """Two transports; ``a`` resolves every endpoint to ``b``."""
+        a = PeerAsyncioTransport(**kwargs)
+        b = PeerAsyncioTransport()
+        await a.start()
+        await b.start()
+        a.set_resolve(lambda endpoint: b.address)
+        return a, b
+
+    def test_cross_transport_delivery_and_frame_counters(self):
+        async def body():
+            a, b = await self._pair()
+            got = []
+            b.register("remote", lambda env: got.append(env.payload.datum))
+            for n in range(3):
+                a.send("local", "remote", _msg(n))
+            await a.drain()
+            await _poll(lambda: len(got) == 3)
+            assert got == [0, 1, 2]
+            # Sender counts the frames delivered when written; the
+            # receiver counts them sent on ingress — both balance, and
+            # the frame totals agree.
+            assert a.messages_sent == a.messages_delivered == 3
+            assert b.messages_sent == b.messages_delivered == 3
+            assert a.frames_out == 3 == b.frames_in
+            assert a.frames_in == 0 == b.frames_out
+            await a.close()
+            await b.close()
+
+        asyncio.run(body())
+
+    def test_links_are_dialed_lazily_and_cached(self):
+        async def body():
+            a, b = await self._pair()
+            b.register("remote", lambda env: None)
+            assert a.links_dialed == 0
+            a.send("x", "remote", _msg(1))
+            a.send("x", "remote", _msg(2))
+            await a.drain()
+            await _poll(lambda: b.messages_delivered == 2)
+            assert a.links_dialed == 1  # one cached link carried both
+            await a.close()
+            await b.close()
+
+        asyncio.run(body())
+
+    def test_idle_links_are_reaped_and_redialed(self):
+        async def body():
+            a, b = await self._pair(idle_timeout=0.05)
+            got = []
+            b.register("remote", lambda env: got.append(env.payload.datum))
+            a.send("x", "remote", _msg(1))
+            await _poll(lambda: got == [1])
+            await _poll(lambda: a.links_reaped >= 1, timeout=2.0)
+            assert not a._links
+            # The next frame redials transparently.
+            a.send("x", "remote", _msg(2))
+            await _poll(lambda: got == [1, 2])
+            assert a.links_dialed == 2
+            await a.close()
+            await b.close()
+
+        asyncio.run(body())
+
+    def test_dial_failure_drops_queued_frames(self):
+        async def body():
+            a = PeerAsyncioTransport(dial_retries=1, dial_backoff=0.01)
+            await a.start()
+            a.set_resolve(lambda endpoint: ("unix", "/nonexistent/peer.sock"))
+            a.send("x", "remote", _msg(1))
+            await _poll(lambda: a.messages_dropped == 1)
+            assert a.messages_sent == 1
+            assert a.in_flight == 0
+            with pytest.raises(TransportError, match="error"):
+                await a.drain()
+            await a.close()
+
+        asyncio.run(body())
+
+    def test_reconnect_with_backoff_survives_late_listener(self, tmp_path):
+        async def body():
+            # The peer is not up yet: frames queue while the dialer backs
+            # off, and flow once the listener finally binds.
+            path = str(tmp_path / "late-peer.sock")
+            a = PeerAsyncioTransport(dial_retries=8, dial_backoff=0.05)
+            await a.start()
+            a.set_resolve(lambda endpoint: ("unix", path))
+            a.send("x", "remote", _msg(7))
+            await asyncio.sleep(0.1)
+            b = PeerAsyncioTransport(path=path)
+            got = []
+            await b.start()
+            b.register("remote", lambda env: got.append(env.payload.datum))
+            await _poll(lambda: got == [7])
+            assert a.messages_dropped == 0
+            await a.close()
+            await b.close()
+
+        asyncio.run(body())
+
+    def test_control_plane_bypasses_all_counters(self):
+        async def body():
+            a, b = await self._pair()
+            got = []
+            b.register("@ctl-0", lambda env: got.append(env.payload))
+            a.send("@coord", "@ctl-0", {"op": "ping"})
+            await _poll(lambda: got == [{"op": "ping"}])
+            for t in (a, b):
+                assert t.messages_sent == 0
+                assert t.messages_delivered == 0
+                assert t.frames_out == 0 and t.frames_in == 0
+            await a.close()
+            await b.close()
+
+        asyncio.run(body())
+
+    def test_unresolvable_endpoint_dead_letters(self):
+        async def body():
+            a = PeerAsyncioTransport()
+            await a.start()
+            # No resolver at all: only local endpoints exist.
+            a.send("x", "elsewhere", _msg(1))
+            await a.drain()
+            assert a.messages_dead_lettered == 1
+            # A resolver mapping the endpoint to *this* transport's own
+            # address is a routing loop, also dead-lettered.
+            a.set_resolve(lambda endpoint: a.address)
+            a.send("x", "elsewhere", _msg(2))
+            await a.drain()
+            assert a.messages_dead_lettered == 2
+            await a.close()
 
         asyncio.run(body())
