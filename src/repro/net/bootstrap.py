@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dlpt.protocol import ProtocolEngine
 from ..sim.network import Envelope
+from .policy import RetryPolicy
 from .transport import Transport
 
 #: The broker's well-known endpoint name.
@@ -178,6 +179,12 @@ class Broker:
     #: Completed replies kept for idempotent retries, per broker.
     COMPLETED_CACHE = 256
 
+    #: Exception types a subclass declares *transient* (e.g. the cluster
+    #: is mid-recovery): ``_handle`` answers them with a backpressure
+    #: (``busy``) reply instead of a definitive error, so resilient
+    #: clients retry through the outage rather than failing.
+    RETRYABLE_ERRORS: tuple = ()
+
     def __init__(
         self,
         engine: Optional[ProtocolEngine],
@@ -196,6 +203,11 @@ class Broker:
         self.journal = journal
         self.inbox_limit = inbox_limit
         self.retry_after = retry_after
+        #: The backpressure hint expressed as the shared policy shape
+        #: (:mod:`repro.net.policy`).  ``jitter=0``: the broker's hint is
+        #: a *contract value* clients schedule against — the jitter that
+        #: breaks retry storms is applied client-side, per client seed.
+        self.retry_policy = RetryPolicy(retries=0, backoff=retry_after, jitter=0.0)
         self.requests_served = 0
         self.requests_rejected = 0
         self.duplicates_absorbed = 0
@@ -306,9 +318,13 @@ class Broker:
             if rid is not None:
                 key = (client, rid)
                 self._inflight.discard(key)
-                self._completed[key] = reply
-                while len(self._completed) > self.COMPLETED_CACHE:
-                    self._completed.popitem(last=False)
+                # Busy replies are *transient* — caching one would pin a
+                # retrying client to the rejection forever (its same-id
+                # retry would hit the cache, never the recovered broker).
+                if not reply.get("busy"):
+                    self._completed[key] = reply
+                    while len(self._completed) > self.COMPLETED_CACHE:
+                        self._completed.popitem(last=False)
             self.transport.send(BROKER_ENDPOINT, client, reply)
             self.requests_served += 1
 
@@ -321,7 +337,16 @@ class Broker:
                 raise ValueError(f"unknown broker op {op!r}")
             result = await handler(self, request)
             reply.update(ok=True, **result)
-        except Exception as exc:  # every failure becomes an error reply
+        except self.RETRYABLE_ERRORS as exc:
+            # Transient (the cluster is healing): tell the client to come
+            # back, exactly like inbox backpressure.
+            reply.update(
+                ok=False,
+                busy=True,
+                error=f"retry: {type(exc).__name__}: {exc}",
+                retry_after=self.retry_after,
+            )
+        except Exception as exc:  # every other failure is a definitive error
             reply.update(ok=False, error=f"{type(exc).__name__}: {exc}")
         return reply
 
@@ -336,7 +361,14 @@ class Broker:
         key = str(request["key"])
         self.engine.insert_data(key, request.get("datum"), via=self._entry())
         await self.transport.drain()
-        return {"key": key, "host": self.engine.locator.get(key)}
+        host = self.engine.locator.get(key)
+        if host is None:
+            # Under fault injection the insertion can be lost in flight;
+            # an ok-reply here would be a *false acknowledgement* — the
+            # client must see a failure so it (or its retry policy) knows
+            # the registration did not land.
+            raise RuntimeError(f"registration of {key!r} did not install a host")
+        return {"key": key, "host": host}
 
     def _collect_replies(self, mark: int) -> list:
         replies = self.engine.discovery_replies[mark:]

@@ -26,9 +26,15 @@ requests still in service and re-serves completed replies from cache, so
 a retry never re-executes the operation.  A broker backpressure reply
 (``busy``) raises :class:`DLPTClientBusy` when retries are exhausted;
 with retries left, the client honours the reply's ``retry_after`` hint
-(falling back to exponential ``backoff``) and retries.  Exhausted
-timeouts raise :class:`DLPTClientTimeout`.  The default policy
-(``timeout=None, retries=0``) is the bare pre-policy behaviour.
+(falling back to the jittered :class:`~repro.net.policy.RetryPolicy`
+schedule) and retries.  Exhausted timeouts raise
+:class:`DLPTClientTimeout`.  A **connection reset mid-RPC** is not
+fatal: with retries configured, the client redials the original address,
+re-introduces the *same* reply endpoint, and re-sends the in-flight
+request under the same correlation id — idempotent at the broker for the
+same reason timeouts are — raising only once the retry budget is
+exhausted.  The default policy (``timeout=None, retries=0``) is the bare
+pre-policy behaviour: any connection loss fails pending RPCs outright.
 """
 
 from __future__ import annotations
@@ -36,9 +42,11 @@ from __future__ import annotations
 import asyncio
 import itertools
 import os
+import zlib
 from typing import Dict, Optional, Sequence
 
 from .asyncio_transport import CONTROL_ENDPOINT
+from .policy import RetryPolicy
 from .wire import WIRE_SCHEMA, FrameReader, encode_frame
 
 from .bootstrap import BROKER_ENDPOINT
@@ -58,6 +66,12 @@ class DLPTClientBusy(DLPTClientError):
         self.retry_after = retry_after
 
 
+class DLPTClientReset(DLPTClientError):
+    """The connection died mid-RPC.  With retries configured the client
+    absorbs this internally (reconnect + re-send under the same id); it
+    surfaces only once the retry budget is exhausted."""
+
+
 class DLPTClientTimeout(DLPTClientError):
     """No reply arrived within the RPC timeout (after all retries)."""
 
@@ -74,6 +88,7 @@ class DLPTClient:
         timeout: Optional[float] = None,
         retries: int = 0,
         backoff: float = 0.05,
+        address: Optional[tuple] = None,
     ) -> None:
         self._reader = reader
         self._writer = writer
@@ -81,9 +96,24 @@ class DLPTClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
-        #: Observability: timeouts suffered and busy replies absorbed.
+        #: The dialed address, kept so a mid-RPC connection reset can be
+        #: healed by redialing (``None`` disables reconnection).
+        self._address = address
+        self._connected = True
+        self._closing = False
+        self._conn_lock = asyncio.Lock()
+        #: Jittered backoff schedule shared by busy/reset retries; seeded
+        #: per client endpoint so synchronized clients desynchronize.
+        self._policy = RetryPolicy(
+            retries=retries,
+            backoff=backoff,
+            seed=zlib.crc32(endpoint.encode("utf-8")),
+        )
+        #: Observability: timeouts suffered, busy replies absorbed, and
+        #: connections re-established after mid-RPC resets.
         self.timeouts = 0
         self.busy_rejections = 0
+        self.reconnects = 0
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._rpc_tasks: set = set()
@@ -110,6 +140,16 @@ class DLPTClient:
         """
         if isinstance(address, (str, os.PathLike)):
             address = ("unix", os.fspath(address))
+        endpoint = f"@client-{os.getpid()}-{next(_client_counter)}"
+        reader, writer = await cls._open(address, endpoint)
+        return cls(
+            reader, writer, endpoint,
+            timeout=timeout, retries=retries, backoff=backoff, address=address,
+        )
+
+    @staticmethod
+    async def _open(address: tuple, endpoint: str):
+        """Dial ``address`` and send the hello introducing ``endpoint``."""
         kind = address[0]
         if kind == "unix":
             reader, writer = await asyncio.open_unix_connection(address[1])
@@ -117,7 +157,6 @@ class DLPTClient:
             reader, writer = await asyncio.open_connection(address[1], address[2])
         else:
             raise ValueError(f"unknown address {address!r}")
-        endpoint = f"@client-{os.getpid()}-{next(_client_counter)}"
         writer.write(
             encode_frame(
                 endpoint,
@@ -126,12 +165,10 @@ class DLPTClient:
             )
         )
         await writer.drain()
-        return cls(
-            reader, writer, endpoint,
-            timeout=timeout, retries=retries, backoff=backoff,
-        )
+        return reader, writer
 
     async def close(self) -> None:
+        self._closing = True
         tasks = [self._read_task, *self._rpc_tasks]
         for task in tasks:
             task.cancel()
@@ -219,6 +256,9 @@ class DLPTClient:
         attempt, and abandoned attempt futures are simply dropped.
         """
         future = self._loop.create_future()
+        if not self._connected:
+            future.set_exception(DLPTClientReset("connection reset"))
+            return future
         self._pending[rid] = future
         self._writer.write(encode_frame(self.endpoint, BROKER_ENDPOINT, request))
         return future
@@ -238,7 +278,6 @@ class DLPTClient:
         self, rid: int, request: dict, result: asyncio.Future
     ) -> None:
         attempts = self.retries + 1
-        delay = self.backoff
         last_exc: Exception = DLPTClientError("rpc never attempted")
         for attempt in range(attempts):
             attempt_future = self._send_attempt(rid, request)
@@ -260,12 +299,23 @@ class DLPTClient:
                 self.busy_rejections += 1
                 last_exc = exc
                 if attempt < attempts - 1:
-                    pause = exc.retry_after if exc.retry_after else delay
-                    delay *= 2
+                    pause = exc.retry_after if exc.retry_after else self._policy.delay(attempt + 1)
                     await asyncio.sleep(pause)
                 continue
+            except DLPTClientReset as exc:
+                # The connection died mid-RPC: heal it and re-send under
+                # the same correlation id (the broker's duplicate
+                # absorption / completed-reply cache makes this safe).
+                last_exc = exc
+                if attempt < attempts - 1:
+                    try:
+                        await self._reconnect()
+                    except (ConnectionError, OSError, asyncio.TimeoutError) as dial_exc:
+                        last_exc = DLPTClientReset(f"reconnect failed: {dial_exc}")
+                    await asyncio.sleep(self._policy.delay(attempt + 1))
+                continue
             except DLPTClientError as exc:
-                # A definitive broker error (or a dead connection): no retry.
+                # A definitive broker error: no retry.
                 if not result.done():
                     result.set_exception(exc)
                 return
@@ -277,19 +327,56 @@ class DLPTClient:
             result.set_exception(last_exc)
 
     async def _read_loop(self) -> None:
+        # A fresh FrameReader per connection: a frame truncated by the old
+        # connection's death is discarded, never half-delivered.
         frames = FrameReader()
         try:
             while True:
                 chunk = await self._reader.read(1 << 16)
                 if not chunk:
-                    self._fail_pending(DLPTClientError("connection closed"))
+                    self._on_connection_lost()
                     return
                 for env in frames.feed(chunk):
                     self._settle(env.payload)
-        except (ConnectionError, asyncio.CancelledError):
+        except ConnectionError:
+            self._on_connection_lost()
+        except asyncio.CancelledError:
             raise
         except Exception as exc:
             self._fail_pending(DLPTClientError(f"protocol error: {exc}"))
+
+    def _on_connection_lost(self) -> None:
+        """The connection died under us.  Resilient clients (retries > 0,
+        known address) fail pending attempts with the retryable
+        :class:`DLPTClientReset`; bare clients keep the legacy fatal
+        behaviour."""
+        self._connected = False
+        if self._closing:
+            self._fail_pending(DLPTClientError("client closed"))
+        elif self.retries > 0 and self._address is not None:
+            self._fail_pending(DLPTClientReset("connection reset"))
+        else:
+            self._fail_pending(DLPTClientError("connection closed"))
+
+    async def _reconnect(self) -> None:
+        """Redial the original address and re-introduce the *same* reply
+        endpoint (the listener re-routes it to the new connection, so even
+        a reply to the pre-reset attempt still reaches us)."""
+        async with self._conn_lock:
+            if self._connected or self._closing:
+                return
+            if self._address is None:
+                raise ConnectionError("no address to reconnect to")
+            reader, writer = await self._open(self._address, self.endpoint)
+            old_writer = self._writer
+            self._reader, self._writer = reader, writer
+            self._connected = True
+            self.reconnects += 1
+            self._read_task = self._loop.create_task(self._read_loop())
+            try:
+                old_writer.close()
+            except Exception:
+                pass
 
     def _settle(self, payload: object) -> None:
         if not isinstance(payload, dict):

@@ -322,8 +322,14 @@ async def replay_trace_multiprocess(
     processes: int = 2,
     n_bootstrap: Optional[int] = None,
     capacity: int = 10,
+    chaos=None,
 ) -> ReplayReport:
     """Replay a recorded workload through a multi-process ring.
+
+    ``chaos`` (a :mod:`repro.net.chaos` plan/spec) injects seeded faults
+    into every worker transport during the replay — with an
+    outcome-preserving plan (delay/reorder) the canonical stream must
+    *still* equal the oracle's.
 
     The third leg of the differential: the same trace, the same driver
     RNG, the same drain-between-ops discipline as :func:`replay_trace`,
@@ -343,7 +349,7 @@ async def replay_trace_multiprocess(
     if n_bootstrap < 1:
         raise ConformanceError("n_bootstrap must be >= 1 (set trace.meta['n_bootstrap'])")
 
-    cluster = MultiProcessCluster(processes=processes)
+    cluster = MultiProcessCluster(processes=processes, chaos=chaos)
     await cluster.start()
     rng = random.Random(trace.seed ^ 0x5EED)
     report = ReplayReport()

@@ -41,9 +41,11 @@ from __future__ import annotations
 import asyncio
 import os
 import tempfile
+import zlib
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from ..sim.network import Envelope
+from .policy import RetryPolicy
 from .transport import Handler, Transport, TransportError
 from .wire import WIRE_SCHEMA, FrameReader, WireError, encode_frame
 
@@ -93,6 +95,7 @@ class PeerAsyncioTransport(Transport):
         idle_timeout: float = 30.0,
         dial_retries: int = 5,
         dial_backoff: float = 0.05,
+        dial_jitter: float = 0.25,
         control_prefixes: tuple = DEFAULT_CONTROL_PREFIXES,
     ) -> None:
         self._handlers: Dict[Hashable, Handler] = {}
@@ -118,6 +121,7 @@ class PeerAsyncioTransport(Transport):
         self.idle_timeout = idle_timeout
         self.dial_retries = dial_retries
         self.dial_backoff = dial_backoff
+        self.dial_jitter = dial_jitter
         self.control_prefixes = tuple(control_prefixes)
         #: Handler/codec/link exceptions, surfaced by :meth:`drain`.
         self.errors: list[BaseException] = []
@@ -192,9 +196,20 @@ class PeerAsyncioTransport(Transport):
         link.last_used = self._loop.time()
         return link
 
+    def _dial_policy(self, address: tuple) -> RetryPolicy:
+        """The per-link dial schedule: exponential backoff with bounded
+        deterministic jitter, seeded per destination address so two groups
+        redialing the same dead peer desynchronize from each other."""
+        return RetryPolicy(
+            retries=self.dial_retries,
+            backoff=self.dial_backoff,
+            jitter=self.dial_jitter,
+            seed=zlib.crc32(repr((self.address, address)).encode("utf-8")),
+        )
+
     async def _run_link(self, link: _Link) -> None:
         """Dial (with backoff), then pump the link's outbox onto the wire."""
-        backoff = self.dial_backoff
+        policy = self._dial_policy(link.address)
         for attempt in range(self.dial_retries + 1):
             try:
                 _reader, writer = await _dial(link.address)
@@ -203,8 +218,7 @@ class PeerAsyncioTransport(Transport):
                 if attempt == self.dial_retries:
                     self._fail_link(link, exc)
                     return
-                await asyncio.sleep(backoff)
-                backoff *= 2
+                await asyncio.sleep(policy.delay(attempt + 1))
         link.writer = writer
         self.links_dialed += 1
         writer.write(
@@ -242,6 +256,59 @@ class PeerAsyncioTransport(Transport):
             if not control:
                 self.messages_dropped += 1
         self._links.pop(link.address, None)
+
+    def kill_link(self, dst: Hashable) -> bool:
+        """Sever the cached link under ``dst`` mid-flight (chaos's
+        connection-kill fault).  Queued non-control frames count dropped —
+        the wire contract for a dead connection — but no error is
+        recorded: a kill is an injected fault, not a transport defect, and
+        the next send to the address re-dials from scratch.  Returns
+        whether a link was actually severed."""
+        address = self._resolve(dst) if self._resolve is not None else None
+        if address is None:
+            return False
+        link = self._links.pop(address, None)
+        if link is None:
+            return False
+        if link.task is not None:
+            link.task.cancel()
+        while not link.outbox.empty():
+            _src, _dst, _payload, control = link.outbox.get_nowait()
+            if not control:
+                self.messages_dropped += 1
+        if link.writer is not None:
+            link.writer.close()
+        return True
+
+    def reset_links(self) -> None:
+        """Forget every cached outbound link (supervisor recovery: peers
+        may have respawned at new addresses).  Queued non-control frames
+        count dropped; subsequent sends re-resolve and re-dial."""
+        for link in list(self._links.values()):
+            if link.task is not None:
+                link.task.cancel()
+            while not link.outbox.empty():
+                _src, _dst, _payload, control = link.outbox.get_nowait()
+                if not control:
+                    self.messages_dropped += 1
+            if link.writer is not None:
+                link.writer.close()
+        self._links.clear()
+
+    def reset_accounting(self) -> None:
+        """Zero the message/frame counters: a fresh accounting epoch.
+
+        After a worker crash, frames written to the dead process
+        (``frames_out``) have no matching ingress anywhere, so the cluster
+        frame sums can never balance again.  Recovery resets every
+        surviving transport's epoch instead of trying to reconstruct what
+        the dead worker had absorbed."""
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_dead_lettered = 0
+        self.frames_out = 0
+        self.frames_in = 0
 
     async def _reap_idle(self) -> None:
         period = max(self.idle_timeout / 4, 0.01)

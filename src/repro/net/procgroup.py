@@ -65,6 +65,12 @@ class ClusterError(RuntimeError):
     """A control RPC failed, or the cluster lost a worker."""
 
 
+class ClusterRecovering(ClusterError):
+    """The supervisor is mid-recovery; the operation is retryable once
+    the cluster has healed (the serve layer maps this to a backpressure
+    reply, so resilient clients ride through the outage)."""
+
+
 def group_of(peer_id: str, n_groups: int) -> int:
     """The owning group of ``peer_id``: stable, coordination-free."""
     return zlib.crc32(peer_id.encode("utf-8")) % n_groups
@@ -298,6 +304,41 @@ class _Worker:
             "error_texts": [repr(e) for e in t.errors[:4]],
         }
 
+    def _op_chaos(self, request: dict) -> dict:
+        """Toggle fault injection (a no-op on a plain transport)."""
+        t = self.transport
+        if hasattr(t, "plan") and hasattr(t, "enabled"):
+            t.enabled = bool(request["enabled"])
+            return {"chaos": True, "enabled": t.enabled}
+        return {"chaos": False}
+
+    def _op_ping(self, request: dict) -> dict:
+        """Heartbeat probe: proves the worker's event loop is servicing
+        its control endpoint, not merely that the process exists."""
+        return {"pong": True, "uptime": self.transport.now()}
+
+    def _op_reset(self, request: dict) -> dict:
+        """Supervisor recovery: wipe this group back to a blank engine.
+
+        Addresses arrive as JSON lists over the control plane; they must
+        be re-tupled or the resolver would hand the link cache unhashable
+        keys (and ``address == self.address`` would never match)."""
+        groups = [tuple(a) for a in request["groups"]]
+        coord = tuple(request["coord"]) if request.get("coord") else None
+        engine, t = self.engine, self.transport
+        for peer_id in list(engine.peers):
+            t.unregister(peer_id)
+        engine.peers.clear()
+        engine.locator.clear()
+        engine.pending_node_messages.clear()
+        engine.discovery_replies.clear()
+        engine.query_replies.clear()
+        t.set_resolve(_make_resolver(self.n_groups, groups, coord))
+        t.reset_links()
+        t.errors.clear()
+        t.reset_accounting()
+        return {}
+
     def _op_shutdown(self, request: dict) -> dict:
         # Reply first; stop a beat later so the reply frame leaves the link.
         asyncio.get_running_loop().call_later(0.05, self.stop.set)
@@ -321,15 +362,26 @@ class _Worker:
         "collect": _op_collect,
         "snapshot": _op_snapshot,
         "counters": _op_counters,
+        "chaos": _op_chaos,
+        "ping": _op_ping,
+        "reset": _op_reset,
         "shutdown": _op_shutdown,
     }
 
 
-async def _worker_async(index: int, n_groups: int, conn) -> None:
+async def _worker_async(index: int, n_groups: int, conn, chaos=None) -> None:
     from ..dlpt.protocol import ProtocolEngine
 
     transport = PeerAsyncioTransport()
     await transport.start()
+    if chaos is not None:
+        from .chaos import ChaosTransport
+
+        # Per-group seed derivation: every group injects *different*
+        # faults, but the whole cluster replays identically per run seed.
+        transport = ChaosTransport(
+            transport, chaos, seed=chaos.seed + index * 7919
+        )
     stop = asyncio.Event()
     worker = _Worker(index, n_groups, transport, None, stop)
     engine = ProtocolEngine(
@@ -356,9 +408,9 @@ async def _worker_async(index: int, n_groups: int, conn) -> None:
         conn.close()
 
 
-def _worker_main(index: int, n_groups: int, conn) -> None:
+def _worker_main(index: int, n_groups: int, conn, chaos=None) -> None:
     """Entry point of one engine-group process (spawn target)."""
-    asyncio.run(_worker_async(index, n_groups, conn))
+    asyncio.run(_worker_async(index, n_groups, conn, chaos))
 
 
 # ---------------------------------------------------------------------------
@@ -383,53 +435,79 @@ class MultiProcessCluster:
         *,
         drain_timeout: float = 60.0,
         rpc_timeout: float = 30.0,
+        chaos=None,
+        supervise: bool = False,
+        heartbeat_interval: float = 0.25,
+        heartbeat_timeout: float = 2.0,
+        journal=None,
     ) -> None:
         if processes < 1:
             raise ValueError("processes must be >= 1")
         self.n_groups = processes
         self.drain_timeout = drain_timeout
         self.rpc_timeout = rpc_timeout
+        if chaos is not None:
+            from .chaos import parse_chaos
+
+            chaos = parse_chaos(chaos)
+        #: Fault plan injected into every worker's transport (or ``None``).
+        self.chaos = chaos
+        self.supervise = supervise
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        #: Membership journal (``repro-registry/1``); the supervisor
+        #: records a ``crash`` per peer lost with a dead worker.
+        self.journal = journal
         #: peer id -> capacity of every joined peer (insertion-ordered).
         self.members: Dict[str, int] = {}
+        #: The acknowledged-registration ledger: every key whose register
+        #: returned a host.  Recovery replays it through the rebuilt ring,
+        #: which is what makes "no acked registration is ever lost" hold.
+        self.registrations: Dict[str, object] = {}
+        #: Supervision observability.
+        self.recoveries = 0
+        self.crashed_peers: List[str] = []
+        self.supervisor_errors: List[BaseException] = []
+        self._recovering = False
         self.transport: Optional[PeerAsyncioTransport] = None
+        self._ctx = None
         self._procs: list = []
         self._conns: list = []
+        self._groups: List[tuple] = []
+        self._supervise_task: Optional[asyncio.Task] = None
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._op_count = 0
 
     # -- lifecycle ----------------------------------------------------------
 
-    async def start(self) -> None:
-        ctx = multiprocessing.get_context("spawn")
-        for index in range(self.n_groups):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(index, self.n_groups, child_conn),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self._procs.append(proc)
-            self._conns.append(parent_conn)
-        groups = []
-        for index, conn in enumerate(self._conns):
-            while not conn.poll():
-                if not self._procs[index].is_alive():
-                    raise ClusterError(f"worker {index} died during startup")
-                await asyncio.sleep(0.005)
-            groups.append(conn.recv())
-        self.transport = PeerAsyncioTransport()
-        await self.transport.start()
-        self.transport.register(COORD_ENDPOINT, self._on_reply)
-        self.transport.set_resolve(_make_resolver(self.n_groups, groups, None))
-        for conn in self._conns:
-            conn.send({"groups": groups, "coord": self.transport.address})
+    def _spawn(self, index: int) -> None:
+        """(Re)spawn the worker process of group ``index``."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(index, self.n_groups, child_conn, self.chaos),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[index] = proc
+        self._conns[index] = parent_conn
+
+    async def _await_address(self, index: int) -> tuple:
+        """Wait for group ``index`` to publish its listener address."""
+        conn = self._conns[index]
+        while not conn.poll():
+            if not self._procs[index].is_alive():
+                raise ClusterError(f"worker {index} died during startup")
+            await asyncio.sleep(0.005)
+        return conn.recv()
+
+    async def _readiness_barrier(self, indices) -> None:
         # Readiness barrier: a worker can only answer once its resolver is
         # installed (the reply needs the coordinator's address), so one
         # successful ping per group proves the control plane is two-way.
-        for group in range(self.n_groups):
+        for group in indices:
             for attempt in range(40):
                 try:
                     await self.call(group, "counters", timeout=0.5)
@@ -438,7 +516,34 @@ class MultiProcessCluster:
                     if attempt == 39:
                         raise ClusterError(f"worker {group} never became ready")
 
+    async def start(self) -> None:
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs = [None] * self.n_groups
+        self._conns = [None] * self.n_groups
+        for index in range(self.n_groups):
+            self._spawn(index)
+        self._groups = [
+            await self._await_address(index) for index in range(self.n_groups)
+        ]
+        self.transport = PeerAsyncioTransport()
+        await self.transport.start()
+        self.transport.register(COORD_ENDPOINT, self._on_reply)
+        self.transport.set_resolve(
+            _make_resolver(self.n_groups, self._groups, None)
+        )
+        for conn in self._conns:
+            conn.send({"groups": self._groups, "coord": self.transport.address})
+        await self._readiness_barrier(range(self.n_groups))
+        if self.supervise:
+            self._supervise_task = asyncio.get_running_loop().create_task(
+                self._supervise()
+            )
+
     async def close(self) -> None:
+        if self._supervise_task is not None:
+            self._supervise_task.cancel()
+            await asyncio.gather(self._supervise_task, return_exceptions=True)
+            self._supervise_task = None
         for g in range(self.n_groups):
             try:
                 await self.call(g, "shutdown", timeout=5.0)
@@ -448,13 +553,16 @@ class MultiProcessCluster:
             await self.transport.close()
             self.transport = None
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
         self._procs.clear()
         for conn in self._conns:
-            conn.close()
+            if conn is not None:
+                conn.close()
         self._conns.clear()
 
     # -- control RPC --------------------------------------------------------
@@ -489,6 +597,11 @@ class MultiProcessCluster:
     async def counters(self) -> List[dict]:
         return [await self.call(g, "counters") for g in range(self.n_groups)]
 
+    async def set_chaos(self, enabled: bool) -> None:
+        """Toggle fault injection on every worker (no-op without chaos)."""
+        for g in range(self.n_groups):
+            await self.call(g, "chaos", enabled=enabled)
+
     async def drain(self) -> List[dict]:
         """Wait for *global* quiescence: every group idle, frame sums
         balanced, stable across two consecutive polls (module doc)."""
@@ -519,6 +632,120 @@ class MultiProcessCluster:
                 )
             await asyncio.sleep(0.002)
 
+    # -- supervision ---------------------------------------------------------
+
+    def _check_ready(self) -> None:
+        if self._recovering:
+            raise ClusterRecovering("cluster is recovering from a worker crash")
+
+    async def _supervise(self) -> None:
+        """The supervisor: every ``heartbeat_interval`` check worker
+        liveness (``is_alive`` catches process death instantly; a
+        round-robin ``ping`` control RPC catches a hung event loop) and
+        run :meth:`_recover` over whatever died."""
+        probe = 0
+        while True:
+            await asyncio.sleep(self.heartbeat_interval)
+            if self._recovering:
+                continue
+            dead = [
+                i for i, proc in enumerate(self._procs)
+                if proc is not None and not proc.is_alive()
+            ]
+            if not dead and self.n_groups > 0:
+                probe = (probe + 1) % self.n_groups
+                try:
+                    await self.call(probe, "ping", timeout=self.heartbeat_timeout)
+                except asyncio.TimeoutError:
+                    # No heartbeat within the timeout: the worker is dead
+                    # or wedged — either way it must be replaced.
+                    dead = [probe]
+                except ClusterError:
+                    continue  # a recovery raced us; re-probe next beat
+            if not dead:
+                continue
+            try:
+                await self._recover(dead)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self.supervisor_errors.append(exc)
+
+    async def _recover(self, dead: List[int]) -> None:
+        """Replace dead workers and rebuild the ring (successor adoption).
+
+        The rebuild is a *replay*, not a state transfer: re-admit every
+        surviving member (the placement rule routes each key hosted by a
+        lost peer to the lowest surviving id >= its label — exactly ring
+        successor adoption) and re-insert every ledgered registration
+        (idempotent: node data sets absorb duplicates).  The journal gets
+        one ``crash`` per lost peer, so its replay equals the post-
+        adoption membership, never the pre-crash ring.
+        """
+        self._recovering = True
+        self.recoveries += 1
+        try:
+            # In-flight control RPCs may be waiting on a dead worker.
+            for future in list(self._pending.values()):
+                if not future.done():
+                    future.set_exception(
+                        ClusterRecovering("worker crashed; cluster recovering")
+                    )
+            self._pending.clear()
+            lost_peers = [
+                p for p in self.members if group_of(p, self.n_groups) in set(dead)
+            ]
+            survivors = [
+                (p, c) for p, c in self.members.items() if p not in lost_peers
+            ]
+            for peer in lost_peers:
+                if self.journal is not None:
+                    self.journal.record("crash", peer)
+                self.crashed_peers.append(peer)
+                del self.members[peer]
+            for index in dead:
+                proc = self._procs[index]
+                if proc.is_alive():  # hung, not dead: replace it anyway
+                    proc.terminate()
+                proc.join(timeout=5.0)
+                try:
+                    self._conns[index].close()
+                except OSError:
+                    pass
+                self._spawn(index)
+            for index in dead:
+                self._groups[index] = await self._await_address(index)
+            # Fresh coordinator epoch: stale links would dial the dead
+            # processes, and frames already written to them can never be
+            # matched by an ingress, so the old accounting is unbalanceable.
+            self.transport.reset_links()
+            self.transport.errors.clear()
+            self.transport.reset_accounting()
+            self.transport.set_resolve(
+                _make_resolver(self.n_groups, self._groups, None)
+            )
+            for index in dead:
+                self._conns[index].send(
+                    {"groups": self._groups, "coord": self.transport.address}
+                )
+            await self._readiness_barrier(dead)
+            for g in range(self.n_groups):
+                await self.call(g, "reset", groups=self._groups, coord=self.transport.address)
+            # The rebuild itself must not be perturbed: an injected drop
+            # here could silently lose a ledgered registration.
+            if self.chaos is not None:
+                await self.set_chaos(False)
+            self.members = {}
+            for peer, capacity in survivors:
+                await self._admit(peer, capacity)
+            if self.members:
+                for key, datum in list(self.registrations.items()):
+                    await self._register_raw(key, datum)
+            if self.chaos is not None:
+                await self.set_chaos(True)
+        finally:
+            self._recovering = False
+
     # -- membership ---------------------------------------------------------
 
     def live_ids(self) -> List[str]:
@@ -532,9 +759,9 @@ class MultiProcessCluster:
             return None
         return ids[bisect.bisect_left(ids, peer_id) % len(ids)]
 
-    async def join(self, peer_id: str, capacity: int = 10) -> dict:
-        """Admit ``peer_id`` (bootstrap when first), drain, and return its
-        settled ring pointers ``{"pred": ..., "succ": ...}``."""
+    async def _admit(self, peer_id: str, capacity: int) -> dict:
+        """The raw admission (shared by :meth:`join` and recovery's
+        membership replay — the replay must not re-journal joins)."""
         group = group_of(peer_id, self.n_groups)
         if not self.members:
             await self.call(group, "bootstrap", peer=peer_id, capacity=capacity)
@@ -551,7 +778,14 @@ class MultiProcessCluster:
         ring = await self.call(group, "ring", peer=peer_id)
         return {"pred": ring.get("pred"), "succ": ring.get("succ")}
 
+    async def join(self, peer_id: str, capacity: int = 10) -> dict:
+        """Admit ``peer_id`` (bootstrap when first), drain, and return its
+        settled ring pointers ``{"pred": ..., "succ": ...}``."""
+        self._check_ready()
+        return await self._admit(peer_id, capacity)
+
     async def leave(self, peer_id: str) -> None:
+        self._check_ready()
         if peer_id not in self.members:
             raise ClusterError(f"peer {peer_id!r} not joined")
         await self.call(group_of(peer_id, self.n_groups), "leave", peer=peer_id)
@@ -561,6 +795,7 @@ class MultiProcessCluster:
     async def crash(self, victim_id: str) -> None:
         """Fail-stop crash + ``r=1`` recovery, decomposed into control
         RPCs (the multi-process :func:`~repro.net.conformance.crash_peer_live`)."""
+        self._check_ready()
         if victim_id not in self.members:
             raise ClusterError(f"peer {victim_id!r} not joined")
         popped = await self.call(
@@ -569,8 +804,12 @@ class MultiProcessCluster:
         del self.members[victim_id]
         pred, succ, nodes = popped["pred"], popped["succ"], popped["nodes"]
         if succ == victim_id:
-            # Last peer of the ring: everything it hosted dies with it.
+            # Last peer of the ring: everything it hosted dies with it —
+            # including its acknowledged registrations (there is no
+            # surviving replica to recover them from at r=1).
             labels = [obj["label"] for obj in nodes]
+            for label in labels:
+                self.registrations.pop(label, None)
             for g in range(self.n_groups):
                 await self.call(g, "locator_del", labels=labels)
             return
@@ -596,18 +835,31 @@ class MultiProcessCluster:
         self._op_count += 1
         return self._op_count % self.n_groups
 
-    async def register(self, key: str, datum: object = None, via: Optional[str] = None) -> dict:
-        """Insert ``key`` at quiescence; returns ``{"key", "host"}`` (the
-        hosting peer per the post-drain replicated locator)."""
+    async def _register_raw(
+        self, key: str, datum: object = None, via: Optional[str] = None
+    ) -> dict:
         group = self._insert_group()
         await self.call(group, "insert", key=key, datum=datum, via=via)
         await self.drain()
         located = await self.call(group, "locate", label=key)
         return {"key": key, "host": located.get("host")}
 
+    async def register(self, key: str, datum: object = None, via: Optional[str] = None) -> dict:
+        """Insert ``key`` at quiescence; returns ``{"key", "host"}`` (the
+        hosting peer per the post-drain replicated locator).  A located
+        result enters the acknowledged-registration ledger, which recovery
+        replays — acknowledging a registration *is* the promise it
+        survives a worker crash."""
+        self._check_ready()
+        result = await self._register_raw(key, datum, via)
+        if result.get("host") is not None:
+            self.registrations[key] = datum
+        return result
+
     async def discover(self, key: str, via: Optional[str] = None) -> Optional[dict]:
         """One discovery at quiescence; ``None`` when the tree is empty
         (no entry node), else the broker-shaped reply record."""
+        self._check_ready()
         group = self._rotate_group()
         issued = await self.call(group, "discover", key=key, via=via)
         if not issued.get("issued"):
@@ -623,6 +875,7 @@ class MultiProcessCluster:
         self, kind: str, lo: str, hi: str = "", via: Optional[str] = None
     ) -> Optional[dict]:
         """One set query at quiescence; ``None`` when the tree is empty."""
+        self._check_ready()
         group = self._rotate_group()
         issued = await self.call(group, "search", kind=kind, lo=lo, hi=hi, via=via)
         if not issued.get("issued"):
@@ -637,6 +890,7 @@ class MultiProcessCluster:
     async def snapshot(self) -> dict:
         """The union view over all groups: live peers, hosted labels (with
         a filled-data flag) and per-group locator sizes."""
+        self._check_ready()
         live: List[str] = []
         hosted: Dict[str, bool] = {}
         locator_sizes = []

@@ -39,10 +39,12 @@ import signal
 from typing import List, Optional
 
 from ..dlpt.protocol import ProtocolEngine
+from ..util.specs import SpecError, parse_spec
 from .asyncio_transport import AsyncioTransport
 from .bootstrap import Broker, RegistryJournal
+from .chaos import ChaosTransport
 from .client import DLPTClient
-from .procgroup import MultiProcessCluster, group_of
+from .procgroup import ClusterRecovering, MultiProcessCluster, group_of
 
 #: Keys the demo registers and then discovers over the socket.
 DEMO_KEYS = (
@@ -89,16 +91,23 @@ async def start_cluster(
     inbox_limit: Optional[int] = None,
     retry_after: float = 0.05,
     journal: Optional[RegistryJournal] = None,
+    chaos=None,
 ):
     """Bring up transport + engine + broker + ``n_peers`` peers; returns
     ``(transport, engine, broker)`` ready to serve.  ``inbox_limit`` /
     ``retry_after`` / ``journal`` configure the broker's backpressure and
     persistence (:mod:`repro.net.bootstrap`); a non-empty journal is
-    replayed and its membership re-admitted instead of the default."""
+    replayed and its membership re-admitted instead of the default.
+    ``chaos`` (a plan/spec per :mod:`repro.net.chaos`) wraps the transport
+    in a :class:`~repro.net.chaos.ChaosTransport`, enabled only once the
+    initial topology is up — chaos perturbs serving, not bring-up."""
     transport = AsyncioTransport(
         host=host if tcp else None, port=port, path=None if tcp else path
     )
     await transport.start()
+    if chaos is not None:
+        transport = ChaosTransport(transport, chaos)
+        transport.enabled = False
     engine = ProtocolEngine(transport=transport)
     broker = Broker(
         engine,
@@ -118,6 +127,8 @@ async def start_cluster(
         for pid in ids:
             journal.record("join", pid, members[pid])
     engine.check_ring()
+    if chaos is not None:
+        transport.enabled = True
     return transport, engine, broker
 
 
@@ -130,7 +141,14 @@ class ClusterBroker(Broker):
     every operation delegates to the coordinator's control plane instead
     of a local engine, so clients get identical reply shapes from both
     topologies.
+
+    A supervisor-driven recovery surfaces as :class:`~repro.net.procgroup
+    .ClusterRecovering` (and a worker silently dying, as a control-RPC
+    timeout); both are *transient*, so they map to backpressure replies —
+    a resilient client retries through the outage instead of failing.
     """
+
+    RETRYABLE_ERRORS = (ClusterRecovering, asyncio.TimeoutError)
 
     def __init__(
         self,
@@ -238,11 +256,25 @@ async def start_multiprocess_cluster(
     inbox_limit: Optional[int] = None,
     retry_after: float = 0.05,
     journal: Optional[RegistryJournal] = None,
+    chaos=None,
+    supervise: bool = False,
+    heartbeat_interval: float = 0.25,
+    heartbeat_timeout: float = 2.0,
 ):
     """Bring up ``processes`` engine-group workers, a client-facing
     listener and the :class:`ClusterBroker`; returns ``(transport,
-    cluster, broker)`` ready to serve."""
-    cluster = MultiProcessCluster(processes=processes)
+    cluster, broker)`` ready to serve.  ``chaos`` injects the given fault
+    plan into every worker transport (enabled once the topology is up);
+    ``supervise`` starts the coordinator's heartbeat/restart supervisor
+    (:meth:`MultiProcessCluster._supervise`)."""
+    cluster = MultiProcessCluster(
+        processes=processes,
+        chaos=chaos,
+        supervise=supervise,
+        heartbeat_interval=heartbeat_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        journal=journal,
+    )
     await cluster.start()
     transport = AsyncioTransport(
         host=host if tcp else None, port=port, path=None if tcp else path
@@ -260,11 +292,15 @@ async def start_multiprocess_cluster(
         journal=journal,
     )
     await broker.start()
+    if cluster.chaos is not None:
+        await cluster.set_chaos(False)  # bring-up runs fault-free
     members, recovered = _initial_members(n_peers, capacity, journal)
     for pid in sorted(members):
         await cluster.join(pid, members[pid])
         if journal is not None and not recovered:
             journal.record("join", pid, members[pid])
+    if cluster.chaos is not None:
+        await cluster.set_chaos(True)
     return transport, cluster, broker
 
 
@@ -324,6 +360,11 @@ def _bind_target(args) -> str:
 async def serve(args, out=print) -> int:
     multiprocess = args.processes > 1
     journal = RegistryJournal(args.journal) if args.journal else None
+    chaos = parse_spec("chaos", args.chaos) if getattr(args, "chaos", None) else None
+    supervise = bool(getattr(args, "supervise", False))
+    if supervise and not multiprocess:
+        out("warning: --supervise needs --processes >= 2; ignoring")
+        supervise = False
     closers = []
     try:
         if multiprocess:
@@ -336,6 +377,8 @@ async def serve(args, out=print) -> int:
                 path=args.path,
                 capacity=args.capacity,
                 journal=journal,
+                chaos=chaos,
+                supervise=supervise,
             )
             drain = cluster.drain
             closers = [broker.close, transport.close, cluster.close]
@@ -348,6 +391,7 @@ async def serve(args, out=print) -> int:
                 path=args.path,
                 capacity=args.capacity,
                 journal=journal,
+                chaos=chaos,
             )
             drain = transport.drain
             closers = [broker.close, transport.close]
@@ -410,6 +454,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="registry journal path (repro-registry/1 JSONL); "
                         "a non-empty journal is replayed on startup and its "
                         "membership re-admitted")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="inject seeded faults into the serving "
+                        "transport(s); SPEC per the chaos grammar, e.g. "
+                        "'drop:0.05+delay:0.3:max=0.01:seed=7'")
+    parser.add_argument("--supervise", action="store_true",
+                        help="run the worker supervisor (heartbeats, "
+                        "crash detection, restart + successor adoption); "
+                        "needs --processes >= 2")
     parser.add_argument("--demo", action="store_true",
                         help="register+discover demo keys via a socket "
                         "client, then exit")
@@ -424,6 +476,12 @@ def main(argv=None) -> int:
     if args.processes < 1:
         print("error: --processes must be >= 1")
         return 2
+    if args.chaos:
+        try:
+            parse_spec("chaos", args.chaos)
+        except SpecError as exc:
+            print(f"error: {exc}")
+            return 2
     try:
         return asyncio.run(serve(args))
     except KeyboardInterrupt:

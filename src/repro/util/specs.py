@@ -99,6 +99,7 @@ _BUILTIN_PROVIDERS = (
     "repro.workloads.queries",
     "repro.faults.spec",
     "repro.lb",
+    "repro.net.chaos",
 )
 
 

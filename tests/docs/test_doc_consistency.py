@@ -160,7 +160,11 @@ class TestRuntimeDoc:
                        "conformance", "python -m repro serve",
                        "pytest -m net", "@broker", "DLPTClient",
                        "--processes", "retry_after", "busy",
-                       "parse_spec", "SpecError", "DeprecationWarning"):
+                       "parse_spec", "SpecError", "DeprecationWarning",
+                       "Failure semantics", "ChaosTransport", "chaos:",
+                       "--chaos", "--supervise", "RetryPolicy", "jitter",
+                       "heartbeat", "crash", "ClusterRecovering",
+                       "DLPTClientReset", "crash_storm", "partition"):
             assert needle in doc, f"docs/runtime.md must document {needle}"
 
     def test_documented_schema_tag_matches_the_code(self):

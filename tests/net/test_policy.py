@@ -1,0 +1,86 @@
+"""The shared retry/timeout/backoff policy (``repro.net.policy``).
+
+Tier-1 throughout: :class:`RetryPolicy` is pure arithmetic — the
+exponential schedule, the cap, the bounded deterministic jitter, and the
+validation surface. The consumers (client RPC retries, p2p dial backoff,
+the broker's ``retry_after`` hint) are exercised in their own suites;
+here we pin the contract they all rely on: jitter only ever *shortens* a
+delay, and the schedule is a pure function of ``(seed, attempt)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.policy import RetryPolicy
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(retries=-1),
+            dict(backoff=0.0),
+            dict(backoff=-0.5),
+            dict(multiplier=0.5),
+            dict(max_backoff=0.01, backoff=0.05),
+            dict(jitter=-0.1),
+            dict(jitter=1.0),
+        ],
+    )
+    def test_bad_parameters_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_attempt_is_one_based(self):
+        policy = RetryPolicy(retries=2)
+        with pytest.raises(ValueError, match="1-based"):
+            policy.base_delay(0)
+
+
+class TestSchedule:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            retries=6, backoff=0.1, multiplier=2.0, max_backoff=1.0, jitter=0.0
+        )
+        bases = [policy.base_delay(k) for k in range(1, 7)]
+        assert bases == [
+            pytest.approx(v) for v in (0.1, 0.2, 0.4, 0.8, 1.0, 1.0)
+        ]
+        # jitter=0 means delay == base_delay exactly.
+        assert policy.delays() == [pytest.approx(v) for v in bases]
+
+    def test_jitter_only_shortens_within_bound(self):
+        policy = RetryPolicy(
+            retries=8, backoff=0.05, multiplier=2.0, max_backoff=5.0,
+            jitter=0.25, seed=42,
+        )
+        for attempt in range(1, 9):
+            base = policy.base_delay(attempt)
+            jittered = policy.delay(attempt)
+            # The contract every timeout bound relies on: the jittered
+            # delay lies in [(1 - jitter) * base, base].
+            assert (1.0 - policy.jitter) * base <= jittered <= base
+
+    def test_schedule_is_deterministic(self):
+        a = RetryPolicy(retries=5, seed=7)
+        b = RetryPolicy(retries=5, seed=7)
+        assert a.delays() == b.delays()
+
+    def test_different_seeds_desynchronize(self):
+        a = RetryPolicy(retries=5, seed=1).delays()
+        b = RetryPolicy(retries=5, seed=2).delays()
+        assert a != b  # two processes never retry in lockstep
+
+    def test_draw_parameter_varies_the_pause_not_the_base(self):
+        """The broker keys jitter on its rejection counter: concurrent
+        rejected clients share the base delay but draw different pauses."""
+        policy = RetryPolicy(retries=1, backoff=0.1, jitter=0.5, seed=3)
+        pauses = {policy.delay(1, draw=d) for d in range(16)}
+        assert len(pauses) > 1
+        for pause in pauses:
+            assert 0.05 <= pause <= 0.1
+
+    def test_delays_length_matches_retries(self):
+        assert RetryPolicy(retries=0).delays() == []
+        assert len(RetryPolicy(retries=4).delays()) == 4

@@ -10,19 +10,24 @@ at every quiescence point.
 from __future__ import annotations
 
 import asyncio
+import os
+import signal
 
 import pytest
 
+from repro.net.bootstrap import RegistryJournal
 from repro.net.procgroup import (
     CLIENT_PREFIX,
     COORD_ENDPOINT,
     CTL_PREFIX,
     SYNC_PREFIX,
     ClusterError,
+    ClusterRecovering,
     MultiProcessCluster,
     _make_resolver,
     group_of,
 )
+from repro.net.transport import TransportError
 
 pytestmark = pytest.mark.asyncio
 
@@ -181,6 +186,135 @@ class TestClusterLifecycle:
                 await cluster.join("pa")
                 assert await cluster.discover("anything") is None
                 assert await cluster.search("prefix", "a") is None
+            finally:
+                await cluster.close()
+
+        asyncio.run(body())
+
+
+async def _await_recovery(cluster, timeout=15.0):
+    """Poll until the supervisor has completed at least one recovery."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if cluster.recoveries >= 1 and not cluster._recovering:
+            return
+        await asyncio.sleep(0.05)
+    raise AssertionError(
+        f"supervisor never recovered: recoveries={cluster.recoveries} "
+        f"recovering={cluster._recovering} errors={cluster.supervisor_errors}"
+    )
+
+
+@pytest.mark.net
+class TestSupervision:
+    """Fail-stop worker crashes under the heartbeat supervisor.
+
+    These are the end-to-end halves of the chaos acceptance criteria: a
+    SIGKILLed worker is detected within the heartbeat timeout, its peers
+    are journaled as crashed and adopted by ring successors, every acked
+    registration survives the rebuild, and the counter invariant holds
+    at the post-recovery quiescence point.
+    """
+
+    PEERS = ["pa", "pd", "pg", "pj", "pm", "pq"]
+    KEYS = ["dgemm", "sgemm", "zherk"]
+
+    def test_supervisor_replaces_a_sigkilled_worker(self, tmp_path):
+        async def body():
+            journal = RegistryJournal(str(tmp_path / "registry.jsonl"))
+            cluster = MultiProcessCluster(
+                processes=2,
+                supervise=True,
+                heartbeat_interval=0.1,
+                heartbeat_timeout=1.0,
+                journal=journal,
+            )
+            await cluster.start()
+            try:
+                assert len({group_of(p, 2) for p in self.PEERS}) == 2
+                for pid in self.PEERS:
+                    await cluster.join(pid)
+                    # The cluster API leaves journaling of joins to the
+                    # serving layer (ClusterBroker); mirror it here so
+                    # the crash events have a membership to subtract from.
+                    journal.record("join", pid, 10)
+                for key in self.KEYS:
+                    record = await cluster.register(key)
+                    assert record["host"] is not None  # acked, ledgered
+
+                victim_group = group_of(self.PEERS[-1], 2)
+                os.kill(cluster._procs[victim_group].pid, signal.SIGKILL)
+                await _await_recovery(cluster)
+
+                assert cluster.supervisor_errors == []
+                lost = [p for p in self.PEERS if group_of(p, 2) == victim_group]
+                assert lost, "the victim group must have owned peers"
+                assert set(cluster.crashed_peers) == set(lost)
+                assert cluster.live_ids() == sorted(set(self.PEERS) - set(lost))
+                # Satellite: the journal replays to the *post-adoption*
+                # membership — one ``crash`` event per lost peer.
+                assert journal.replay() == {p: 10 for p in cluster.live_ids()}
+                # No acked registration is lost (r=1 successor adoption +
+                # ledger replay).
+                for key in self.KEYS:
+                    hit = await cluster.discover(key)
+                    assert hit["found"], key
+                _assert_balanced(await cluster.counters())
+            finally:
+                await cluster.close()
+                journal.close()
+
+        asyncio.run(body())
+
+    def test_kill_mid_flood_recovers(self):
+        async def body():
+            cluster = MultiProcessCluster(
+                processes=2,
+                supervise=True,
+                heartbeat_interval=0.1,
+                heartbeat_timeout=1.0,
+                rpc_timeout=2.0,  # dead-worker RPCs must fail fast
+            )
+            await cluster.start()
+            try:
+                for pid in self.PEERS:
+                    await cluster.join(pid)
+                for key in self.KEYS:
+                    await cluster.register(key)
+
+                async def flood():
+                    loop = asyncio.get_running_loop()
+                    deadline = loop.time() + 30.0
+                    results = []
+                    for i in range(40):
+                        key = self.KEYS[i % len(self.KEYS)]
+                        while True:
+                            try:
+                                results.append(await cluster.discover(key))
+                                break
+                            except (
+                                ClusterRecovering,
+                                ClusterError,
+                                TransportError,
+                                asyncio.TimeoutError,
+                            ):
+                                if loop.time() > deadline:
+                                    raise
+                                await asyncio.sleep(0.1)
+                        await asyncio.sleep(0.02)
+                    return results
+
+                task = asyncio.create_task(flood())
+                await asyncio.sleep(0.1)
+                os.kill(cluster._procs[0].pid, signal.SIGKILL)
+                results = await task
+                await _await_recovery(cluster)
+
+                assert cluster.supervisor_errors == []
+                assert len(results) == 40
+                assert all(r["found"] for r in results)
+                _assert_balanced(await cluster.counters())
             finally:
                 await cluster.close()
 

@@ -38,12 +38,30 @@ class TestParser:
         args = build_parser().parse_args([])
         assert args.peers == 8 and not args.tcp and not args.demo
         assert args.processes == 1 and args.journal is None
+        assert args.chaos is None and not args.supervise
 
     def test_cli_rejects_empty_cluster(self):
         assert repro_main(["serve", "--peers", "0"]) == 2
 
     def test_cli_rejects_zero_processes(self):
         assert repro_main(["serve", "--processes", "0"]) == 2
+
+    def test_cli_rejects_malformed_chaos_spec(self):
+        """A bad --chaos spec fails at argument time (exit 2), before any
+        socket is bound."""
+        assert repro_main(["serve", "--chaos", "bogus:1"]) == 2
+        assert repro_main(["serve", "--chaos", "drop:1.5"]) == 2
+
+    @pytest.mark.net
+    def test_supervise_without_processes_warns_and_is_ignored(self, tmp_path):
+        args = build_parser().parse_args(
+            ["--peers", "2", "--supervise", "--demo",
+             "--path", str(tmp_path / "s.sock")]
+        )
+        lines = []
+        rc = asyncio.run(serve(args, out=lines.append))
+        assert rc == 0
+        assert any("--supervise needs --processes" in line for line in lines)
 
 
 class TestBindFailure:
@@ -124,6 +142,30 @@ class TestJournalRecovery:
         # Idempotent recovery: re-admission did not grow the journal.
         assert len(RegistryJournal(journal_path).replay()) == 4
 
+    def test_restart_after_crash_readmits_the_adopted_membership(self, tmp_path):
+        """Journal hardening: a supervisor-journaled ``crash`` event
+        subtracts the dead worker's peers, so a restart re-admits the
+        post-adoption ring — never a ghost of the crashed peer."""
+        journal_path = str(tmp_path / "registry.jsonl")
+        journal = RegistryJournal(journal_path)
+        for pid in ("pa", "pd", "pg", "pj"):
+            journal.record("join", pid, 10)
+        journal.record("crash", "pd")
+        journal.close()
+
+        async def restart():
+            restart_journal = RegistryJournal(journal_path)
+            transport, engine, broker = await start_cluster(
+                8, journal=restart_journal
+            )
+            try:
+                return sorted(engine.peers)
+            finally:
+                await broker.close()
+                await transport.close()
+
+        assert asyncio.run(restart()) == ["pa", "pg", "pj"]
+
 
 @pytest.mark.net
 class TestDemo:
@@ -192,6 +234,49 @@ class TestMultiProcessServe:
         assert (
             repro_main(
                 ["serve", "--peers", "6", "--processes", "2", "--demo"]
+            )
+            == 0
+        )
+
+
+@pytest.mark.net
+class TestChaosServing:
+    """``--chaos`` / ``--supervise``: serving stays correct under
+    outcome-preserving fault injection."""
+
+    _PRESERVING = "delay:0.3:max=0.002+reorder:0.2+seed=5"
+
+    def test_demo_survives_preserving_chaos_single_process(self):
+        async def body():
+            transport, engine, broker = await start_cluster(
+                8, chaos=self._PRESERVING
+            )
+            try:
+                summary = await run_demo(transport.address, out=lambda _: None)
+                assert summary["found"] == len(DEMO_KEYS)
+                assert summary["missed"] == 1
+                # Chaos actually fired on the serving path...
+                assert transport.chaos_delayed + transport.chaos_reordered > 0
+                # ...and the wrapper's ledger still balances.
+                await transport.drain()
+                assert transport.messages_sent == (
+                    transport.messages_delivered
+                    + transport.messages_dropped
+                    + transport.messages_dead_lettered
+                )
+            finally:
+                await broker.close()
+                await transport.close()
+
+        asyncio.run(body())
+
+    def test_serve_demo_cli_chaotic_supervised_two_processes(self):
+        assert (
+            repro_main(
+                [
+                    "serve", "--peers", "6", "--processes", "2",
+                    "--chaos", self._PRESERVING, "--supervise", "--demo",
+                ]
             )
             == 0
         )

@@ -16,9 +16,14 @@ import asyncio
 import pytest
 
 from repro.dlpt import messages as m
-from repro.net.asyncio_transport import AsyncioTransport, LoopbackAsyncioTransport
+from repro.net.asyncio_transport import (
+    CONTROL_ENDPOINT,
+    AsyncioTransport,
+    LoopbackAsyncioTransport,
+)
 from repro.net.p2p import PeerAsyncioTransport
 from repro.net.transport import SimTransport, TransportError
+from repro.net.wire import WIRE_SCHEMA, encode_frame
 
 pytestmark = pytest.mark.asyncio
 
@@ -404,6 +409,45 @@ class TestPeerToPeerSpecifics:
 
         asyncio.run(body())
 
+    def test_kill_link_severs_without_recording_an_error(self):
+        """``kill_link`` is chaos's connection-kill fault: the cached link
+        dies, no transport error is recorded (a kill is injected, not a
+        defect), and the next send re-dials from scratch."""
+
+        async def body():
+            a, b = await self._pair()
+            got = []
+            b.register("remote", lambda env: got.append(env.payload.datum))
+            assert a.kill_link("remote") is False  # nothing dialed yet
+            a.send("x", "remote", _msg(1))
+            await _poll(lambda: got == [1])
+            assert a.kill_link("remote") is True
+            assert not a._links
+            assert a.errors == []
+            a.send("x", "remote", _msg(2))
+            await _poll(lambda: got == [1, 2])
+            assert a.links_dialed == 2
+            await a.close()
+            await b.close()
+
+        asyncio.run(body())
+
+    def test_reset_accounting_zeroes_the_epoch(self):
+        async def body():
+            a, b = await self._pair()
+            b.register("remote", lambda env: None)
+            a.send("x", "remote", _msg(1))
+            await a.drain()
+            assert a.messages_sent == 1 and a.frames_out == 1
+            a.reset_accounting()
+            assert a.messages_sent == a.messages_delivered == 0
+            assert a.frames_out == a.frames_in == 0
+            assert a.in_flight == 0
+            await a.close()
+            await b.close()
+
+        asyncio.run(body())
+
     def test_unresolvable_endpoint_dead_letters(self):
         async def body():
             a = PeerAsyncioTransport()
@@ -419,5 +463,79 @@ class TestPeerToPeerSpecifics:
             await a.drain()
             assert a.messages_dead_lettered == 2
             await a.close()
+
+        asyncio.run(body())
+
+
+@pytest.mark.net
+class TestMidFrameConnectionLoss:
+    """A connection dying *inside* a length-prefixed frame: the torn
+    frame must be discarded at the reader — never half-delivered, never
+    counted — and the listener must keep serving subsequent connections.
+    Exercised against all four socket transports."""
+
+    SOCKET_TRANSPORTS = [
+        pytest.param(AsyncioTransport, id="asyncio-unix"),
+        pytest.param(lambda: AsyncioTransport(host="127.0.0.1"), id="asyncio-tcp"),
+        pytest.param(PeerAsyncioTransport, id="p2p-unix"),
+        pytest.param(
+            lambda: PeerAsyncioTransport(host="127.0.0.1"), id="p2p-tcp"
+        ),
+    ]
+
+    @staticmethod
+    async def _open(address):
+        if address[0] == "unix":
+            return await asyncio.open_unix_connection(address[1])
+        return await asyncio.open_connection(address[1], address[2])
+
+    @staticmethod
+    def _hello(endpoint: str) -> bytes:
+        return encode_frame(
+            endpoint,
+            CONTROL_ENDPOINT,
+            {"hello": WIRE_SCHEMA, "endpoint": endpoint},
+        )
+
+    @pytest.mark.parametrize("factory", SOCKET_TRANSPORTS)
+    def test_torn_frame_is_discarded_not_half_delivered(self, factory):
+        async def body():
+            t = factory()
+            await t.start()
+            got = []
+            t.register("sink", lambda env: got.append(env.payload.datum))
+
+            # Connection 1: a hello, one complete frame, then death
+            # halfway through a second frame.
+            reader, writer = await self._open(t.address)
+            torn = encode_frame("@probe", "sink", _msg(2))
+            writer.write(self._hello("@probe"))
+            writer.write(encode_frame("@probe", "sink", _msg(1)))
+            writer.write(torn[: len(torn) // 2])
+            await writer.drain()
+            writer.close()
+            await _poll(lambda: got == [1])
+            await asyncio.sleep(0.05)  # time for any phantom delivery
+
+            # The torn frame vanished without a trace: not delivered, not
+            # counted into the accounting domain, not an error.
+            assert got == [1]
+            assert t.messages_sent == 1
+            assert t.errors == []
+
+            # The listener survived: a fresh connection is served.
+            reader2, writer2 = await self._open(t.address)
+            writer2.write(self._hello("@probe2"))
+            writer2.write(encode_frame("@probe2", "sink", _msg(3)))
+            await writer2.drain()
+            await _poll(lambda: got == [1, 3])
+            assert t.messages_sent == 2
+            assert t.messages_sent == (
+                t.messages_delivered
+                + t.messages_dropped
+                + t.messages_dead_lettered
+            )
+            writer2.close()
+            await t.close()
 
         asyncio.run(body())

@@ -91,6 +91,29 @@ class TestFrameReader:
         assert reader.pending_bytes == len(frame) - 1
         assert len(list(reader.feed(frame[-1:]))) == 1
 
+    def test_connection_death_mid_frame_emits_nothing(self):
+        """A connection dying inside a frame leaves the torn bytes
+        pending and no envelope — a half-frame is never half-delivered.
+        The reconnect discipline is a *fresh* reader per connection, so
+        stale bytes can never prefix the retransmitted stream."""
+        first = encode_frame("a", "b", {"op": "register", "key": "k1"})
+        second = encode_frame("a", "b", {"op": "register", "key": "k2"})
+        reader = FrameReader()
+        assert len(list(reader.feed(first))) == 1
+        assert list(reader.feed(second[: len(second) // 2])) == []
+        # ... the socket EOFs here: the torn frame stays buffered, unparsed.
+        assert 0 < reader.pending_bytes < len(second)
+        # The reconnected stream goes through a fresh reader: the
+        # retransmission parses cleanly, exactly once.
+        fresh = FrameReader()
+        assert [env.payload["key"] for env in fresh.feed(second)] == ["k2"]
+
+    def test_connection_death_inside_the_header_emits_nothing(self):
+        frame = encode_frame("a", "b", {"op": "info"})
+        reader = FrameReader()
+        assert list(reader.feed(frame[:2])) == []  # not even a length yet
+        assert reader.pending_bytes == 2
+
 
 class TestMalformedInput:
     def test_truncated_header(self):
